@@ -1,0 +1,351 @@
+// Package repro's top-level benchmarks regenerate every experiment of the
+// paper "A System Demonstration of ST-TCP" (DSN 2005): the five planned
+// demonstrations, the Table 1 failure matrix, the §3 serial-bandwidth
+// budget, and two ablations (the tap-vs-heartbeat design change of §3 and
+// the eager-takeover extension). Simulated quantities — failover time,
+// detection time, overhead — are reported as custom benchmark metrics
+// (suffixes like failover_ms); ns/op measures only how fast the simulator
+// replays the scenario.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/hb"
+	"repro/internal/ip"
+	"repro/internal/tcp"
+)
+
+// BenchmarkDemo1Failover regenerates Demo 1: the client-visible stall under
+// ST-TCP versus the reconnect-based hot-backup baseline.
+func BenchmarkDemo1Failover(b *testing.B) {
+	for _, which := range []string{"sttcp", "baseline"} {
+		b.Run(which, func(b *testing.B) {
+			var stall, transfer time.Duration
+			var reconnects int
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunDemo1(int64(i+1), 16<<20, 500*time.Millisecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := res.STTCP
+				if which == "baseline" {
+					r = res.Baseline
+				}
+				if !r.Completed {
+					b.Fatalf("transfer failed: %v", r.ClientErr)
+				}
+				stall += r.FailoverTime
+				transfer += r.TransferTime
+				reconnects += r.Reconnects
+			}
+			b.ReportMetric(float64(stall.Milliseconds())/float64(b.N), "stall_ms")
+			b.ReportMetric(float64(transfer.Milliseconds())/float64(b.N), "transfer_ms")
+			b.ReportMetric(float64(reconnects)/float64(b.N), "reconnects")
+		})
+	}
+}
+
+// BenchmarkDemo2FailoverVsHB regenerates Demo 2: failover time as a
+// function of the heartbeat period (200 ms, 500 ms, 1 s).
+func BenchmarkDemo2FailoverVsHB(b *testing.B) {
+	for _, period := range []time.Duration{200 * time.Millisecond, 500 * time.Millisecond, time.Second} {
+		b.Run("hb="+period.String(), func(b *testing.B) {
+			var detect, failover time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunDemo2(int64(i+1), []time.Duration{period}, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res[0].Completed {
+					b.Fatalf("transfer failed: %v", res[0].ClientErr)
+				}
+				detect += res[0].DetectionTime
+				failover += res[0].FailoverTime
+			}
+			b.ReportMetric(float64(detect.Milliseconds())/float64(b.N), "detect_ms")
+			b.ReportMetric(float64(failover.Milliseconds())/float64(b.N), "failover_ms")
+		})
+	}
+}
+
+// BenchmarkDemo2UploadVsHB is the client-as-sender variant of Demo 2: the
+// post-crash restart is driven by the client's retransmission backoff.
+func BenchmarkDemo2UploadVsHB(b *testing.B) {
+	for _, period := range []time.Duration{200 * time.Millisecond, time.Second} {
+		b.Run("hb="+period.String(), func(b *testing.B) {
+			var failover time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunDemo2Upload(int64(i+1), []time.Duration{period})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res[0].Completed {
+					b.Fatalf("echo failed: %v", res[0].ClientErr)
+				}
+				failover += res[0].FailoverTime
+			}
+			b.ReportMetric(float64(failover.Milliseconds())/float64(b.N), "failover_ms")
+		})
+	}
+}
+
+// BenchmarkOutputCommitLogger regenerates the §4.3 output-commit scenario:
+// the fraction of echo rounds completed without and with the logger.
+func BenchmarkOutputCommitLogger(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		withLogger bool
+	}{{"without-logger", false}, {"with-logger", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rounds := 0
+			completed := 0
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunOutputCommit(int64(i+61), mode.withLogger)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += res.RoundsDone
+				if res.ClientDone {
+					completed++
+				}
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds")
+			b.ReportMetric(float64(completed)/float64(b.N), "completed")
+		})
+	}
+}
+
+// BenchmarkDemo3Overhead regenerates Demo 3: failure-free transfer time
+// with ST-TCP enabled vs disabled (the paper's ~100 MB file).
+func BenchmarkDemo3Overhead(b *testing.B) {
+	const size = 64 << 20 // large enough for a stable ratio, kept moderate for bench time
+	var overhead float64
+	var with, without time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunDemo3(int64(i+1), size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead += res.OverheadPct
+		with += res.WithSTTCP
+		without += res.WithoutTCP
+	}
+	b.ReportMetric(overhead/float64(b.N), "overhead_pct")
+	b.ReportMetric(float64(with.Milliseconds())/float64(b.N), "with_ms")
+	b.ReportMetric(float64(without.Milliseconds())/float64(b.N), "without_ms")
+}
+
+// BenchmarkDemo4AppCrash regenerates Demo 4: both application-crash
+// scenarios (no cleanup / OS cleanup with FIN).
+func BenchmarkDemo4AppCrash(b *testing.B) {
+	for _, mode := range []experiment.AppCrashMode{experiment.CrashNoCleanup, experiment.CrashWithCleanup} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var detect, failover time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunDemo4(int64(i+1), mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatalf("transfer failed: %v", res.ClientErr)
+				}
+				detect += res.DetectionTime
+				failover += res.FailoverTime
+			}
+			b.ReportMetric(float64(detect.Milliseconds())/float64(b.N), "detect_ms")
+			b.ReportMetric(float64(failover.Milliseconds())/float64(b.N), "failover_ms")
+		})
+	}
+}
+
+// BenchmarkDemo5NICFailure regenerates Demo 5: NIC failure at the primary
+// (part one) and at the backup (part two).
+func BenchmarkDemo5NICFailure(b *testing.B) {
+	for _, part := range []struct {
+		name    string
+		primary bool
+	}{{"primary", true}, {"backup", false}} {
+		b.Run(part.name, func(b *testing.B) {
+			var detect time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunDemo5(int64(i+1), part.primary)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.ClientOK {
+					b.Fatalf("client failed: %v", res.ClientErr)
+				}
+				detect += res.DetectionTime
+			}
+			b.ReportMetric(float64(detect.Milliseconds())/float64(b.N), "detect_ms")
+		})
+	}
+}
+
+// BenchmarkTable1Scenarios regenerates the full Table 1 failure matrix.
+func BenchmarkTable1Scenarios(b *testing.B) {
+	for _, sc := range experiment.Scenarios {
+		sc := sc
+		b.Run(sc.String(), func(b *testing.B) {
+			var detect time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunScenario(int64(i+1), sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.ClientOK {
+					b.Fatalf("client failed: %v", res.ClientErr)
+				}
+				detect += res.DetectionTime
+			}
+			b.ReportMetric(float64(detect.Milliseconds())/float64(b.N), "detect_ms")
+		})
+	}
+}
+
+// BenchmarkHeartbeatSerialCapacity regenerates the §3 bandwidth budget:
+// heartbeat state for N connections over the 115.2 kbit/s serial line at a
+// 200 ms period, reporting queueing delay and saturation.
+func BenchmarkHeartbeatSerialCapacity(b *testing.B) {
+	for _, conns := range []int{1, 25, 50, 100, 150, 250} {
+		conns := conns
+		b.Run(benchName("conns", conns), func(b *testing.B) {
+			var queue time.Duration
+			saturated := 0
+			for i := 0; i < b.N; i++ {
+				res := experiment.RunSerialCapacity(conns, 200*time.Millisecond, 10*time.Second)
+				queue += res.MaxQueueDelay
+				if res.Saturated {
+					saturated++
+				}
+			}
+			b.ReportMetric(float64(queue.Milliseconds())/float64(b.N), "max_queue_ms")
+			b.ReportMetric(float64(saturated)/float64(b.N), "saturated")
+		})
+	}
+}
+
+// BenchmarkAblationTapVsHB regenerates the §3 design change: backup NIC
+// receive volume with the enhanced heartbeat state exchange versus the old
+// design that tapped primary→client traffic.
+func BenchmarkAblationTapVsHB(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		tap  bool
+	}{{"enhanced-hb", false}, {"tap-both-directions", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var rx int64
+			for i := 0; i < b.N; i++ {
+				got, err := experiment.RunBackupNICLoad(int64(i+1), mode.tap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rx += got
+			}
+			b.ReportMetric(float64(rx)/float64(b.N)/1024, "backup_rx_KB")
+		})
+	}
+}
+
+// BenchmarkAblationEagerTakeover compares the paper's
+// wait-for-retransmission takeover with the eager-retransmit extension at
+// a 1 s heartbeat period, where the residual backoff matters most.
+func BenchmarkAblationEagerTakeover(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		eager bool
+	}{{"faithful", false}, {"eager", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var failover time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunDemo2(int64(i+1), []time.Duration{time.Second}, mode.eager)
+				if err != nil {
+					b.Fatal(err)
+				}
+				failover += res[0].FailoverTime
+			}
+			b.ReportMetric(float64(failover.Milliseconds())/float64(b.N), "failover_ms")
+		})
+	}
+}
+
+// BenchmarkWitnessMajority measures the §4.2.2 majority extension: time to
+// resolve a primary-side FIN conflict (application crash with cleanup on an
+// echo workload) with and without the witness replica.
+func BenchmarkWitnessMajority(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		withWitness bool
+	}{{"pairwise", false}, {"with-witness", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var resolve time.Duration
+			for i := 0; i < b.N; i++ {
+				d, err := experiment.RunWitnessConflict(int64(i+101), mode.withWitness)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resolve += d
+			}
+			b.ReportMetric(float64(resolve.Milliseconds())/float64(b.N), "resolve_ms")
+		})
+	}
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+func BenchmarkSegmentEncodeDecode(b *testing.B) {
+	src, dst := ip.MakeAddr(10, 0, 0, 1), ip.MakeAddr(10, 0, 0, 100)
+	payload := make([]byte, tcp.DefaultMSS)
+	seg := tcp.Segment{SrcPort: 50000, DstPort: 80, Seq: 1, Ack: 2, Flags: tcp.FlagACK, Window: 65535, Payload: payload}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := seg.Encode(src, dst)
+		if _, err := tcp.Decode(src, dst, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeartbeatEncodeDecode(b *testing.B) {
+	m := hb.Message{Role: hb.RolePrimary}
+	for i := 0; i < 100; i++ {
+		m.Conns = append(m.Conns, hb.ConnState{RemotePort: uint16(i), LocalPort: 80})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := m.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hb.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	data := make([]byte, 1460)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		_ = ip.Checksum(data)
+	}
+}
+
+func benchName(prefix string, n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return prefix + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return prefix + "=" + string(buf[i:])
+}

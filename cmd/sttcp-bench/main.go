@@ -1,0 +1,216 @@
+// Command sttcp-bench runs the quantitative experiments behind the paper's
+// demonstrations as parameter sweeps and prints the series the paper
+// discusses: failover time versus heartbeat period (Demo 2), failure-free
+// overhead versus transfer size (Demo 3), serial heartbeat capacity versus
+// connection count (§3), and the two ablations (tap-vs-heartbeat state
+// exchange, eager takeover).
+//
+// Usage:
+//
+//	sttcp-bench -exp demo2|demo3|hbcap|ablation|all [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sttcp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment: demo2, demo3, hbcap, ablation, or all")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	csvDir := flag.String("csv", "", "also write the series as CSV files into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		csvOut = *csvDir
+	}
+
+	run := map[string]bool{*exp: true}
+	if *exp == "all" {
+		run = map[string]bool{"demo2": true, "demo3": true, "hbcap": true, "ablation": true}
+	}
+	if run["demo2"] {
+		if err := demo2Sweep(*seed); err != nil {
+			return err
+		}
+	}
+	if run["demo3"] {
+		if err := demo3Sweep(*seed); err != nil {
+			return err
+		}
+	}
+	if run["hbcap"] {
+		hbCapacitySweep()
+	}
+	if run["ablation"] {
+		if err := ablations(*seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvOut, when set, receives CSV exports of the sweeps.
+var csvOut string
+
+func writeCSV(name string, write func(w *os.File) error) error {
+	if csvOut == "" {
+		return nil
+	}
+	path := filepath.Join(csvOut, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("   (wrote %s)\n", path)
+	return nil
+}
+
+func demo2Sweep(seed int64) error {
+	fmt.Println("\n## Demo 2 sweep: failover time vs heartbeat period")
+	fmt.Printf("%-12s %-14s %-14s %-14s\n", "hb period", "detection", "failover", "failover(eager)")
+	periods := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 2 * time.Second,
+	}
+	faithful, err := experiment.RunDemo2(seed, periods, false)
+	if err != nil {
+		return err
+	}
+	eager, err := experiment.RunDemo2(seed, periods, true)
+	if err != nil {
+		return err
+	}
+	for i, r := range faithful {
+		fmt.Printf("%-12v %-14v %-14v %-14v\n", r.HBPeriod,
+			r.DetectionTime.Round(time.Millisecond),
+			r.FailoverTime.Round(time.Millisecond),
+			eager[i].FailoverTime.Round(time.Millisecond))
+	}
+
+	if err := writeCSV("demo2.csv", func(f *os.File) error {
+		return experiment.WriteDemo2CSV(f, faithful)
+	}); err != nil {
+		return err
+	}
+
+	fmt.Println("\n   crash-phase distribution at hb=200ms (8 crash instants across one period):")
+	dist, err := experiment.RunDemo2Sampled(seed, 200*time.Millisecond, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   detection: %v\n   failover:  %v\n", dist.Detection, dist.Failover)
+	fmt.Println("   (failover is quantised by the retransmission schedule, not by detection phase)")
+
+	fmt.Println("\n   client-as-sender variant (restart driven by the client's backoff):")
+	upload, err := experiment.RunDemo2Upload(seed, periods)
+	if err != nil {
+		return err
+	}
+	for _, r := range upload {
+		fmt.Printf("%-12v %-14v %-14v\n", r.HBPeriod,
+			r.DetectionTime.Round(time.Millisecond), r.FailoverTime.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func demo3Sweep(seed int64) error {
+	fmt.Println("\n## Demo 3 sweep: failure-free overhead vs transfer size")
+	fmt.Printf("%-12s %-14s %-14s %-10s\n", "size", "with ST-TCP", "without", "overhead")
+	for _, size := range []int64{10 << 20, 50 << 20, 100 << 20} {
+		res, err := experiment.RunDemo3(seed, size)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-14v %-14v %.3f%%\n",
+			fmt.Sprintf("%dMiB", size>>20),
+			res.WithSTTCP.Round(time.Millisecond),
+			res.WithoutTCP.Round(time.Millisecond),
+			res.OverheadPct)
+	}
+	return nil
+}
+
+func hbCapacitySweep() {
+	fmt.Println("\n## §3 serial heartbeat capacity (115.2 kbit/s, 200 ms period)")
+	fmt.Printf("%-8s %-10s %-14s %-14s %s\n", "conns", "hb bytes", "mean interval", "max backlog", "saturated")
+	var series []experiment.SerialCapacityResult
+	for _, n := range []int{1, 10, 25, 50, 75, 100, 125, 150, 250} {
+		res := experiment.RunSerialCapacity(n, 200*time.Millisecond, 10*time.Second)
+		series = append(series, res)
+		fmt.Printf("%-8d %-10d %-14v %-14v %v\n", n, res.MessageBytes,
+			res.MeanInterval.Round(time.Millisecond), res.MaxQueueDelay.Round(time.Millisecond), res.Saturated)
+	}
+	_ = writeCSV("hbcap.csv", func(f *os.File) error {
+		return experiment.WriteCapacityCSV(f, series)
+	})
+	fmt.Println("\n   same load over a crossover 100 Mbit/s Ethernet heartbeat link (§3's advice):")
+	fmt.Printf("%-8s %-14s %-14s %s\n", "conns", "mean interval", "max backlog", "saturated")
+	for _, n := range []int{100, 250, 1000, 3500} {
+		res := experiment.RunHBLinkCapacity(n, 200*time.Millisecond, 10*time.Second, 100_000_000)
+		fmt.Printf("%-8d %-14v %-14v %v\n", n,
+			res.MeanInterval.Round(time.Millisecond), res.MaxQueueDelay.Round(time.Millisecond), res.Saturated)
+	}
+}
+
+func ablations(seed int64) error {
+	fmt.Println("\n## Ablation: backup NIC load — enhanced HB state exchange vs pre-enhancement tap (§3)")
+	enhanced, err := experiment.RunBackupNICLoad(seed, false)
+	if err != nil {
+		return err
+	}
+	old, err := experiment.RunBackupNICLoad(seed, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %8d KB received at backup NIC\n", "enhanced (HB state)", enhanced>>10)
+	fmt.Printf("%-28s %8d KB received at backup NIC (%.1fx)\n", "old (tap both directions)", old>>10, float64(old)/float64(enhanced))
+
+	fmt.Println("\n## Ablation: takeover strategy at hb=1s (paper waits for the next retransmission)")
+	faithful, err := experiment.RunDemo2(seed, []time.Duration{time.Second}, false)
+	if err != nil {
+		return err
+	}
+	eager, err := experiment.RunDemo2(seed, []time.Duration{time.Second}, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s failover %v\n", "faithful (wait for RTO)", faithful[0].FailoverTime.Round(time.Millisecond))
+	fmt.Printf("%-28s failover %v\n", "eager retransmit extension", eager[0].FailoverTime.Round(time.Millisecond))
+
+	fmt.Println("\n## Extension: output-commit logger (§4.3's unrecoverable case)")
+	for _, withLogger := range []bool{false, true} {
+		res, err := experiment.RunOutputCommit(seed+19, withLogger)
+		if err != nil {
+			return err
+		}
+		name := "without logger"
+		if withLogger {
+			name = "with logger"
+		}
+		outcome := fmt.Sprintf("wedged after %d/800 rounds (unrecoverable)", res.RoundsDone)
+		if res.ClientDone {
+			outcome = fmt.Sprintf("all %d rounds completed (%d recovery datagrams)", res.RoundsDone, res.LoggerServed)
+		}
+		fmt.Printf("%-28s %s\n", name, outcome)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Filetransfer: the paper's Demo 3 as a standalone program — measure what
+// ST-TCP replication costs when nothing fails.
+//
+// A large file is served twice over the identical simulated network: once
+// through the full ST-TCP pair (active backup tapping the client stream,
+// dual-link heartbeats, hold buffer) and once by a plain TCP server. The
+// difference is the protocol's failure-free overhead; the paper's claim —
+// reproduced here — is that it is insignificant.
+//
+//	go run ./examples/filetransfer [-size-mib 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	sizeMiB := flag.Int64("size-mib", 100, "transfer size in MiB")
+	flag.Parse()
+	if err := run(*sizeMiB << 20); err != nil {
+		fmt.Fprintln(os.Stderr, "filetransfer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(size int64) error {
+	fmt.Printf("transferring %d MiB over simulated 100 Mbit/s switched Ethernet...\n\n", size>>20)
+	res, err := experiment.RunDemo3(7, size)
+	if err != nil {
+		return err
+	}
+	rate := func(d time.Duration) float64 {
+		return float64(size) * 8 / d.Seconds() / 1e6
+	}
+	fmt.Printf("%-22s %12v   %6.1f Mbit/s\n", "ST-TCP enabled:", res.WithSTTCP.Round(time.Millisecond), rate(res.WithSTTCP))
+	fmt.Printf("%-22s %12v   %6.1f Mbit/s\n", "ST-TCP disabled:", res.WithoutTCP.Round(time.Millisecond), rate(res.WithoutTCP))
+	fmt.Printf("%-22s %11.3f%%\n", "overhead:", res.OverheadPct)
+	fmt.Println("\nwhy so small: the backup receives the client→server stream through the")
+	fmt.Println("switch's multicast group (no extra work for the primary), suppresses all of")
+	fmt.Println("its own output, and the heartbeat adds ~33 bytes per connection per 200 ms.")
+	return nil
+}

@@ -1,0 +1,208 @@
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// ProgressSample is one observation of the client's download progress —
+// the data behind the demo GUI's pie chart.
+type ProgressSample struct {
+	Time  time.Time
+	Bytes int64
+}
+
+// StreamClient is the paper's demo client: it connects to the service,
+// requests a byte count, verifies every received byte against the
+// deterministic pattern, and records a progress time series from which the
+// experiments compute failover gaps. A seamless ST-TCP failover shows up
+// as an uninterrupted (if briefly stalled) series; a broken connection
+// shows up as an error.
+type StreamClient struct {
+	sim    *sim.Simulator
+	stack  *tcp.Stack
+	tracer *trace.Recorder
+	name   string
+
+	service ip.Addr
+	port    uint16
+
+	// Request is how many bytes to ask for.
+	Request int64
+
+	conn *tcp.Conn
+
+	// Received counts verified payload bytes.
+	Received int64
+	// Samples is the progress series (one sample per delivery).
+	Samples []ProgressSample
+	// Done and Err record completion.
+	Done bool
+	Err  error
+	// VerifyFailures counts pattern mismatches (must stay 0).
+	VerifyFailures int64
+	// OnDone fires once at completion or failure.
+	OnDone func(err error)
+
+	started  time.Time
+	finished time.Time
+}
+
+// NewStreamClient builds a client on the given host TCP stack.
+func NewStreamClient(name string, stack *tcp.Stack, service ip.Addr, port uint16, request int64, tracer *trace.Recorder) *StreamClient {
+	return &StreamClient{
+		sim:     stack.Sim(),
+		stack:   stack,
+		tracer:  tracer,
+		name:    name,
+		service: service,
+		port:    port,
+		Request: request,
+	}
+}
+
+// Conn exposes the client's TCP connection (nil before Start).
+func (cl *StreamClient) Conn() *tcp.Conn { return cl.conn }
+
+// Start dials the service and sends the request.
+func (cl *StreamClient) Start() error {
+	c, err := cl.stack.Dial(ip.Addr{}, cl.service, cl.port)
+	if err != nil {
+		return fmt.Errorf("app: %s dial: %w", cl.name, err)
+	}
+	cl.conn = c
+	cl.started = cl.sim.Now()
+	req := []byte(FormatRequest(cl.Request))
+	c.OnEstablished = func() {
+		if _, err := c.Write(req); err != nil {
+			cl.finish(err)
+		}
+	}
+	c.OnReadable = func() { cl.readable() }
+	c.OnClose = func(err error) {
+		if cl.Done {
+			return
+		}
+		if err == nil && cl.Received >= cl.Request {
+			cl.finish(nil)
+			return
+		}
+		if err == nil {
+			err = fmt.Errorf("app: %s: connection closed after %d/%d bytes", cl.name, cl.Received, cl.Request)
+		}
+		cl.finish(err)
+	}
+	return nil
+}
+
+func (cl *StreamClient) readable() {
+	if cl.Done || cl.conn == nil {
+		return
+	}
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := cl.conn.Read(buf)
+		if n > 0 {
+			if bad := VerifyPattern(cl.Received, buf[:n]); bad >= 0 {
+				cl.VerifyFailures++
+				if cl.tracer != nil {
+					cl.tracer.Emit(trace.KindGeneric, cl.name, "pattern mismatch at offset %d", cl.Received+int64(bad))
+				}
+			}
+			cl.Received += int64(n)
+			cl.Samples = append(cl.Samples, ProgressSample{Time: cl.sim.Now(), Bytes: cl.Received})
+			if cl.Received >= cl.Request {
+				_ = cl.conn.Close()
+				cl.finish(nil)
+				return
+			}
+			continue
+		}
+		if err != nil {
+			// End of stream: success only if the full request
+			// arrived first.
+			if cl.Received >= cl.Request {
+				cl.finish(nil)
+			} else {
+				cl.finish(fmt.Errorf("app: %s: stream ended after %d/%d bytes: %w",
+					cl.name, cl.Received, cl.Request, err))
+			}
+			return
+		}
+		return
+	}
+}
+
+func (cl *StreamClient) finish(err error) {
+	if cl.Done {
+		return
+	}
+	cl.Done = true
+	cl.Err = err
+	cl.finished = cl.sim.Now()
+	if cl.tracer != nil {
+		if err == nil {
+			cl.tracer.EmitValue(trace.KindAppDone, cl.name, cl.Received, "received %d bytes in %v", cl.Received, cl.Elapsed())
+		} else {
+			cl.tracer.Emit(trace.KindAppDone, cl.name, "failed after %d bytes: %v", cl.Received, err)
+		}
+	}
+	if cl.OnDone != nil {
+		cl.OnDone(err)
+	}
+}
+
+// Elapsed is the transfer duration (through completion, or until now).
+func (cl *StreamClient) Elapsed() time.Duration {
+	end := cl.finished
+	if end.IsZero() {
+		end = cl.sim.Now()
+	}
+	return end.Sub(cl.started)
+}
+
+// Progress returns the fraction of the request received, in [0, 1] — the
+// pie chart's angle.
+func (cl *StreamClient) Progress() float64 {
+	if cl.Request == 0 {
+		return 1
+	}
+	return float64(cl.Received) / float64(cl.Request)
+}
+
+// MaxGap returns the largest interval between consecutive progress samples
+// (including from start to the first sample): the client-visible stall a
+// failover causes. around reports the midpoint of that gap.
+func (cl *StreamClient) MaxGap() (gap time.Duration, around time.Time) {
+	prev := cl.started
+	if prev.IsZero() && len(cl.Samples) > 0 {
+		prev = cl.Samples[0].Time
+	}
+	for _, s := range cl.Samples {
+		if d := s.Time.Sub(prev); d > gap {
+			gap = d
+			around = prev.Add(d / 2)
+		}
+		prev = s.Time
+	}
+	return gap, around
+}
+
+// GapAfter returns the stall the client observed around time t: the
+// interval between the last delivery at or before t and the first delivery
+// after t. It reports false if no delivery followed t.
+func (cl *StreamClient) GapAfter(t time.Time) (time.Duration, bool) {
+	last := cl.started
+	for _, s := range cl.Samples {
+		if s.Time.After(t) {
+			return s.Time.Sub(last), true
+		}
+		last = s.Time
+	}
+	return 0, false
+}

@@ -1,0 +1,286 @@
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// EchoServer echoes every received byte back to the client. Because it
+// continuously reads *and* writes, it is the workload on which the
+// application-lag failure detector (§4.2.1) and the NIC-failure client-data
+// criterion (§4.3) are exercised.
+type EchoServer struct {
+	name   string
+	tracer *trace.Recorder
+
+	crashed bool
+	conns   map[*tcp.Conn]*echoState
+
+	// BytesEchoed totals bytes written back.
+	BytesEchoed int64
+}
+
+type echoState struct {
+	pending []byte // read but not yet written back
+}
+
+// NewEchoServer builds an echo server.
+func NewEchoServer(name string, tracer *trace.Recorder) *EchoServer {
+	return &EchoServer{name: name, tracer: tracer, conns: make(map[*tcp.Conn]*echoState)}
+}
+
+// Accept adopts an established connection.
+func (s *EchoServer) Accept(c *tcp.Conn) {
+	st := &echoState{}
+	s.conns[c] = st
+	c.OnReadable = func() { s.pump(c, st) }
+	c.OnWritable = func() { s.pump(c, st) }
+	c.OnClose = func(error) { delete(s.conns, c) }
+	s.pump(c, st)
+}
+
+// CrashSilent stops the echo loop without closing sockets (no FIN).
+func (s *EchoServer) CrashSilent() {
+	s.crashed = true
+	if s.tracer != nil {
+		s.tracer.Emit(trace.KindAppCrash, s.name, "echo application crashed (no cleanup)")
+	}
+}
+
+// StartHealthBeats runs a local timer that calls beat every interval while
+// the application is healthy (the §4.2.2 watchdog mechanism).
+func (s *EchoServer) StartHealthBeats(sm *sim.Simulator, interval time.Duration, beat func()) {
+	sim.NewTicker(sm, interval, func() {
+		if !s.crashed {
+			beat()
+		}
+	})
+}
+
+// CrashCleanup closes every connection (FIN, or RST when abort).
+func (s *EchoServer) CrashCleanup(abort bool) {
+	s.crashed = true
+	if s.tracer != nil {
+		s.tracer.Emit(trace.KindAppCrash, s.name, "echo application crashed (cleanup, abort=%v)", abort)
+	}
+	for c := range s.conns {
+		if abort {
+			c.Abort()
+		} else {
+			_ = c.Close()
+		}
+	}
+}
+
+func (s *EchoServer) pump(c *tcp.Conn, st *echoState) {
+	if s.crashed {
+		return
+	}
+	buf := make([]byte, 16<<10)
+	for {
+		// Flush pending echo bytes first to preserve order.
+		for len(st.pending) > 0 {
+			n, err := c.Write(st.pending)
+			if err != nil {
+				return
+			}
+			if n == 0 {
+				return // send buffer full; OnWritable resumes
+			}
+			s.BytesEchoed += int64(n)
+			st.pending = st.pending[n:]
+		}
+		n, err := c.Read(buf)
+		if n == 0 {
+			if err != nil && c.PeerFINSeen() {
+				_ = c.Close() // echo everything, then mirror the close
+			}
+			return
+		}
+		st.pending = append(st.pending, buf[:n]...)
+	}
+}
+
+// EchoClient drives an echo server in ping-pong rounds: it sends a message
+// of MsgSize pattern bytes, waits for the full echo, verifies it, and
+// repeats — keeping a verifiable, client-driven byte flow in both
+// directions.
+type EchoClient struct {
+	sim    *sim.Simulator
+	stack  *tcp.Stack
+	tracer *trace.Recorder
+	name   string
+
+	service ip.Addr
+	port    uint16
+
+	// Rounds is how many ping-pong exchanges to run; MsgSize is the
+	// bytes per message.
+	Rounds  int
+	MsgSize int
+	// Gap, when non-zero, inserts a pause between rounds (driven by a
+	// timer at the *client*, so server determinism is unaffected).
+	Gap time.Duration
+
+	conn *tcp.Conn
+
+	// RoundsDone counts completed verified exchanges.
+	RoundsDone int
+	// Samples records completion time of each round.
+	Samples []ProgressSample
+	Done    bool
+	Err     error
+	// VerifyFailures counts echo mismatches (must stay 0).
+	VerifyFailures int64
+	// OnDone fires once at completion or failure.
+	OnDone func(err error)
+
+	sent     int64 // total bytes sent
+	echoed   int64 // total bytes verified
+	sendOff  int64 // pattern offset for sending
+	writeRem int   // bytes of the current message still to write
+	started  time.Time
+}
+
+// NewEchoClient builds an echo client.
+func NewEchoClient(name string, stack *tcp.Stack, service ip.Addr, port uint16, rounds, msgSize int, tracer *trace.Recorder) *EchoClient {
+	return &EchoClient{
+		sim:     stack.Sim(),
+		stack:   stack,
+		tracer:  tracer,
+		name:    name,
+		service: service,
+		port:    port,
+		Rounds:  rounds,
+		MsgSize: msgSize,
+	}
+}
+
+// Conn exposes the client's connection (nil before Start).
+func (cl *EchoClient) Conn() *tcp.Conn { return cl.conn }
+
+// Start dials and begins the first round.
+func (cl *EchoClient) Start() error {
+	c, err := cl.stack.Dial(ip.Addr{}, cl.service, cl.port)
+	if err != nil {
+		return fmt.Errorf("app: %s dial: %w", cl.name, err)
+	}
+	cl.conn = c
+	cl.started = cl.sim.Now()
+	c.OnEstablished = func() { cl.sendRound() }
+	c.OnWritable = func() { cl.continueSend() }
+	c.OnReadable = func() { cl.readable() }
+	c.OnClose = func(err error) {
+		if cl.Done {
+			return
+		}
+		if err == nil {
+			err = fmt.Errorf("app: %s: closed after %d/%d rounds", cl.name, cl.RoundsDone, cl.Rounds)
+		}
+		cl.finish(err)
+	}
+	return nil
+}
+
+func (cl *EchoClient) sendRound() {
+	if cl.Done || cl.RoundsDone >= cl.Rounds {
+		return
+	}
+	cl.writeRem = cl.MsgSize
+	cl.continueSend()
+}
+
+func (cl *EchoClient) continueSend() {
+	if cl.Done || cl.writeRem == 0 || cl.conn == nil {
+		return
+	}
+	chunk := make([]byte, 4096)
+	for cl.writeRem > 0 {
+		n := len(chunk)
+		if n > cl.writeRem {
+			n = cl.writeRem
+		}
+		FillPattern(cl.sendOff, chunk[:n])
+		written, err := cl.conn.Write(chunk[:n])
+		if err != nil {
+			cl.finish(err)
+			return
+		}
+		if written == 0 {
+			return
+		}
+		cl.sendOff += int64(written)
+		cl.sent += int64(written)
+		cl.writeRem -= written
+	}
+}
+
+func (cl *EchoClient) readable() {
+	if cl.Done || cl.conn == nil {
+		return
+	}
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := cl.conn.Read(buf)
+		if n == 0 {
+			if err != nil {
+				return
+			}
+			return
+		}
+		if bad := VerifyPattern(cl.echoed, buf[:n]); bad >= 0 {
+			cl.VerifyFailures++
+		}
+		cl.echoed += int64(n)
+		if cl.echoed >= int64(cl.RoundsDone+1)*int64(cl.MsgSize) {
+			cl.RoundsDone++
+			cl.Samples = append(cl.Samples, ProgressSample{Time: cl.sim.Now(), Bytes: cl.echoed})
+			if cl.RoundsDone >= cl.Rounds {
+				_ = cl.conn.Close()
+				cl.finish(nil)
+				return
+			}
+			if cl.Gap > 0 {
+				cl.sim.Schedule(cl.Gap, cl.sendRound)
+			} else {
+				cl.sendRound()
+			}
+		}
+	}
+}
+
+func (cl *EchoClient) finish(err error) {
+	if cl.Done {
+		return
+	}
+	cl.Done = true
+	cl.Err = err
+	if cl.tracer != nil {
+		if err == nil {
+			cl.tracer.EmitValue(trace.KindAppDone, cl.name, int64(cl.RoundsDone), "echo client done: %d rounds", cl.RoundsDone)
+		} else {
+			cl.tracer.Emit(trace.KindAppDone, cl.name, "echo client failed after %d rounds: %v", cl.RoundsDone, err)
+		}
+	}
+	if cl.OnDone != nil {
+		cl.OnDone(err)
+	}
+}
+
+// MaxGap returns the largest interval between consecutive completed rounds.
+func (cl *EchoClient) MaxGap() (gap time.Duration, around time.Time) {
+	prev := cl.started
+	for _, s := range cl.Samples {
+		if d := s.Time.Sub(prev); d > gap {
+			gap = d
+			around = prev.Add(d / 2)
+		}
+		prev = s.Time
+	}
+	return gap, around
+}

@@ -1,0 +1,35 @@
+// Package app provides the deterministic client/server applications used by
+// the paper's demonstrations: a data server streaming a verifiable byte
+// pattern (the "GUI pie chart" transfer of Demos 1 and 4), a progress-
+// tracking client, and an echo pair that keeps both directions of the
+// connection busy. ST-TCP requires the server application to be
+// deterministic — the replica on the backup must produce exactly the same
+// byte stream from the same input (paper §2) — so every application here is
+// purely reactive: it acts only on connection events, never on wall-clock
+// timers.
+package app
+
+// PatternByte is the deterministic payload byte at stream offset off. The
+// client verifies every received byte against it, which turns any
+// sequence-number mistake during failover into a hard test failure.
+func PatternByte(off int64) byte {
+	return byte(uint64(off)*131 + 7)
+}
+
+// FillPattern writes the pattern for offsets [off, off+len(p)) into p.
+func FillPattern(off int64, p []byte) {
+	for i := range p {
+		p[i] = PatternByte(off + int64(i))
+	}
+}
+
+// VerifyPattern returns the index of the first byte of p that does not
+// match the pattern starting at offset off, or -1 if all match.
+func VerifyPattern(off int64, p []byte) int {
+	for i := range p {
+		if p[i] != PatternByte(off+int64(i)) {
+			return i
+		}
+	}
+	return -1
+}

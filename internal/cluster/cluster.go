@@ -1,0 +1,186 @@
+// Package cluster models the machines of the testbed: a Host bundles a NIC,
+// an IP stack, a TCP stack, and an optional serial port, and supports the
+// fault injections the paper's demonstrations use — HW/OS crash (the host
+// goes silent on every interface) and remote power-off (the STONITH action
+// the backup performs before taking over, paper §2).
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/eth"
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/netstack"
+	"repro/internal/serial"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// Host is one simulated machine.
+type Host struct {
+	sim    *sim.Simulator
+	name   string
+	tracer *trace.Recorder
+
+	addr    ip.Addr
+	tcpOpts tcp.Options
+
+	nic    *netem.NIC
+	ns     *netstack.Stack
+	tcp    *tcp.Stack
+	serial *serial.Port
+
+	crashed   bool
+	onCrash   []func()
+	crashTime time.Time
+	reboots   int
+}
+
+// NewHost builds a machine with one NIC. ethNum seeds a stable MAC
+// address; addr is the host's own IP address.
+func NewHost(s *sim.Simulator, name string, ethNum uint32, addr ip.Addr, tcpOpts tcp.Options, tracer *trace.Recorder) *Host {
+	nic := netem.NewNIC(s, name+"/eth0", eth.MakeAddr(ethNum))
+	ns := netstack.New(s, name, nic, addr)
+	st := tcp.NewStack(s, ns, name, tcpOpts, tracer)
+	return &Host{
+		sim:     s,
+		name:    name,
+		tracer:  tracer,
+		addr:    addr,
+		tcpOpts: tcpOpts,
+		nic:     nic,
+		ns:      ns,
+		tcp:     st,
+	}
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Sim returns the simulator.
+func (h *Host) Sim() *sim.Simulator { return h.sim }
+
+// NIC returns the host's Ethernet interface.
+func (h *Host) NIC() *netem.NIC { return h.nic }
+
+// Netstack returns the host's IP stack.
+func (h *Host) Netstack() *netstack.Stack { return h.ns }
+
+// TCP returns the host's TCP stack.
+func (h *Host) TCP() *tcp.Stack { return h.tcp }
+
+// Tracer returns the shared trace recorder.
+func (h *Host) Tracer() *trace.Recorder { return h.tracer }
+
+// AttachSerial associates one end of a null-modem pair with the host.
+func (h *Host) AttachSerial(p *serial.Port) { h.serial = p }
+
+// Serial returns the host's serial port, if any.
+func (h *Host) Serial() *serial.Port { return h.serial }
+
+// ConnectToSwitch wires the host's NIC to sw and returns the link for
+// fault injection.
+func (h *Host) ConnectToSwitch(sw *netem.Switch, cfg netem.LinkConfig) *netem.Link {
+	l, _ := netem.Connect(h.sim, sw, h.nic, cfg)
+	return l
+}
+
+// OnCrash registers a callback to run when the host crashes; protocol
+// layers register their shutdown here so a dead machine stops emitting
+// heartbeats and timers.
+func (h *Host) OnCrash(fn func()) { h.onCrash = append(h.onCrash, fn) }
+
+// Crashed reports whether the host has crashed.
+func (h *Host) Crashed() bool { return h.crashed }
+
+// CrashTime returns when the host crashed (zero if it has not).
+func (h *Host) CrashTime() time.Time { return h.crashTime }
+
+// CrashHW simulates a hardware or OS crash: the NIC goes silent, the IP
+// stack stops, the serial port drops, and registered crash hooks run. This
+// is Table 1 row 1's injected failure.
+func (h *Host) CrashHW() {
+	h.crash(trace.KindHostCrash, "HW/OS crash")
+}
+
+// PowerOff is CrashHW with a power-control trace; it is what the peer's
+// STONITH action invokes.
+func (h *Host) PowerOff() {
+	h.crash(trace.KindPowerOff, "powered off by peer")
+}
+
+func (h *Host) crash(kind trace.Kind, why string) {
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	h.crashTime = h.sim.Now()
+	if h.tracer != nil {
+		h.tracer.Emit(kind, h.name, "%s", why)
+	}
+	h.nic.Fail()
+	h.ns.SetDown(true)
+	if h.serial != nil {
+		h.serial.SetDown(true)
+	}
+	for _, fn := range h.onCrash {
+		fn()
+	}
+}
+
+// FailNIC injects a NIC failure (Demo 5): the Ethernet interface goes
+// silent while the machine, its serial port, and its software keep
+// running.
+func (h *Host) FailNIC() {
+	if h.tracer != nil {
+		h.tracer.Emit(trace.KindNICFail, h.name, "NIC failed")
+	}
+	h.nic.Fail()
+}
+
+// Reboot brings a crashed machine back with freshly initialised software:
+// a clean IP stack and TCP layer on the same hardware (NIC, addresses,
+// serial wiring). All pre-crash connection state is gone, exactly as after
+// a real reboot; protocol layers must be re-created by the caller. It does
+// nothing on a live host.
+func (h *Host) Reboot() {
+	if !h.crashed {
+		return
+	}
+	h.crashed = false
+	h.crashTime = time.Time{}
+	h.onCrash = nil
+	h.reboots++
+	h.nic.Recover()
+	h.ns = netstack.New(h.sim, h.name, h.nic, h.addr)
+	h.tcp = tcp.NewStack(h.sim, h.ns, h.name, h.tcpOpts, h.tracer)
+	if h.serial != nil {
+		h.serial.SetDown(false)
+		h.serial.SetHandler(nil)
+	}
+	if h.tracer != nil {
+		h.tracer.Emit(trace.KindGeneric, h.name, "rebooted (boot #%d)", h.reboots+1)
+	}
+}
+
+// Reboots counts how many times the host has been rebooted.
+func (h *Host) Reboots() int { return h.reboots }
+
+// PowerController exposes the out-of-band power channel to a target
+// machine, modelling the remote power switch of the testbed.
+type PowerController struct {
+	target *Host
+}
+
+// NewPowerController returns a controller for target.
+func NewPowerController(target *Host) *PowerController {
+	return &PowerController{target: target}
+}
+
+// Off powers the target down.
+func (p *PowerController) Off() { p.target.PowerOff() }
+
+// Target returns the controlled host.
+func (p *PowerController) Target() *Host { return p.target }

@@ -1,0 +1,100 @@
+package eth
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := Frame{
+		Dst:     MakeAddr(2),
+		Src:     MakeAddr(1),
+		Type:    TypeIPv4,
+		Payload: []byte("hello ethernet"),
+	}
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Dst != f.Dst || got.Src != f.Src || got.Type != f.Type || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	fn := func(dst, src uint32, mcast bool, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		f := Frame{Src: MakeAddr(src), Type: TypeARP, Payload: payload}
+		if mcast {
+			f.Dst = MakeMulticastAddr(dst)
+		} else {
+			f.Dst = MakeAddr(dst)
+		}
+		raw, err := f.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		return got.Dst == f.Dst && got.Src == f.Src && got.Type == f.Type && bytes.Equal(got.Payload, f.Payload)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	f := Frame{Dst: MakeAddr(2), Src: MakeAddr(1), Type: TypeIPv4, Payload: []byte("payload")}
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for i := range raw {
+		raw[i] ^= 0x01
+		if _, err := Decode(raw); !errors.Is(err, ErrBadFCS) {
+			t.Fatalf("flip at byte %d not detected: %v", i, err)
+		}
+		raw[i] ^= 0x01
+	}
+}
+
+func TestTooShort(t *testing.T) {
+	if _, err := Decode(make([]byte, HeaderLen)); !errors.Is(err, ErrFrameTooShort) {
+		t.Fatalf("err = %v, want ErrFrameTooShort", err)
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	f := Frame{Payload: make([]byte, MaxPayload+1)}
+	if _, err := f.Encode(); !errors.Is(err, ErrFrameTooLong) {
+		t.Fatalf("err = %v, want ErrFrameTooLong", err)
+	}
+}
+
+func TestAddressClasses(t *testing.T) {
+	if MakeAddr(7).IsMulticast() {
+		t.Fatal("unicast address reports multicast")
+	}
+	if !MakeMulticastAddr(7).IsMulticast() {
+		t.Fatal("multicast address does not report multicast")
+	}
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Fatal("broadcast classification wrong")
+	}
+	if MakeAddr(1) == MakeAddr(2) {
+		t.Fatal("distinct indices produced identical addresses")
+	}
+	if MakeAddr(9).String() != "02:00:00:00:00:09" {
+		t.Fatalf("String = %q", MakeAddr(9).String())
+	}
+}

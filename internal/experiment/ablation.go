@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+)
+
+// RunBackupNICLoad measures the backup NIC's receive volume during a
+// 16 MiB failure-free download, either with the enhanced design (§3: the
+// backup receives only client→server traffic plus heartbeats) or with the
+// pre-enhancement tap in which primary→client traffic also reaches the
+// backup's NIC — the overload that motivated the design change.
+func RunBackupNICLoad(seed int64, tapBothDirections bool) (int64, error) {
+	tb := Build(Options{Seed: seed, TapBothDirections: tapBothDirections})
+	if err := tb.StartSTTCP(0, nil); err != nil {
+		return 0, err
+	}
+	attachDataServers(tb)
+	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 16<<20, tb.Tracer)
+	if err := cl.Start(); err != nil {
+		return 0, err
+	}
+	if err := tb.Run(2 * time.Minute); err != nil {
+		return 0, err
+	}
+	if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
+		return 0, fmt.Errorf("experiment: ablation transfer failed (tap=%v): %v", tapBothDirections, cl.Err)
+	}
+	return tb.Backup.NIC().RxBytes, nil
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteDemo2CSV writes the Demo 2 series (heartbeat period, detection,
+// failover) as CSV for plotting.
+func WriteDemo2CSV(w io.Writer, results []FailoverResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hb_period_ms", "detection_ms", "failover_ms"}); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, r := range results {
+		rec := []string{
+			ms(r.HBPeriod), ms(r.DetectionTime), ms(r.FailoverTime),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCapacityCSV writes the serial-capacity sweep as CSV.
+func WriteCapacityCSV(w io.Writer, results []SerialCapacityResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"conns", "hb_bytes", "mean_interval_ms", "max_backlog_ms", "saturated"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, r := range results {
+		rec := []string{
+			strconv.Itoa(r.Conns),
+			strconv.Itoa(r.MessageBytes),
+			ms(r.MeanInterval),
+			ms(r.MaxQueueDelay),
+			strconv.FormatBool(r.Saturated),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteProgressCSV writes a client progress series (the pie chart) as CSV
+// with times relative to start.
+func WriteProgressCSV(w io.Writer, r FailoverResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"elapsed_ms", "bytes", "fraction"}); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, s := range r.Progress {
+		frac := 0.0
+		if r.TotalBytes > 0 {
+			frac = float64(s.Bytes) / float64(r.TotalBytes)
+		}
+		rec := []string{
+			ms(s.Time.Sub(r.StartAt)),
+			strconv.FormatInt(s.Bytes, 10),
+			strconv.FormatFloat(frac, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64)
+}

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+)
+
+func TestWriteDemo2CSV(t *testing.T) {
+	results := []FailoverResult{
+		{HBPeriod: 200 * time.Millisecond, DetectionTime: 550 * time.Millisecond, FailoverTime: 601 * time.Millisecond},
+		{HBPeriod: time.Second, DetectionTime: 2550 * time.Millisecond, FailoverTime: 3 * time.Second},
+	}
+	var buf bytes.Buffer
+	if err := WriteDemo2CSV(&buf, results); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[1][0] != "200.000" || records[2][2] != "3000.000" {
+		t.Fatalf("values: %v", records)
+	}
+}
+
+func TestWriteCapacityCSV(t *testing.T) {
+	results := []SerialCapacityResult{
+		{Conns: 50, MessageBytes: 1665, MeanInterval: 200 * time.Millisecond},
+		{Conns: 100, MessageBytes: 3315, MeanInterval: 288 * time.Millisecond, MaxQueueDelay: 4 * time.Second, Saturated: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteCapacityCSV(&buf, results); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "conns,hb_bytes") || !strings.Contains(out, "100,3315,288.000,4000.000,true") {
+		t.Fatalf("csv:\n%s", out)
+	}
+}
+
+func TestWriteProgressCSV(t *testing.T) {
+	tb := Build(Options{Seed: 1})
+	start := tb.Sim.Now()
+	r := FailoverResult{
+		StartAt:    start,
+		TotalBytes: 1000,
+		Progress: []app.ProgressSample{
+			{Time: start.Add(10 * time.Millisecond), Bytes: 250},
+			{Time: start.Add(20 * time.Millisecond), Bytes: 1000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteProgressCSV(&buf, r); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !strings.Contains(buf.String(), "10.000,250,0.250000") {
+		t.Fatalf("csv:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/sttcp"
+)
+
+// TestFailoverFuzz sweeps the crash instant across the whole life of a
+// transfer — during the handshake, mid-stream, near completion — for both
+// HW crashes and silent application crashes. Every run must end with the
+// client completing a verified transfer. This is the transparency claim
+// stress-tested against timing windows.
+func TestFailoverFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(99))
+	const runs = 24
+	for i := 0; i < runs; i++ {
+		seed := int64(1000 + i)
+		crashAt := time.Duration(rng.Int63n(int64(1200 * time.Millisecond)))
+		hwCrash := rng.Intn(2) == 0
+		name := "app"
+		if hwCrash {
+			name = "hw"
+		}
+		t.Run(name+"@"+crashAt.Round(time.Millisecond).String(), func(t *testing.T) {
+			tb := Build(Options{Seed: seed})
+			if err := tb.StartSTTCP(0, nil); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			apps := attachDataServers(tb)
+			cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 8<<20, tb.Tracer)
+			if err := cl.Start(); err != nil {
+				t.Fatalf("client: %v", err)
+			}
+			tb.Sim.Schedule(crashAt, func() {
+				if hwCrash {
+					tb.Primary.CrashHW()
+				} else {
+					apps.primary.CrashSilent()
+				}
+			})
+			if err := tb.Run(5 * time.Minute); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
+				t.Fatalf("crash=%v at %v: done=%v err=%v verify=%d received=%d\n%s",
+					name, crashAt, cl.Done, cl.Err, cl.VerifyFailures, cl.Received,
+					tailStr(tb.Tracer.Dump()))
+			}
+			// A HW crash is always detected (heartbeat loss). An
+			// application crash that lands after the primary app
+			// already wrote the whole response is unobservable —
+			// TCP drains the send buffer regardless — so no
+			// failover is required as long as the client finished.
+			if hwCrash && tb.BackupNode.State() != sttcp.StateTakenOver {
+				t.Fatalf("no takeover (crash=%v at %v); backup=%v", name, crashAt, tb.BackupNode.State())
+			}
+		})
+	}
+}
+
+// TestTransientFaultFuzz sweeps short inbound-drop windows on either
+// server's link across random instants; none may cause a failover, and the
+// client must always complete (Table 1 row 5 generalised).
+func TestTransientFaultFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(7))
+	const runs = 16
+	for i := 0; i < runs; i++ {
+		seed := int64(2000 + i)
+		at := time.Duration(rng.Int63n(int64(1500 * time.Millisecond)))
+		dur := time.Duration(rng.Int63n(int64(350*time.Millisecond))) + 50*time.Millisecond
+		atBackup := rng.Intn(2) == 0
+		where := "primary"
+		if atBackup {
+			where = "backup"
+		}
+		t.Run(where+"@"+at.Round(time.Millisecond).String(), func(t *testing.T) {
+			tb := Build(Options{Seed: seed})
+			if err := tb.StartSTTCP(0, nil); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			pSrv := app.NewEchoServer("primary/app", tb.Tracer)
+			bSrv := app.NewEchoServer("backup/app", tb.Tracer)
+			tb.PrimaryNode.OnAccept = pSrv.Accept
+			tb.BackupNode.OnAccept = bSrv.Accept
+			cl := app.NewEchoClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 600, 1024, tb.Tracer)
+			cl.Gap = 3 * time.Millisecond
+			if err := cl.Start(); err != nil {
+				t.Fatalf("client: %v", err)
+			}
+			tb.Sim.Schedule(at, func() {
+				if atBackup {
+					tb.BackupLink.DropFromBFor(dur)
+				} else {
+					tb.PrimaryLink.DropFromBFor(dur)
+				}
+			})
+			if err := tb.Run(5 * time.Minute); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
+				t.Fatalf("drop %v@%v on %s: done=%v err=%v rounds=%d\n%s",
+					dur, at, where, cl.Done, cl.Err, cl.RoundsDone, tailStr(tb.Tracer.Dump()))
+			}
+			if tb.PrimaryNode.State() != sttcp.StateActive || tb.BackupNode.State() != sttcp.StateActive {
+				t.Fatalf("transient %v@%v on %s caused a failover: primary=%v backup=%v reason=%q%q\n%s",
+					dur, at, where, tb.PrimaryNode.State(), tb.BackupNode.State(),
+					tb.PrimaryNode.FailoverReason, tb.BackupNode.FailoverReason,
+					tailStr(tb.Tracer.Dump()))
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/ip"
+	"repro/internal/sttcp"
+	"repro/internal/tcp"
+)
+
+// Lifecycle drives the repair loop on a testbed: it tracks which machine
+// currently holds the primary role, crashes it, verifies the takeover,
+// reboots it, and rejoins it as the new backup — restoring fault tolerance
+// for the next round. It exists so tests, examples, and benchmarks can run
+// arbitrarily many failover generations.
+type Lifecycle struct {
+	tb *Testbed
+
+	// The two server machines and their current sttcp nodes.
+	hostA, hostB *cluster.Host
+	nodeA, nodeB *sttcp.Node
+
+	// primaryIsA tracks which side currently serves as primary.
+	primaryIsA bool
+
+	// Generations counts completed crash→rejoin cycles.
+	Generations int
+}
+
+// NewLifecycle wraps a started testbed (StartSTTCP must have succeeded).
+func NewLifecycle(tb *Testbed) *Lifecycle {
+	return &Lifecycle{
+		tb:         tb,
+		hostA:      tb.Primary,
+		hostB:      tb.Backup,
+		nodeA:      tb.PrimaryNode,
+		nodeB:      tb.BackupNode,
+		primaryIsA: true,
+	}
+}
+
+// PrimaryHost returns the machine currently serving as primary.
+func (lc *Lifecycle) PrimaryHost() *cluster.Host {
+	if lc.primaryIsA {
+		return lc.hostA
+	}
+	return lc.hostB
+}
+
+// BackupNode returns the node currently in the backup role.
+func (lc *Lifecycle) BackupNode() *sttcp.Node {
+	if lc.primaryIsA {
+		return lc.nodeB
+	}
+	return lc.nodeA
+}
+
+// PrimaryNode returns the node currently in the primary role.
+func (lc *Lifecycle) PrimaryNode() *sttcp.Node {
+	if lc.primaryIsA {
+		return lc.nodeA
+	}
+	return lc.nodeB
+}
+
+func (lc *Lifecycle) backupHost() *cluster.Host {
+	if lc.primaryIsA {
+		return lc.hostB
+	}
+	return lc.hostA
+}
+
+func addrOf(h *cluster.Host) ip.Addr { return h.Netstack().Addr() }
+
+// CrashPrimary kills the current primary machine.
+func (lc *Lifecycle) CrashPrimary() { lc.PrimaryHost().CrashHW() }
+
+// Reintegrate reboots the dead machine and rejoins it as the new backup of
+// the (by now promoted) survivor, completing one generation. newApp is
+// invoked to build the application replica for the rejoined node.
+func (lc *Lifecycle) Reintegrate(newApp func(name string) func(*tcp.Conn)) error {
+	dead := lc.PrimaryHost()
+	survivorNode := lc.BackupNode()
+	if survivorNode.State() != sttcp.StateTakenOver {
+		return fmt.Errorf("experiment: survivor state %v, want taken-over", survivorNode.State())
+	}
+	dead.Reboot()
+	if err := survivorNode.EnableReplication(addrOf(dead), cluster.NewPowerController(dead)); err != nil {
+		return fmt.Errorf("experiment: enable replication: %w", err)
+	}
+	cfg := lc.tb.NodeConfig(addrOf(lc.backupHost()), 0)
+	// lc.backupHost() still points at the survivor's machine here; the
+	// new node's peer is the survivor.
+	cfg.PeerAddr = addrOf(survivorNode.Host())
+	fresh, err := sttcp.NewNode(dead, sttcp.RoleBackup, cfg, cluster.NewPowerController(survivorNode.Host()))
+	if err != nil {
+		return fmt.Errorf("experiment: new backup node: %w", err)
+	}
+	fresh.OnAccept = newApp(dead.Name() + "/app")
+	if err := fresh.Start(); err != nil {
+		return fmt.Errorf("experiment: start rejoined backup: %w", err)
+	}
+	// Swap roles: the survivor is the primary now, the rebooted machine
+	// the backup.
+	if lc.primaryIsA {
+		lc.nodeA = fresh
+	} else {
+		lc.nodeB = fresh
+	}
+	lc.primaryIsA = !lc.primaryIsA
+	lc.Generations++
+	return nil
+}
+
+// RunTransfer starts one verified download against the service and runs
+// the simulation until it completes or deadline passes.
+func (lc *Lifecycle) RunTransfer(size int64, deadline time.Duration) (*app.StreamClient, error) {
+	cl := app.NewStreamClient("client/app", lc.tb.Client.TCP(), ServiceAddr, ServicePort, size, lc.tb.Tracer)
+	if err := cl.Start(); err != nil {
+		return nil, err
+	}
+	if err := lc.tb.Run(deadline); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/sttcp"
+	"repro/internal/trace"
+)
+
+// TestReintegrationDoubleFailover exercises the full repair lifecycle:
+//
+//  1. the primary crashes mid-transfer; the backup takes over (failover #1);
+//  2. the crashed machine is rebooted and rejoins as the *new backup* of
+//     the promoted server (EnableReplication + a fresh backup-role node);
+//  3. a new client connection is accepted — now replicated again;
+//  4. the promoted server crashes; the rejoined machine takes over
+//     (failover #2) and the new connection survives transparently.
+//
+// The paper stops at a single failover; this is the obvious production
+// question it leaves open ("what restores fault tolerance afterwards?").
+func TestReintegrationDoubleFailover(t *testing.T) {
+	tb := Build(Options{Seed: 121})
+	if err := tb.StartSTTCP(0, nil); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	apps := attachDataServers(tb)
+	_ = apps
+
+	// Phase 1: a transfer across the first failover.
+	first := app.NewStreamClient("client/first", tb.Client.TCP(), ServiceAddr, ServicePort, 4<<20, tb.Tracer)
+	if err := first.Start(); err != nil {
+		t.Fatalf("first client: %v", err)
+	}
+	tb.Sim.Schedule(300*time.Millisecond, tb.Primary.CrashHW)
+	if err := tb.Run(5 * time.Second); err != nil {
+		t.Fatalf("phase 1: %v", err)
+	}
+	if tb.BackupNode.State() != sttcp.StateTakenOver {
+		t.Fatalf("no first takeover: %v", tb.BackupNode.State())
+	}
+	if !first.Done || first.Err != nil || first.VerifyFailures != 0 {
+		t.Fatalf("first transfer: done=%v err=%v", first.Done, first.Err)
+	}
+
+	// Phase 2: repair and reintegration. The promoted node (on the old
+	// backup machine) becomes the primary of a fresh pair; the rebooted
+	// original primary machine hosts the new backup-role node.
+	tb.Primary.Reboot()
+	newBackupApp := app.NewDataServer("primary/app2", tb.Tracer) // same deterministic app, fresh instance
+	promoted := tb.BackupNode
+
+	rebootedPower := cluster.NewPowerController(tb.Primary)
+	promotedPower := cluster.NewPowerController(tb.Backup)
+
+	if err := promoted.EnableReplication(PrimaryAddr, rebootedPower); err != nil {
+		t.Fatalf("enable replication: %v", err)
+	}
+	newBackupCfg := tb.NodeConfig(BackupAddr, 0)
+	newBackup, err := sttcp.NewNode(tb.Primary, sttcp.RoleBackup, newBackupCfg, promotedPower)
+	if err != nil {
+		t.Fatalf("new backup node: %v", err)
+	}
+	newBackup.OnAccept = newBackupApp.Accept
+	if err := newBackup.Start(); err != nil {
+		t.Fatalf("start new backup: %v", err)
+	}
+
+	// Give the fresh pair a moment of quiet operation; nothing may be
+	// suspected during reintegration.
+	before := tb.Tracer.Count(trace.KindSuspect)
+	if err := tb.Run(2 * time.Second); err != nil {
+		t.Fatalf("phase 2: %v", err)
+	}
+	if got := tb.Tracer.Count(trace.KindSuspect); got != before {
+		t.Fatalf("reintegration caused %d new suspicion(s):\n%s", got-before, tailStr(tb.Tracer.Dump()))
+	}
+	if promoted.State() != sttcp.StateActive || newBackup.State() != sttcp.StateActive {
+		t.Fatalf("pair not active after reintegration: %v/%v", promoted.State(), newBackup.State())
+	}
+
+	// Phase 3: a new, replicated connection across the second failover.
+	second := app.NewStreamClient("client/second", tb.Client.TCP(), ServiceAddr, ServicePort, 8<<20, tb.Tracer)
+	if err := second.Start(); err != nil {
+		t.Fatalf("second client: %v", err)
+	}
+	tb.Sim.Schedule(300*time.Millisecond, tb.Backup.CrashHW) // kill the promoted server
+	if err := tb.Run(5 * time.Minute); err != nil {
+		t.Fatalf("phase 3: %v", err)
+	}
+	if newBackup.State() != sttcp.StateTakenOver {
+		t.Fatalf("no second takeover: %v (reason=%q)\n%s",
+			newBackup.State(), newBackup.FailoverReason, tailStr(tb.Tracer.Dump()))
+	}
+	if !second.Done || second.Err != nil || second.VerifyFailures != 0 {
+		t.Fatalf("second transfer across failover #2: done=%v err=%v received=%d\n%s",
+			second.Done, second.Err, second.Received, tailStr(tb.Tracer.Dump()))
+	}
+	if takeovers := tb.Tracer.Count(trace.KindTakeover); takeovers != 2 {
+		t.Fatalf("takeovers = %d, want 2", takeovers)
+	}
+}
+
+// TestReintegrationLocalOnlyConnections checks the stated limitation: a
+// connection accepted while the server ran alone is served fine but is not
+// replicated to the rejoined backup, and the heartbeat does not advertise
+// it.
+func TestReintegrationLocalOnlyConnections(t *testing.T) {
+	tb := Build(Options{Seed: 122})
+	if err := tb.StartSTTCP(0, nil); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	attachDataServers(tb)
+	tb.Sim.Schedule(100*time.Millisecond, tb.Primary.CrashHW)
+	if err := tb.Run(2 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// A connection opened while the promoted server runs alone.
+	lone := app.NewStreamClient("client/lone", tb.Client.TCP(), ServiceAddr, ServicePort, 64<<20, tb.Tracer)
+	if err := lone.Start(); err != nil {
+		t.Fatalf("lone client: %v", err)
+	}
+	if err := tb.Run(500 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Rejoin.
+	tb.Primary.Reboot()
+	promoted := tb.BackupNode
+	if err := promoted.EnableReplication(PrimaryAddr, cluster.NewPowerController(tb.Primary)); err != nil {
+		t.Fatalf("enable replication: %v", err)
+	}
+	newBackup, err := sttcp.NewNode(tb.Primary, sttcp.RoleBackup, tb.NodeConfig(BackupAddr, 0), cluster.NewPowerController(tb.Backup))
+	if err != nil {
+		t.Fatalf("new backup: %v", err)
+	}
+	newBackupApp := app.NewDataServer("primary/app2", tb.Tracer)
+	newBackup.OnAccept = newBackupApp.Accept
+	if err := newBackup.Start(); err != nil {
+		t.Fatalf("start new backup: %v", err)
+	}
+	if err := tb.Run(10 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The lone transfer completes on the promoted server...
+	if !lone.Done || lone.Err != nil || lone.VerifyFailures != 0 {
+		t.Fatalf("lone transfer: done=%v err=%v", lone.Done, lone.Err)
+	}
+	// ...but the rejoined backup never saw it.
+	if n := len(newBackup.Conns()); n != 0 {
+		t.Fatalf("rejoined backup adopted %d local-only connection(s)", n)
+	}
+	// And nobody was suspected.
+	if tb.Tracer.Count(trace.KindSuspect) > 1 { // 1 from the original crash
+		t.Fatalf("local-only connection caused suspicion:\n%s", tailStr(tb.Tracer.Dump()))
+	}
+}

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/sttcp"
+	"repro/internal/trace"
+)
+
+// TestManyConnectionsFailover replicates 50 concurrent connections — enough
+// that the heartbeat no longer fits one UDP datagram (43 entries) or one
+// serial frame, exercising heartbeat fragmentation on both links — and
+// crashes the primary mid-stream. Every transfer must survive.
+func TestManyConnectionsFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short")
+	}
+	tb := Build(Options{Seed: 91})
+	if err := tb.StartSTTCP(0, nil); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	attachDataServers(tb)
+	const conns = 50
+	var clients []*app.StreamClient
+	for i := 0; i < conns; i++ {
+		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 256<<10, tb.Tracer)
+		if err := cl.Start(); err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		clients = append(clients, cl)
+	}
+	// Let all 50 establish and replicate, then crash.
+	tb.Sim.Schedule(time.Second, tb.Primary.CrashHW)
+	if err := tb.Run(5 * time.Minute); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, cl := range clients {
+		if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
+			t.Fatalf("client %d: done=%v err=%v received=%d verify=%d",
+				i, cl.Done, cl.Err, cl.Received, cl.VerifyFailures)
+		}
+	}
+	if tb.BackupNode.State() != sttcp.StateTakenOver {
+		t.Fatalf("backup state %v", tb.BackupNode.State())
+	}
+	if e, ok := tb.Tracer.First(trace.KindTakeover); ok {
+		t.Logf("takeover: %s", e.Message)
+	}
+}
+
+// TestNICFailureWithDeadGateway kills the gateway before failing the
+// primary's NIC: ping arbitration yields no verdict (both sides fail), so
+// the diagnosis must fall back to the client-data criterion — and still
+// pick the right side.
+func TestNICFailureWithDeadGateway(t *testing.T) {
+	tb := Build(Options{Seed: 92})
+	if err := tb.StartSTTCP(0, nil); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	pSrv := app.NewEchoServer("primary/app", tb.Tracer)
+	bSrv := app.NewEchoServer("backup/app", tb.Tracer)
+	tb.PrimaryNode.OnAccept = pSrv.Accept
+	tb.BackupNode.OnAccept = bSrv.Accept
+	cl := app.NewEchoClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 3000, 1024, tb.Tracer)
+	cl.Gap = 3 * time.Millisecond
+	if err := cl.Start(); err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	tb.Sim.Schedule(1500*time.Millisecond, tb.Gateway.CrashHW)
+	tb.Sim.Schedule(2*time.Second, tb.Primary.FailNIC)
+	if err := tb.Run(5 * time.Minute); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if tb.BackupNode.State() != sttcp.StateTakenOver {
+		t.Fatalf("backup state %v (reason=%q)\n%s",
+			tb.BackupNode.State(), tb.BackupNode.FailoverReason, tailStr(tb.Tracer.Dump()))
+	}
+	if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
+		t.Fatalf("client: done=%v err=%v rounds=%d", cl.Done, cl.Err, cl.RoundsDone)
+	}
+	t.Logf("diagnosed without gateway: %s", tb.BackupNode.FailoverReason)
+}
+
+// TestNonFTPrimaryKeepsServing: after the backup is declared failed, the
+// primary continues serving existing and new connections without
+// replication.
+func TestNonFTPrimaryKeepsServing(t *testing.T) {
+	tb := Build(Options{Seed: 93})
+	if err := tb.StartSTTCP(0, nil); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	attachDataServers(tb)
+	first := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 8<<20, tb.Tracer)
+	if err := first.Start(); err != nil {
+		t.Fatalf("first client: %v", err)
+	}
+	tb.Sim.Schedule(300*time.Millisecond, tb.Backup.CrashHW)
+
+	var second *app.StreamClient
+	tb.Sim.Schedule(2*time.Second, func() {
+		second = app.NewStreamClient("client/app2", tb.Client.TCP(), ServiceAddr, ServicePort, 2<<20, tb.Tracer)
+		if err := second.Start(); err != nil {
+			t.Errorf("second client: %v", err)
+		}
+	})
+	if err := tb.Run(2 * time.Minute); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if tb.PrimaryNode.State() != sttcp.StateNonFT {
+		t.Fatalf("primary state %v", tb.PrimaryNode.State())
+	}
+	if !first.Done || first.Err != nil || first.VerifyFailures != 0 {
+		t.Fatalf("first client: done=%v err=%v", first.Done, first.Err)
+	}
+	if second == nil || !second.Done || second.Err != nil || second.VerifyFailures != 0 {
+		t.Fatalf("second client in non-FT mode failed")
+	}
+}
+
+// TestTimelineHelpers covers the pie-chart rendering used by the demo CLI.
+func TestTimelineHelpers(t *testing.T) {
+	tb := Build(Options{Seed: 94})
+	start := tb.Sim.Now()
+	samples := []app.ProgressSample{
+		{Time: start.Add(100 * time.Millisecond), Bytes: 25},
+		{Time: start.Add(200 * time.Millisecond), Bytes: 50},
+		{Time: start.Add(500 * time.Millisecond), Bytes: 100},
+	}
+	tl := ProgressTimeline(samples, 100, start, start.Add(500*time.Millisecond), 100*time.Millisecond)
+	want := []float64{0, 0.25, 0.5, 0.5, 0.5, 1}
+	if len(tl) != len(want) {
+		t.Fatalf("timeline = %v", tl)
+	}
+	for i := range want {
+		if tl[i] != want[i] {
+			t.Fatalf("timeline[%d] = %v, want %v (%v)", i, tl[i], want[i], tl)
+		}
+	}
+	if s := FormatTimeline(tl); len(s) == 0 || s == "(no samples)" {
+		t.Fatalf("format = %q", s)
+	}
+	if FormatTimeline(nil) != "(no samples)" {
+		t.Fatal("empty format")
+	}
+	if got := ProgressTimeline(nil, 0, start, start, 0); got != nil {
+		t.Fatal("degenerate timeline not nil")
+	}
+}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+)
+
+// Stats summarises a sample of durations.
+type Stats struct {
+	N              int
+	Min, Mean, Max time.Duration
+}
+
+func computeStats(samples []time.Duration) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	s := Stats{N: len(samples), Min: samples[0], Max: samples[0]}
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = sum / time.Duration(len(samples))
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("min %v / mean %v / max %v (n=%d)",
+		s.Min.Round(time.Millisecond), s.Mean.Round(time.Millisecond), s.Max.Round(time.Millisecond), s.N)
+}
+
+// Demo2Distribution is the sampled failover behaviour at one heartbeat
+// period.
+type Demo2Distribution struct {
+	HBPeriod  time.Duration
+	Detection Stats
+	Failover  Stats
+}
+
+// RunDemo2Sampled measures the detection- and failover-time distribution
+// at one heartbeat period by sweeping the crash instant across a full
+// heartbeat interval. The phase of the crash relative to the heartbeat
+// schedule is the dominant source of variance on a deterministic testbed:
+// detection lands between (timeout) and (timeout + one period) after the
+// crash, and the restart is further quantised by the retransmission
+// backoff schedule.
+func RunDemo2Sampled(seed int64, period time.Duration, samples int) (Demo2Distribution, error) {
+	out := Demo2Distribution{HBPeriod: period}
+	if samples < 1 {
+		samples = 1
+	}
+	var detects, failovers []time.Duration
+	for i := 0; i < samples; i++ {
+		offset := period * time.Duration(i) / time.Duration(samples)
+		tb := Build(Options{Seed: seed + int64(i)})
+		if err := tb.StartSTTCP(period, nil); err != nil {
+			return out, err
+		}
+		attachDataServers(tb)
+		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 32<<20, tb.Tracer)
+		if err := cl.Start(); err != nil {
+			return out, err
+		}
+		crashAt := tb.Sim.Now().Add(700*time.Millisecond + offset)
+		tb.Sim.At(crashAt, tb.Primary.CrashHW)
+		if err := tb.Run(10 * time.Minute); err != nil {
+			return out, err
+		}
+		if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
+			return out, fmt.Errorf("experiment: demo2 sample %d failed: %v", i, cl.Err)
+		}
+		r := FailoverResult{CrashAt: crashAt}
+		fillFailoverTimes(&r, tb, cl.MaxGap)
+		detects = append(detects, r.DetectionTime)
+		failovers = append(failovers, r.FailoverTime)
+	}
+	out.Detection = computeStats(detects)
+	out.Failover = computeStats(failovers)
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/sttcp"
+)
+
+// TestTable1Scenarios runs all ten single-failure cases of the paper's
+// Table 1 and checks the recovery action in the rightmost column:
+// failures at the primary end in a backup takeover, failures at the backup
+// end with the primary in non-fault-tolerant mode, and temporary network
+// failures are absorbed with both nodes still active. In every case the
+// client workload must complete with verified bytes.
+func TestTable1Scenarios(t *testing.T) {
+	for i, sc := range Scenarios {
+		sc := sc
+		seed := int64(100 + i)
+		t.Run(sc.String(), func(t *testing.T) {
+			res, err := RunScenario(seed, sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.ClientOK {
+				t.Fatalf("client workload failed: %v\n%s", res.ClientErr, tail(res))
+			}
+			switch {
+			case sc.ExpectTakeover():
+				if res.BackupState != sttcp.StateTakenOver {
+					t.Fatalf("backup state %v, want taken-over (reason=%q)\n%s", res.BackupState, res.Reason, tail(res))
+				}
+				if !res.PrimaryDead {
+					t.Fatalf("primary not powered down before takeover\n%s", tail(res))
+				}
+				if res.DetectionTime <= 0 {
+					t.Fatalf("no suspect event recorded")
+				}
+			case sc.ExpectNonFT():
+				if res.PrimaryState != sttcp.StateNonFT {
+					t.Fatalf("primary state %v, want non-FT (reason=%q)\n%s", res.PrimaryState, res.Reason, tail(res))
+				}
+				if !res.BackupDead {
+					t.Fatalf("backup not shut down\n%s", tail(res))
+				}
+			default: // row 5: temporary network failure
+				if res.PrimaryState != sttcp.StateActive || res.BackupState != sttcp.StateActive {
+					t.Fatalf("row 5 must not fail over: primary=%v backup=%v (reason=%q)\n%s",
+						res.PrimaryState, res.BackupState, res.Reason, tail(res))
+				}
+				if sc == TempNetFailBackup && res.RecoveryEvents == 0 {
+					t.Fatalf("backup never ran missed-byte recovery\n%s", tail(res))
+				}
+			}
+			if sc == AppCrashFINPrimary && !res.FINDelayed {
+				t.Errorf("primary FIN was not gated (MaxDelayFIN machinery did not engage)")
+			}
+			if sc == AppCrashFINBackup && !res.FINSuppressed {
+				t.Errorf("backup FIN disagreement was not flagged at the primary")
+			}
+		})
+	}
+}
+
+func tail(res ScenarioResult) string {
+	s := res.Tracer.Dump()
+	if len(s) > 4000 {
+		s = s[len(s)-4000:]
+	}
+	return s
+}

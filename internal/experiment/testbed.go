@@ -1,0 +1,258 @@
+// Package experiment reproduces the paper's experimental setup (Figure 2)
+// and its five planned demonstrations plus the Table 1 failure matrix. The
+// testbed builder wires the client, gateway, primary, and backup to one
+// Ethernet switch, maps the service IP to a multicast Ethernet group so
+// both servers receive every client frame, and strings the null-modem
+// serial cable between the servers; the scenario runners inject the paper's
+// failures and measure what the client observes.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eth"
+	"repro/internal/hb"
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/serial"
+	"repro/internal/sim"
+	"repro/internal/sttcp"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// Topology constants (the addresses of Figure 2).
+var (
+	ClientAddr  = ip.MakeAddr(10, 0, 0, 1)
+	PrimaryAddr = ip.MakeAddr(10, 0, 0, 2)
+	BackupAddr  = ip.MakeAddr(10, 0, 0, 3)
+	LoggerAddr  = ip.MakeAddr(10, 0, 0, 4)
+	WitnessAddr = ip.MakeAddr(10, 0, 0, 5)
+	GatewayAddr = ip.MakeAddr(10, 0, 0, 254)
+	ServiceAddr = ip.MakeAddr(10, 0, 0, 100)
+)
+
+// ServicePort is the well-known service port.
+const ServicePort uint16 = 80
+
+// ServiceGroup is the multicast Ethernet address ("multiEA") the service IP
+// maps to, delivering client frames to both servers.
+var ServiceGroup = eth.MakeMulticastAddr(0x100)
+
+// ReverseGroup is a second multicast group used only by the pre-enhancement
+// tap ablation: it carries primary→client traffic to both the client and
+// the backup, recreating the old design in which the backup's NIC also
+// absorbed the server's output stream (paper §3).
+var ReverseGroup = eth.MakeMulticastAddr(0x200)
+
+// Options configure testbed construction.
+type Options struct {
+	// Seed drives all randomness in the run.
+	Seed int64
+	// LAN overrides the 100 Mbit/s default link configuration.
+	LAN *netem.LinkConfig
+	// TCP overrides stack options on every host.
+	TCP tcp.Options
+	// SerialRate overrides the 115.2 kbit/s serial line rate.
+	SerialRate int64
+	// TapBothDirections enables the pre-enhancement topology in which
+	// the backup also receives primary→client traffic (ablation).
+	TapBothDirections bool
+	// WithLogger adds the optional logger machine (§4.3's output-commit
+	// fix) to the switch, tapping the service multicast group.
+	WithLogger bool
+	// WithWitness adds a third replica (the §4.2.2 "additional backup
+	// server"): it shadows the application like the backup and gives the
+	// primary a majority vote for FIN disagreements.
+	WithWitness bool
+}
+
+// Testbed is the assembled Figure 2 network.
+type Testbed struct {
+	Sim    *sim.Simulator
+	Tracer *trace.Recorder
+	Switch *netem.Switch
+
+	Client  *cluster.Host
+	Primary *cluster.Host
+	Backup  *cluster.Host
+	Gateway *cluster.Host
+
+	ClientLink  *netem.Link
+	PrimaryLink *netem.Link
+	BackupLink  *netem.Link
+	GatewayLink *netem.Link
+
+	SerialPrimary *serial.Port
+	SerialBackup  *serial.Port
+
+	PrimaryPower *cluster.PowerController
+	BackupPower  *cluster.PowerController
+
+	PrimaryNode *sttcp.Node
+	BackupNode  *sttcp.Node
+
+	// LoggerHost and Logger are present only with Options.WithLogger.
+	LoggerHost *cluster.Host
+	Logger     *sttcp.Logger
+
+	// WitnessHost and WitnessNode are present only with
+	// Options.WithWitness.
+	WitnessHost *cluster.Host
+	WitnessNode *sttcp.Node
+}
+
+// Build constructs the testbed of Figure 2.
+func Build(opts Options) *Testbed {
+	s := sim.New(opts.Seed)
+	tracer := trace.NewRecorder(s.Now)
+	sw := netem.NewSwitch(s, "switch", 5*time.Microsecond)
+
+	lan := netem.DefaultLANConfig()
+	if opts.LAN != nil {
+		lan = *opts.LAN
+	}
+
+	tb := &Testbed{Sim: s, Tracer: tracer, Switch: sw}
+	tb.Client = cluster.NewHost(s, "client", 1, ClientAddr, opts.TCP, tracer)
+	tb.Primary = cluster.NewHost(s, "primary", 2, PrimaryAddr, opts.TCP, tracer)
+	tb.Backup = cluster.NewHost(s, "backup", 3, BackupAddr, opts.TCP, tracer)
+	tb.Gateway = cluster.NewHost(s, "gateway", 254, GatewayAddr, opts.TCP, tracer)
+
+	connect := func(h *cluster.Host) (*netem.Link, *netem.SwitchPort) {
+		return netem.Connect(s, sw, h.NIC(), lan)
+	}
+	var clientPort, primaryPort, backupPort *netem.SwitchPort
+	tb.ClientLink, clientPort = connect(tb.Client)
+	tb.PrimaryLink, primaryPort = connect(tb.Primary)
+	tb.BackupLink, backupPort = connect(tb.Backup)
+	tb.GatewayLink, _ = connect(tb.Gateway)
+
+	// serviceIP → multiEA: static ARP on the client and the gateway
+	// (Figure 2), multicast group membership on both server ports and
+	// NICs.
+	tb.Client.Netstack().ARP().AddStatic(ServiceAddr, ServiceGroup)
+	tb.Gateway.Netstack().ARP().AddStatic(ServiceAddr, ServiceGroup)
+	sw.JoinGroup(ServiceGroup, primaryPort)
+	sw.JoinGroup(ServiceGroup, backupPort)
+	tb.Primary.NIC().JoinGroup(ServiceGroup)
+	tb.Backup.NIC().JoinGroup(ServiceGroup)
+
+	if opts.TapBothDirections {
+		// Old design: the servers send client-bound service traffic
+		// to a multicast group whose members are the client and the
+		// backup, so the backup's NIC also absorbs the
+		// primary→client stream.
+		tb.Primary.Netstack().ARP().AddStatic(ClientAddr, ReverseGroup)
+		tb.Backup.Netstack().ARP().AddStatic(ClientAddr, ReverseGroup)
+		sw.JoinGroup(ReverseGroup, clientPort)
+		sw.JoinGroup(ReverseGroup, backupPort)
+		tb.Client.NIC().JoinGroup(ReverseGroup)
+		tb.Backup.NIC().JoinGroup(ReverseGroup)
+		tb.Backup.NIC().SetPromiscuous(true)
+	}
+
+	if opts.WithLogger {
+		tb.LoggerHost = cluster.NewHost(s, "logger", 9, LoggerAddr, opts.TCP, tracer)
+		_, loggerPort := netem.Connect(s, sw, tb.LoggerHost.NIC(), lan)
+		sw.JoinGroup(ServiceGroup, loggerPort)
+		tb.LoggerHost.NIC().JoinGroup(ServiceGroup)
+	}
+	if opts.WithWitness {
+		tb.WitnessHost = cluster.NewHost(s, "witness", 5, WitnessAddr, opts.TCP, tracer)
+		_, witnessPort := netem.Connect(s, sw, tb.WitnessHost.NIC(), lan)
+		sw.JoinGroup(ServiceGroup, witnessPort)
+		tb.WitnessHost.NIC().JoinGroup(ServiceGroup)
+	}
+
+	// Null-modem serial cable between the servers.
+	rate := opts.SerialRate
+	if rate == 0 {
+		rate = serial.DefaultBitsPerSecond
+	}
+	tb.SerialPrimary, tb.SerialBackup = serial.NewPair(s, "primary/ttyS0", "backup/ttyS0", rate)
+	tb.Primary.AttachSerial(tb.SerialPrimary)
+	tb.Backup.AttachSerial(tb.SerialBackup)
+
+	// Out-of-band power control (STONITH).
+	tb.PrimaryPower = cluster.NewPowerController(tb.Primary)
+	tb.BackupPower = cluster.NewPowerController(tb.Backup)
+
+	return tb
+}
+
+// NodeConfig returns the ST-TCP configuration for one of the testbed's
+// servers with the given heartbeat period (0 selects the 200 ms default).
+func (tb *Testbed) NodeConfig(peer ip.Addr, hbPeriod time.Duration) sttcp.Config {
+	cfg := sttcp.Config{
+		ServiceAddr: ServiceAddr,
+		ServicePort: ServicePort,
+		PeerAddr:    peer,
+		GatewayAddr: GatewayAddr,
+	}
+	if hbPeriod > 0 {
+		cfg.HB = hb.ExchangerConfig{Period: hbPeriod, Timeout: 3 * hbPeriod}
+	}
+	return cfg
+}
+
+// StartSTTCP brings up the primary and backup ST-TCP nodes. mutate, if
+// non-nil, adjusts each node's config before it is applied (both nodes get
+// the same mutation).
+func (tb *Testbed) StartSTTCP(hbPeriod time.Duration, mutate func(*sttcp.Config)) error {
+	pCfg := tb.NodeConfig(BackupAddr, hbPeriod)
+	bCfg := tb.NodeConfig(PrimaryAddr, hbPeriod)
+	if tb.LoggerHost != nil {
+		pCfg.LoggerAddr = LoggerAddr
+		bCfg.LoggerAddr = LoggerAddr
+	}
+	if tb.WitnessHost != nil {
+		pCfg.WitnessAddr = WitnessAddr
+	}
+	if mutate != nil {
+		mutate(&pCfg)
+		mutate(&bCfg)
+	}
+	if tb.LoggerHost != nil {
+		tb.Logger = sttcp.NewLogger(tb.LoggerHost, bCfg)
+		if err := tb.Logger.Start(); err != nil {
+			return fmt.Errorf("experiment: start logger: %w", err)
+		}
+	}
+	var err error
+	tb.PrimaryNode, err = sttcp.NewNode(tb.Primary, sttcp.RolePrimary, pCfg, tb.BackupPower)
+	if err != nil {
+		return fmt.Errorf("experiment: primary node: %w", err)
+	}
+	tb.BackupNode, err = sttcp.NewNode(tb.Backup, sttcp.RoleBackup, bCfg, tb.PrimaryPower)
+	if err != nil {
+		return fmt.Errorf("experiment: backup node: %w", err)
+	}
+	if err := tb.PrimaryNode.Start(); err != nil {
+		return fmt.Errorf("experiment: start primary: %w", err)
+	}
+	if err := tb.BackupNode.Start(); err != nil {
+		return fmt.Errorf("experiment: start backup: %w", err)
+	}
+	if tb.WitnessHost != nil {
+		wCfg := tb.NodeConfig(PrimaryAddr, hbPeriod)
+		wCfg.Witness = true
+		if mutate != nil {
+			mutate(&wCfg)
+			wCfg.Witness = true
+		}
+		tb.WitnessNode, err = sttcp.NewNode(tb.WitnessHost, sttcp.RoleBackup, wCfg, nil)
+		if err != nil {
+			return fmt.Errorf("experiment: witness node: %w", err)
+		}
+		if err := tb.WitnessNode.Start(); err != nil {
+			return fmt.Errorf("experiment: start witness: %w", err)
+		}
+	}
+	return nil
+}
+
+// Run advances the simulation by d.
+func (tb *Testbed) Run(d time.Duration) error { return tb.Sim.Run(d) }

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/sttcp"
+	"repro/internal/trace"
+)
+
+// RunWitnessConflict measures how long a primary-side FIN conflict (the
+// primary's application crashes with cleanup mid-echo; Table 1 row 3P)
+// takes to resolve, with or without the witness replica's majority vote
+// (§4.2.2). It returns the time from injection to the takeover.
+func RunWitnessConflict(seed int64, withWitness bool) (time.Duration, error) {
+	tb := Build(Options{Seed: seed, WithWitness: withWitness})
+	err := tb.StartSTTCP(0, func(c *sttcp.Config) {
+		c.MaxDelayFIN = 15 * time.Second
+	})
+	if err != nil {
+		return 0, err
+	}
+	pSrv := app.NewEchoServer("primary/app", tb.Tracer)
+	bSrv := app.NewEchoServer("backup/app", tb.Tracer)
+	tb.PrimaryNode.OnAccept = pSrv.Accept
+	tb.BackupNode.OnAccept = bSrv.Accept
+	if withWitness {
+		wSrv := app.NewEchoServer("witness/app", tb.Tracer)
+		tb.WitnessNode.OnAccept = wSrv.Accept
+	}
+	cl := app.NewEchoClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 1500, 1024, tb.Tracer)
+	cl.Gap = 5 * time.Millisecond
+	if err := cl.Start(); err != nil {
+		return 0, err
+	}
+	injectAt := tb.Sim.Now().Add(2 * time.Second)
+	tb.Sim.At(injectAt, func() { pSrv.CrashCleanup(false) })
+	if err := tb.Run(5 * time.Minute); err != nil {
+		return 0, err
+	}
+	if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
+		return 0, fmt.Errorf("experiment: witness conflict client failed: %v", cl.Err)
+	}
+	e, ok := tb.Tracer.First(trace.KindTakeover)
+	if !ok {
+		return 0, fmt.Errorf("experiment: witness conflict: no takeover")
+	}
+	return e.Time.Sub(injectAt), nil
+}

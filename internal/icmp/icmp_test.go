@@ -1,0 +1,49 @@
+package icmp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEchoRoundtrip(t *testing.T) {
+	e := Echo{Type: TypeEchoRequest, ID: 7, Seq: 3, Payload: []byte("ping")}
+	got, err := Decode(e.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Type != e.Type || got.ID != e.ID || got.Seq != e.Seq || !bytes.Equal(got.Payload, e.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, e)
+	}
+}
+
+func TestEchoRoundtripProperty(t *testing.T) {
+	fn := func(req bool, id, seq uint16, payload []byte) bool {
+		e := Echo{Type: TypeEchoReply, ID: id, Seq: seq, Payload: payload}
+		if req {
+			e.Type = TypeEchoRequest
+		}
+		got, err := Decode(e.Encode())
+		return err == nil && got.Type == e.Type && got.ID == e.ID &&
+			got.Seq == e.Seq && bytes.Equal(got.Payload, e.Payload)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	e := Echo{Type: TypeEchoRequest, ID: 1, Seq: 1, Payload: []byte("xyz")}
+	raw := e.Encode()
+	raw[HeaderLen] ^= 0x55
+	if _, err := Decode(raw); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestTooShort(t *testing.T) {
+	if _, err := Decode(make([]byte, HeaderLen-1)); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package ip implements the IPv4 packet format used by the simulated stack:
+// a 20-byte header with the Internet checksum, protocol demultiplexing, and
+// the ones-complement checksum routine shared by ICMP, UDP and TCP.
+//
+// Fragmentation is not implemented; the simulated links all carry the full
+// Ethernet MTU, as the paper's single-switch LAN testbed does.
+package ip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AddrLen is the length of an IPv4 address in bytes.
+const AddrLen = 4
+
+// Addr is an IPv4 address.
+type Addr [AddrLen]byte
+
+// MakeAddr assembles an address from its four octets.
+func MakeAddr(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IsZero reports whether the address is the unspecified address 0.0.0.0.
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// Protocol identifies the transport protocol carried in a packet.
+type Protocol uint8
+
+// Protocol numbers (IANA).
+const (
+	ProtoICMP Protocol = 1
+	ProtoTCP  Protocol = 6
+	ProtoUDP  Protocol = 17
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoICMP:
+		return "ICMP"
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// HeaderLen is the length of an IPv4 header without options; the simulated
+// stack never emits options.
+const HeaderLen = 20
+
+// MaxPayload is the largest transport payload that fits in an Ethernet
+// frame.
+const MaxPayload = 1500 - HeaderLen
+
+// DefaultTTL is the initial time-to-live of emitted packets.
+const DefaultTTL = 64
+
+// Packet decoding errors.
+var (
+	ErrPacketTooShort = errors.New("ip: packet too short")
+	ErrBadVersion     = errors.New("ip: not IPv4")
+	ErrBadChecksum    = errors.New("ip: bad header checksum")
+	ErrBadLength      = errors.New("ip: total length mismatch")
+	ErrHasOptions     = errors.New("ip: options not supported")
+	ErrTTLExpired     = errors.New("ip: TTL expired")
+)
+
+// Packet is a decoded IPv4 packet.
+type Packet struct {
+	TOS      uint8
+	ID       uint16
+	DontFrag bool
+	TTL      uint8
+	Proto    Protocol
+	Src      Addr
+	Dst      Addr
+	Payload  []byte
+}
+
+// Encode serialises the packet with a freshly computed header checksum.
+func (p *Packet) Encode() ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return nil, fmt.Errorf("ip: payload %d exceeds max %d", len(p.Payload), MaxPayload)
+	}
+	total := HeaderLen + len(p.Payload)
+	buf := make([]byte, total)
+	buf[0] = 0x45 // version 4, IHL 5
+	buf[1] = p.TOS
+	binary.BigEndian.PutUint16(buf[2:], uint16(total))
+	binary.BigEndian.PutUint16(buf[4:], p.ID)
+	if p.DontFrag {
+		buf[6] = 0x40
+	}
+	ttl := p.TTL
+	if ttl == 0 {
+		ttl = DefaultTTL
+	}
+	buf[8] = ttl
+	buf[9] = uint8(p.Proto)
+	copy(buf[12:], p.Src[:])
+	copy(buf[16:], p.Dst[:])
+	binary.BigEndian.PutUint16(buf[10:], Checksum(buf[:HeaderLen]))
+	copy(buf[HeaderLen:], p.Payload)
+	return buf, nil
+}
+
+// Decode parses and validates buf. The returned packet's payload aliases
+// buf.
+func Decode(buf []byte) (Packet, error) {
+	if len(buf) < HeaderLen {
+		return Packet{}, fmt.Errorf("%w: %d bytes", ErrPacketTooShort, len(buf))
+	}
+	if buf[0]>>4 != 4 {
+		return Packet{}, ErrBadVersion
+	}
+	if ihl := int(buf[0]&0x0f) * 4; ihl != HeaderLen {
+		return Packet{}, fmt.Errorf("%w: IHL %d", ErrHasOptions, ihl)
+	}
+	if Checksum(buf[:HeaderLen]) != 0 {
+		return Packet{}, ErrBadChecksum
+	}
+	total := int(binary.BigEndian.Uint16(buf[2:]))
+	if total < HeaderLen || total > len(buf) {
+		return Packet{}, fmt.Errorf("%w: total %d, have %d", ErrBadLength, total, len(buf))
+	}
+	var p Packet
+	p.TOS = buf[1]
+	p.ID = binary.BigEndian.Uint16(buf[4:])
+	p.DontFrag = buf[6]&0x40 != 0
+	p.TTL = buf[8]
+	p.Proto = Protocol(buf[9])
+	copy(p.Src[:], buf[12:])
+	copy(p.Dst[:], buf[16:])
+	p.Payload = buf[HeaderLen:total]
+	return p, nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum over data. Computing it
+// over a buffer that embeds a correct checksum yields zero.
+func Checksum(data []byte) uint16 {
+	return FinishChecksum(SumWords(0, data))
+}
+
+// SumWords folds data into a running 32-bit ones-complement accumulator,
+// allowing checksums over discontiguous regions (pseudo-header + segment).
+func SumWords(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// FinishChecksum folds the accumulator and returns the complemented
+// checksum.
+func FinishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderSum starts a transport checksum with the IPv4 pseudo-header
+// for the given addresses, protocol, and transport length.
+func PseudoHeaderSum(src, dst Addr, proto Protocol, length int) uint32 {
+	var sum uint32
+	sum = SumWords(sum, src[:])
+	sum = SumWords(sum, dst[:])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

@@ -1,0 +1,165 @@
+package ip
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	p := Packet{
+		TOS:     0x10,
+		ID:      1234,
+		TTL:     17,
+		Proto:   ProtoTCP,
+		Src:     MakeAddr(10, 0, 0, 1),
+		Dst:     MakeAddr(10, 0, 0, 100),
+		Payload: []byte("segment bytes"),
+	}
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Src != p.Src || got.Dst != p.Dst || got.Proto != p.Proto ||
+		got.ID != p.ID || got.TTL != p.TTL || got.TOS != p.TOS ||
+		!bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	fn := func(id uint16, src, dst [4]byte, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		p := Packet{ID: id, Proto: ProtoUDP, Src: src, Dst: dst, Payload: payload}
+		raw, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		return got.Src == p.Src && got.Dst == p.Dst && bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderCorruptionDetected(t *testing.T) {
+	p := Packet{Proto: ProtoTCP, Src: MakeAddr(1, 2, 3, 4), Dst: MakeAddr(5, 6, 7, 8), Payload: []byte("x")}
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Corrupt each header byte except the version nibble (which fails
+	// with a different error) and check the checksum catches it.
+	for i := 1; i < HeaderLen; i++ {
+		raw[i] ^= 0xff
+		if _, err := Decode(raw); err == nil {
+			t.Fatalf("corruption at header byte %d not detected", i)
+		}
+		raw[i] ^= 0xff
+	}
+}
+
+func TestDefaultTTLApplied(t *testing.T) {
+	p := Packet{Proto: ProtoICMP, Src: MakeAddr(1, 1, 1, 1), Dst: MakeAddr(2, 2, 2, 2)}
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.TTL != DefaultTTL {
+		t.Fatalf("TTL = %d, want default %d", got.TTL, DefaultTTL)
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	p := Packet{Proto: ProtoTCP, Src: MakeAddr(1, 1, 1, 1), Dst: MakeAddr(2, 2, 2, 2)}
+	raw, _ := p.Encode()
+	raw[0] = 0x65 // version 6
+	if _, err := Decode(raw); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestTooShortRejected(t *testing.T) {
+	if _, err := Decode(make([]byte, HeaderLen-1)); !errors.Is(err, ErrPacketTooShort) {
+		t.Fatalf("err = %v, want ErrPacketTooShort", err)
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	p := Packet{Payload: make([]byte, MaxPayload+1)}
+	if _, err := p.Encode(); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#04x, want %#04x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// The trailing byte is padded with zero.
+	even := Checksum([]byte{0xab, 0xcd, 0x12, 0x00})
+	odd := Checksum([]byte{0xab, 0xcd, 0x12})
+	if even != odd {
+		t.Fatalf("odd-length checksum %#04x != padded %#04x", odd, even)
+	}
+}
+
+// TestChecksumSelfVerifies property-checks that embedding the computed
+// checksum yields a verifying sum of zero.
+func TestChecksumSelfVerifies(t *testing.T) {
+	fn := func(data []byte) bool {
+		buf := make([]byte, len(data)+2)
+		copy(buf[2:], data)
+		ck := Checksum(buf)
+		buf[0], buf[1] = byte(ck>>8), byte(ck)
+		return Checksum(buf) == 0
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoHeaderSum(t *testing.T) {
+	src, dst := MakeAddr(10, 0, 0, 1), MakeAddr(10, 0, 0, 2)
+	a := FinishChecksum(PseudoHeaderSum(src, dst, ProtoTCP, 20))
+	b := FinishChecksum(PseudoHeaderSum(dst, src, ProtoTCP, 20))
+	if a != b {
+		t.Fatalf("pseudo-header sum should be symmetric in src/dst: %#04x vs %#04x", a, b)
+	}
+	c := FinishChecksum(PseudoHeaderSum(src, dst, ProtoUDP, 20))
+	if a == c {
+		t.Fatal("different protocols produced identical pseudo-header sums")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := MakeAddr(10, 0, 0, 100).String(); got != "10.0.0.100" {
+		t.Fatalf("String = %q", got)
+	}
+	if !(Addr{}).IsZero() {
+		t.Fatal("zero addr not reported zero")
+	}
+	if MakeAddr(1, 0, 0, 0).IsZero() {
+		t.Fatal("non-zero addr reported zero")
+	}
+}

@@ -1,0 +1,140 @@
+// Package netem emulates the paper's testbed network (Figure 2): full-duplex
+// Ethernet links with bandwidth and propagation delay, NICs with fault
+// injection, and a store-and-forward switch that supports the static
+// multicast Ethernet group ("multiEA") through which both the primary and
+// the backup receive every client frame.
+package netem
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Endpoint receives raw Ethernet frames from a link. Both NICs and switch
+// ports implement it.
+type Endpoint interface {
+	// DeliverFrame hands a fully received frame to the endpoint. The
+	// endpoint must not retain buf.
+	DeliverFrame(buf []byte)
+}
+
+// LinkConfig describes one full-duplex link.
+type LinkConfig struct {
+	// BitsPerSecond is the serialization rate in each direction.
+	// Zero means infinitely fast.
+	BitsPerSecond int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter) to each
+	// frame independently. Jitter larger than a frame's serialization
+	// time causes reordering, which TCP must repair.
+	Jitter time.Duration
+	// LossRate drops each frame independently with this probability.
+	LossRate float64
+}
+
+// DefaultLANConfig mimics the testbed's 100 Mbit/s switched Ethernet.
+func DefaultLANConfig() LinkConfig {
+	return LinkConfig{
+		BitsPerSecond: 100_000_000,
+		Delay:         50 * time.Microsecond,
+	}
+}
+
+// Link is a full-duplex point-to-point link between two endpoints. Each
+// direction serialises frames at the configured rate: a frame begins
+// transmission when the previous one has left the wire, and arrives one
+// propagation delay after its last bit is sent.
+type Link struct {
+	sim  *sim.Simulator
+	cfg  LinkConfig
+	a, b *linkSide
+	down bool
+
+	// Drops counts frames lost to loss-rate, drop windows, or link-down.
+	Drops int64
+	// Delivered counts frames handed to endpoints.
+	Delivered int64
+}
+
+type linkSide struct {
+	peer     Endpoint // delivery target (the *other* end)
+	nextFree time.Time
+	dropTill time.Time
+}
+
+// NewLink creates a link; attach both ends with Attach before use.
+func NewLink(s *sim.Simulator, cfg LinkConfig) *Link {
+	return &Link{sim: s, cfg: cfg, a: &linkSide{}, b: &linkSide{}}
+}
+
+// Attach wires the two endpoints to the link. Frames transmitted by a are
+// delivered to b and vice versa.
+func (l *Link) Attach(a, b Endpoint) {
+	l.a.peer = b
+	l.b.peer = a
+}
+
+// SetDown cuts or restores the cable; while down every frame in both
+// directions is silently dropped, as with an unplugged cable.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the cable is cut.
+func (l *Link) Down() bool { return l.down }
+
+// SetLossRate changes the random loss probability.
+func (l *Link) SetLossRate(p float64) { l.cfg.LossRate = p }
+
+// DropFromAFor drops all frames transmitted by endpoint A for d, modelling a
+// temporary local failure (paper Table 1 row 5: buffer overflow, transient
+// NIC trouble).
+func (l *Link) DropFromAFor(d time.Duration) { l.a.dropTill = l.sim.Now().Add(d) }
+
+// DropFromBFor drops all frames transmitted by endpoint B for d.
+func (l *Link) DropFromBFor(d time.Duration) { l.b.dropTill = l.sim.Now().Add(d) }
+
+// TransmitFromA sends buf from endpoint A toward endpoint B.
+func (l *Link) TransmitFromA(buf []byte) { l.transmit(l.a, buf) }
+
+// TransmitFromB sends buf from endpoint B toward endpoint A.
+func (l *Link) TransmitFromB(buf []byte) { l.transmit(l.b, buf) }
+
+func (l *Link) transmit(side *linkSide, buf []byte) {
+	if side.peer == nil {
+		return
+	}
+	if l.down || l.sim.Now().Before(side.dropTill) {
+		l.Drops++
+		return
+	}
+	if l.cfg.LossRate > 0 && l.sim.Rand().Float64() < l.cfg.LossRate {
+		l.Drops++
+		return
+	}
+	start := l.sim.Now()
+	if start.Before(side.nextFree) {
+		start = side.nextFree
+	}
+	var txTime time.Duration
+	if l.cfg.BitsPerSecond > 0 {
+		bits := int64(len(buf)) * 8
+		txTime = time.Duration(bits * int64(time.Second) / l.cfg.BitsPerSecond)
+	}
+	side.nextFree = start.Add(txTime)
+	arrival := side.nextFree.Add(l.cfg.Delay)
+	if l.cfg.Jitter > 0 {
+		arrival = arrival.Add(time.Duration(l.sim.Rand().Int63n(int64(l.cfg.Jitter))))
+	}
+	frame := make([]byte, len(buf))
+	copy(frame, buf)
+	peer := side.peer
+	l.sim.At(arrival, func() {
+		if l.down {
+			l.Drops++
+			return
+		}
+		l.Delivered++
+		peer.DeliverFrame(frame)
+	})
+}

@@ -1,0 +1,252 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/eth"
+	"repro/internal/sim"
+)
+
+// twoNICs wires a↔b through a switch and returns received-frame sinks.
+func twoNICs(s *sim.Simulator, cfg LinkConfig) (a, b *NIC, rxA, rxB *[]eth.Frame, sw *Switch) {
+	sw = NewSwitch(s, "sw", time.Microsecond)
+	a = NewNIC(s, "a", eth.MakeAddr(1))
+	b = NewNIC(s, "b", eth.MakeAddr(2))
+	Connect(s, sw, a, cfg)
+	Connect(s, sw, b, cfg)
+	var fa, fb []eth.Frame
+	a.SetHandler(func(f eth.Frame) { fa = append(fa, f) })
+	b.SetHandler(func(f eth.Frame) { fb = append(fb, f) })
+	return a, b, &fa, &fb, sw
+}
+
+func send(t *testing.T, n *NIC, dst eth.Addr, payload string) {
+	t.Helper()
+	if err := n.Send(eth.Frame{Dst: dst, Type: eth.TypeIPv4, Payload: []byte(payload)}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	s := sim.New(1)
+	a, b, rxA, rxB, _ := twoNICs(s, DefaultLANConfig())
+	_ = a
+	send(t, a, b.Addr(), "hello")
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(*rxB) != 1 || string((*rxB)[0].Payload) != "hello" {
+		t.Fatalf("b received %v", *rxB)
+	}
+	if len(*rxA) != 0 {
+		t.Fatalf("a received its own frame: %v", *rxA)
+	}
+}
+
+func TestSwitchLearnsAndStopsFlooding(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, rxB, sw := twoNICs(s, DefaultLANConfig())
+	// First frame to an unknown destination floods.
+	send(t, a, b.Addr(), "one")
+	_ = s.Run(time.Second)
+	firstFloods := sw.Flooded
+	if firstFloods == 0 {
+		t.Fatal("unknown unicast did not flood")
+	}
+	// b replies, teaching the switch b's port; now a→b is directed.
+	send(t, b, a.Addr(), "reply")
+	_ = s.Run(time.Second)
+	send(t, a, b.Addr(), "two")
+	_ = s.Run(time.Second)
+	if sw.Flooded != firstFloods {
+		t.Fatalf("switch flooded again after learning: %d → %d", firstFloods, sw.Flooded)
+	}
+	if len(*rxB) != 2 {
+		t.Fatalf("b received %d frames, want 2", len(*rxB))
+	}
+}
+
+// TestMulticastGroupDelivery checks the testbed's core trick: a frame sent
+// to the service group reaches every member port (both servers), and
+// non-members do not see it.
+func TestMulticastGroupDelivery(t *testing.T) {
+	s := sim.New(1)
+	sw := NewSwitch(s, "sw", time.Microsecond)
+	group := eth.MakeMulticastAddr(0x100)
+	var nics []*NIC
+	var rx [3][]eth.Frame
+	for i := 0; i < 3; i++ {
+		i := i
+		n := NewNIC(s, "n", eth.MakeAddr(uint32(i+1)))
+		_, port := Connect(s, sw, n, DefaultLANConfig())
+		n.SetHandler(func(f eth.Frame) { rx[i] = append(rx[i], f) })
+		nics = append(nics, n)
+		if i > 0 { // NICs 1 and 2 are the servers
+			n.JoinGroup(group)
+			sw.JoinGroup(group, port)
+		}
+	}
+	send(t, nics[0], group, "to the service")
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rx[1]) != 1 || len(rx[2]) != 1 {
+		t.Fatalf("group members received %d and %d frames, want 1 and 1", len(rx[1]), len(rx[2]))
+	}
+	if len(rx[0]) != 0 {
+		t.Fatalf("sender received its own multicast")
+	}
+}
+
+func TestNICFilterRejectsForeignUnicast(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, rxB, _ := twoNICs(s, DefaultLANConfig())
+	_ = b
+	send(t, a, eth.MakeAddr(99), "stray") // unknown dst floods to b
+	_ = s.Run(time.Second)
+	if len(*rxB) != 0 {
+		t.Fatalf("NIC accepted a frame for another address")
+	}
+	if b.RxDrops == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestPromiscuousMode(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, rxB, _ := twoNICs(s, DefaultLANConfig())
+	b.SetPromiscuous(true)
+	send(t, a, eth.MakeAddr(99), "stray")
+	_ = s.Run(time.Second)
+	if len(*rxB) != 1 {
+		t.Fatalf("promiscuous NIC did not capture the frame")
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	s := sim.New(1)
+	a, _, rxA, rxB, _ := twoNICs(s, DefaultLANConfig())
+	send(t, a, eth.Broadcast, "hello all")
+	_ = s.Run(time.Second)
+	if len(*rxB) != 1 {
+		t.Fatal("broadcast did not reach b")
+	}
+	if len(*rxA) != 0 {
+		t.Fatal("broadcast echoed to sender")
+	}
+}
+
+func TestNICFailureSilence(t *testing.T) {
+	s := sim.New(1)
+	a, b, rxA, rxB, _ := twoNICs(s, DefaultLANConfig())
+	b.Fail()
+	send(t, a, b.Addr(), "into the void")
+	if err := b.Send(eth.Frame{Dst: a.Addr(), Type: eth.TypeIPv4}); err == nil {
+		t.Fatal("failed NIC transmitted")
+	}
+	_ = s.Run(time.Second)
+	if len(*rxB) != 0 {
+		t.Fatal("failed NIC received")
+	}
+	b.Recover()
+	send(t, b, a.Addr(), "back")
+	_ = s.Run(time.Second)
+	if len(*rxA) != 1 {
+		t.Fatal("recovered NIC could not transmit")
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, rxB, _ := twoNICs(s, DefaultLANConfig())
+	_ = b
+	// Cut a's cable.
+	link := a.link
+	link.SetDown(true)
+	send(t, a, b.Addr(), "dropped")
+	_ = s.Run(time.Second)
+	if len(*rxB) != 0 {
+		t.Fatal("frame crossed a cut cable")
+	}
+	if link.Drops == 0 {
+		t.Fatal("drop not counted")
+	}
+	link.SetDown(false)
+	send(t, a, b.Addr(), "works")
+	_ = s.Run(time.Second)
+	if len(*rxB) != 1 {
+		t.Fatal("restored cable does not carry frames")
+	}
+}
+
+func TestDropWindow(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, rxB, _ := twoNICs(s, DefaultLANConfig())
+	_ = b
+	a.link.DropFromAFor(100 * time.Millisecond)
+	send(t, a, b.Addr(), "lost")
+	s.Schedule(200*time.Millisecond, func() { send(t, a, b.Addr(), "arrives") })
+	_ = s.Run(time.Second)
+	if len(*rxB) != 1 || string((*rxB)[0].Payload) != "arrives" {
+		t.Fatalf("drop window misbehaved: %d frames", len(*rxB))
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	s := sim.New(7)
+	cfg := DefaultLANConfig()
+	cfg.LossRate = 0.5
+	a, b, _, rxB, _ := twoNICs(s, cfg)
+	_ = b
+	const total = 400
+	for i := 0; i < total; i++ {
+		d := time.Duration(i) * time.Millisecond
+		s.Schedule(d, func() { _ = a.Send(eth.Frame{Dst: b.Addr(), Type: eth.TypeIPv4, Payload: []byte("x")}) })
+	}
+	_ = s.Run(time.Minute)
+	got := len(*rxB)
+	if got < total/4 || got > 3*total/4 {
+		t.Fatalf("50%% loss delivered %d/%d", got, total)
+	}
+}
+
+// TestBandwidthSerialization checks frames are paced at the configured
+// line rate: 10 full frames at 100 Mbit/s take ~1.2 ms wire time.
+func TestBandwidthSerialization(t *testing.T) {
+	s := sim.New(1)
+	cfg := LinkConfig{BitsPerSecond: 100_000_000, Delay: 0}
+	a, b, _, rxB, _ := twoNICs(s, cfg)
+	_ = b
+	payload := make([]byte, 1500)
+	const frames = 10
+	for i := 0; i < frames; i++ {
+		_ = a.Send(eth.Frame{Dst: b.Addr(), Type: eth.TypeIPv4, Payload: payload})
+	}
+	var last time.Time
+	b.SetHandler(func(eth.Frame) { last = s.Now() })
+	_ = s.Run(time.Second)
+	_ = rxB
+	wire := int64(1500+eth.HeaderLen+eth.FCSLen) * 8 * frames
+	want := time.Duration(wire * int64(time.Second) / 100_000_000)
+	got := last.Sub(sim.Epoch)
+	if got < want || got > want+time.Millisecond {
+		t.Fatalf("10 frames took %v on the wire, want ≈%v", got, want)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, _, sw := twoNICs(s, DefaultLANConfig())
+	send(t, a, b.Addr(), "count me")
+	_ = s.Run(time.Second)
+	if a.TxFrames != 1 || b.RxFrames != 1 {
+		t.Fatalf("tx=%d rx=%d", a.TxFrames, b.RxFrames)
+	}
+	if a.TxBytes == 0 || b.RxBytes != a.TxBytes {
+		t.Fatalf("byte counters: tx=%d rx=%d", a.TxBytes, b.RxBytes)
+	}
+	if sw.Forwarded == 0 {
+		t.Fatal("switch forwarded nothing")
+	}
+}

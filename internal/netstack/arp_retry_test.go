@@ -1,0 +1,70 @@
+package netstack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ip"
+)
+
+// TestARPRetryAfterLostReply drops everything toward the requester for a
+// window spanning its first ARP exchange; the retransmitted request must
+// resolve the address and flush the queued packets.
+func TestARPRetryAfterLostReply(t *testing.T) {
+	f := newFixture(t)
+	got := 0
+	_ = f.b.UDPListen(9, func(ip.Addr, uint16, []byte) { got++ })
+	// Frames toward A (the ARP reply travels B→A) are dropped for
+	// 600 ms; the first retry at 400 ms is lost too, the second at
+	// 800 ms succeeds.
+	f.link.DropFromBFor(600 * time.Millisecond)
+	if err := f.a.UDPSend(9, addrB, 9, []byte("queued behind arp")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	_ = f.sim.Run(2 * time.Second)
+	if got != 1 {
+		t.Fatalf("datagram not delivered after ARP retry: got %d", got)
+	}
+	if _, ok := f.a.ARP().Lookup(addrB); !ok {
+		t.Fatal("address still unresolved")
+	}
+}
+
+// TestARPGivesUpEventually: an unresolvable address stops consuming
+// retries and the queue is dropped, not leaked.
+func TestARPGivesUpEventually(t *testing.T) {
+	f := newFixture(t)
+	ghost := ip.MakeAddr(10, 0, 0, 99)
+	for i := 0; i < 100; i++ {
+		_ = f.a.UDPSend(9, ghost, 9, []byte("to nowhere"))
+	}
+	_ = f.sim.Run(10 * time.Second)
+	if _, ok := f.a.ARP().Lookup(ghost); ok {
+		t.Fatal("ghost address resolved")
+	}
+	if len(f.a.arpPending) != 0 {
+		t.Fatalf("arp queue leaked %d entries", len(f.a.arpPending))
+	}
+	// A later send starts a fresh attempt (no permanent blacklist).
+	_ = f.a.UDPSend(9, ghost, 9, []byte("again"))
+	if len(f.a.arpPending) != 1 {
+		t.Fatal("fresh attempt not started")
+	}
+}
+
+// TestARPQueueBounded: packets queued behind an unresolved address are
+// capped.
+func TestARPQueueBounded(t *testing.T) {
+	f := newFixture(t)
+	ghost := ip.MakeAddr(10, 0, 0, 99)
+	for i := 0; i < arpQueueCap*3; i++ {
+		_ = f.a.UDPSend(9, ghost, 9, []byte("x"))
+	}
+	w := f.a.arpPending[ghost]
+	if w == nil {
+		t.Fatal("no waiter")
+	}
+	if len(w.packets) > arpQueueCap {
+		t.Fatalf("queue grew to %d, cap %d", len(w.packets), arpQueueCap)
+	}
+}

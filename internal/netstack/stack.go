@@ -1,0 +1,370 @@
+// Package netstack implements a per-host IPv4 stack over a simulated NIC:
+// ARP resolution (with the static entries the ST-TCP testbed depends on),
+// IP send/receive with alias addresses ("VNICs" created via IP aliasing in
+// the paper's Figure 2), an ICMP echo responder and ping client, and UDP
+// endpoints. TCP is layered on top by internal/tcp through RegisterTCP.
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/arp"
+	"repro/internal/eth"
+	"repro/internal/icmp"
+	"repro/internal/ip"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/udp"
+)
+
+// Stack errors.
+var (
+	ErrStackDown    = errors.New("netstack: stack is down")
+	ErrPortInUse    = errors.New("netstack: UDP port already bound")
+	ErrNoRoute      = errors.New("netstack: cannot resolve destination")
+	ErrNotBound     = errors.New("netstack: UDP port not bound")
+	ErrPingPending  = errors.New("netstack: ping with this ID already pending")
+	ErrNoTCPHandler = errors.New("netstack: no TCP handler registered")
+)
+
+// UDPHandler receives datagrams delivered to a bound UDP port.
+type UDPHandler func(src ip.Addr, srcPort uint16, payload []byte)
+
+// TCPHandler receives raw TCP segments (the IP payload) for the host.
+type TCPHandler func(pkt ip.Packet)
+
+type pendingPacket struct {
+	src     ip.Addr
+	proto   ip.Protocol
+	payload []byte
+}
+
+// arpRetryInterval and arpMaxAttempts govern ARP request retransmission: a
+// lost reply must not blackhole the destination until traffic stops.
+const (
+	arpRetryInterval = 400 * time.Millisecond
+	arpMaxAttempts   = 5
+	arpQueueCap      = 64
+)
+
+type arpWaiter struct {
+	packets  []pendingPacket
+	attempts int
+	timer    *sim.Event
+}
+
+type pendingPing struct {
+	timer *sim.Event
+	done  func(ok bool, rtt time.Duration)
+	sent  time.Time
+}
+
+// Stack is one host's IPv4 stack. All methods must be called on the
+// simulation event loop.
+type Stack struct {
+	sim     *sim.Simulator
+	name    string
+	nic     *netem.NIC
+	addr    ip.Addr
+	aliases map[ip.Addr]bool
+
+	arpTable   *arp.Table
+	arpPending map[ip.Addr]*arpWaiter
+
+	udpHandlers map[uint16]UDPHandler
+	tcpHandler  TCPHandler
+
+	pings      map[uint16]*pendingPing
+	nextPingID uint16
+	nextIPID   uint16
+
+	answerAliasARP bool
+	down           bool
+}
+
+// New creates a stack bound to nic with primary address addr and installs
+// itself as the NIC's frame handler.
+func New(s *sim.Simulator, name string, nic *netem.NIC, addr ip.Addr) *Stack {
+	st := &Stack{
+		sim:         s,
+		name:        name,
+		nic:         nic,
+		addr:        addr,
+		aliases:     make(map[ip.Addr]bool),
+		arpTable:    arp.NewTable(),
+		arpPending:  make(map[ip.Addr]*arpWaiter),
+		udpHandlers: make(map[uint16]UDPHandler),
+		pings:       make(map[uint16]*pendingPing),
+		nextPingID:  1,
+	}
+	st.arpTable.AddStatic(addr, nic.Addr())
+	nic.SetHandler(st.handleFrame)
+	return st
+}
+
+// Name returns the stack's trace name.
+func (s *Stack) Name() string { return s.name }
+
+// Addr returns the primary IP address.
+func (s *Stack) Addr() ip.Addr { return s.addr }
+
+// NIC returns the underlying NIC.
+func (s *Stack) NIC() *netem.NIC { return s.nic }
+
+// ARP exposes the ARP table so topologies can pin static entries, notably
+// serviceIP → multiEA on the client/gateway (paper Figure 2).
+func (s *Stack) ARP() *arp.Table { return s.arpTable }
+
+// AddAlias adds a secondary (VNIC) address. ST-TCP assigns the serviceIP
+// alias on both the primary and the backup.
+func (s *Stack) AddAlias(a ip.Addr) { s.aliases[a] = true }
+
+// HasAddr reports whether a is the primary address or an alias.
+func (s *Stack) HasAddr(a ip.Addr) bool { return a == s.addr || s.aliases[a] }
+
+// SetAnswerAliasARP controls whether the stack answers ARP requests for its
+// alias addresses. It defaults to false: two ST-TCP servers share the
+// serviceIP alias, and the testbed avoids ARP races by giving the client a
+// static entry instead.
+func (s *Stack) SetAnswerAliasARP(v bool) { s.answerAliasARP = v }
+
+// SetDown makes the stack inert (OS crash): every frame is ignored and
+// every send fails. The NIC itself may still be electrically alive.
+func (s *Stack) SetDown(down bool) { s.down = down }
+
+// IsDown reports whether the stack is inert.
+func (s *Stack) IsDown() bool { return s.down }
+
+// RegisterTCP installs the handler for inbound TCP segments.
+func (s *Stack) RegisterTCP(h TCPHandler) { s.tcpHandler = h }
+
+// --- Sending ---
+
+// SendIP transmits payload to dst with the stack's primary source address.
+func (s *Stack) SendIP(dst ip.Addr, proto ip.Protocol, payload []byte) error {
+	return s.SendIPFrom(s.addr, dst, proto, payload)
+}
+
+// SendIPFrom transmits payload with an explicit source address; the ST-TCP
+// servers source service traffic from the shared serviceIP alias.
+func (s *Stack) SendIPFrom(src, dst ip.Addr, proto ip.Protocol, payload []byte) error {
+	if s.down {
+		return ErrStackDown
+	}
+	hw, ok := s.arpTable.Lookup(dst)
+	if !ok {
+		s.queueForARP(src, dst, proto, payload)
+		return nil
+	}
+	return s.sendResolved(hw, src, dst, proto, payload)
+}
+
+func (s *Stack) sendResolved(hw eth.Addr, src, dst ip.Addr, proto ip.Protocol, payload []byte) error {
+	s.nextIPID++
+	pkt := ip.Packet{
+		ID:      s.nextIPID,
+		TTL:     ip.DefaultTTL,
+		Proto:   proto,
+		Src:     src,
+		Dst:     dst,
+		Payload: payload,
+	}
+	raw, err := pkt.Encode()
+	if err != nil {
+		return fmt.Errorf("netstack: %s: %w", s.name, err)
+	}
+	if err := s.nic.Send(eth.Frame{Dst: hw, Type: eth.TypeIPv4, Payload: raw}); err != nil {
+		return fmt.Errorf("netstack: %s: %w", s.name, err)
+	}
+	return nil
+}
+
+func (s *Stack) queueForARP(src, dst ip.Addr, proto ip.Protocol, payload []byte) {
+	p := pendingPacket{src: src, proto: proto, payload: payload}
+	w, waiting := s.arpPending[dst]
+	if waiting {
+		if len(w.packets) < arpQueueCap {
+			w.packets = append(w.packets, p)
+		}
+		return
+	}
+	w = &arpWaiter{packets: []pendingPacket{p}}
+	s.arpPending[dst] = w
+	s.sendARPRequest(dst, w)
+}
+
+func (s *Stack) sendARPRequest(dst ip.Addr, w *arpWaiter) {
+	w.attempts++
+	req := arp.Packet{
+		Op:       arp.OpRequest,
+		SenderHW: s.nic.Addr(),
+		SenderIP: s.addr,
+		TargetIP: dst,
+	}
+	_ = s.nic.Send(eth.Frame{Dst: eth.Broadcast, Type: eth.TypeARP, Payload: req.Encode()})
+	// Retry: a single lost reply must not blackhole the destination.
+	w.timer = s.sim.Schedule(arpRetryInterval, func() {
+		if s.arpPending[dst] != w {
+			return
+		}
+		if w.attempts >= arpMaxAttempts {
+			delete(s.arpPending, dst) // unresolvable: drop the queue
+			return
+		}
+		s.sendARPRequest(dst, w)
+	})
+}
+
+// --- UDP ---
+
+// UDPListen binds a handler to a local UDP port.
+func (s *Stack) UDPListen(port uint16, h UDPHandler) error {
+	if _, ok := s.udpHandlers[port]; ok {
+		return fmt.Errorf("%w: %d", ErrPortInUse, port)
+	}
+	s.udpHandlers[port] = h
+	return nil
+}
+
+// UDPClose releases a bound port.
+func (s *Stack) UDPClose(port uint16) { delete(s.udpHandlers, port) }
+
+// UDPSend transmits a datagram from srcPort to dst:dstPort.
+func (s *Stack) UDPSend(srcPort uint16, dst ip.Addr, dstPort uint16, payload []byte) error {
+	d := udp.Datagram{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	return s.SendIP(dst, ip.ProtoUDP, d.Encode(s.addr, dst))
+}
+
+// --- ICMP ping ---
+
+// Ping sends an echo request to dst and calls done exactly once: with
+// ok=true and the measured RTT when the reply arrives, or ok=false at the
+// timeout. This is the primitive behind the gateway-ping arbitration of
+// paper §4.3.
+func (s *Stack) Ping(dst ip.Addr, timeout time.Duration, done func(ok bool, rtt time.Duration)) error {
+	if s.down {
+		return ErrStackDown
+	}
+	id := s.nextPingID
+	s.nextPingID++
+	if _, ok := s.pings[id]; ok {
+		return fmt.Errorf("%w: %d", ErrPingPending, id)
+	}
+	p := &pendingPing{done: done, sent: s.sim.Now()}
+	p.timer = s.sim.Schedule(timeout, func() {
+		delete(s.pings, id)
+		done(false, 0)
+	})
+	s.pings[id] = p
+	echo := icmp.Echo{Type: icmp.TypeEchoRequest, ID: id, Seq: 1}
+	if err := s.SendIP(dst, ip.ProtoICMP, echo.Encode()); err != nil {
+		s.sim.Cancel(p.timer)
+		delete(s.pings, id)
+		return err
+	}
+	return nil
+}
+
+// --- Receive path ---
+
+func (s *Stack) handleFrame(f eth.Frame) {
+	if s.down {
+		return
+	}
+	switch f.Type {
+	case eth.TypeARP:
+		s.handleARP(f)
+	case eth.TypeIPv4:
+		s.handleIPv4(f)
+	}
+}
+
+func (s *Stack) handleARP(f eth.Frame) {
+	p, err := arp.Decode(f.Payload)
+	if err != nil {
+		return
+	}
+	if !p.SenderIP.IsZero() {
+		s.arpTable.Learn(p.SenderIP, p.SenderHW)
+		s.flushARPQueue(p.SenderIP, p.SenderHW)
+	}
+	if p.Op != arp.OpRequest {
+		return
+	}
+	isMine := p.TargetIP == s.addr || (s.answerAliasARP && s.aliases[p.TargetIP])
+	if !isMine {
+		return
+	}
+	reply := arp.Packet{
+		Op:       arp.OpReply,
+		SenderHW: s.nic.Addr(),
+		SenderIP: p.TargetIP,
+		TargetHW: p.SenderHW,
+		TargetIP: p.SenderIP,
+	}
+	_ = s.nic.Send(eth.Frame{Dst: p.SenderHW, Type: eth.TypeARP, Payload: reply.Encode()})
+}
+
+func (s *Stack) flushARPQueue(addr ip.Addr, hw eth.Addr) {
+	w, ok := s.arpPending[addr]
+	if !ok {
+		return
+	}
+	delete(s.arpPending, addr)
+	s.sim.Cancel(w.timer)
+	for _, p := range w.packets {
+		_ = s.sendResolved(hw, p.src, addr, p.proto, p.payload)
+	}
+}
+
+func (s *Stack) handleIPv4(f eth.Frame) {
+	pkt, err := ip.Decode(f.Payload)
+	if err != nil {
+		return
+	}
+	if !s.HasAddr(pkt.Dst) {
+		return
+	}
+	switch pkt.Proto {
+	case ip.ProtoICMP:
+		s.handleICMP(pkt)
+	case ip.ProtoUDP:
+		s.handleUDP(pkt)
+	case ip.ProtoTCP:
+		if s.tcpHandler != nil {
+			s.tcpHandler(pkt)
+		}
+	}
+}
+
+func (s *Stack) handleICMP(pkt ip.Packet) {
+	e, err := icmp.Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch e.Type {
+	case icmp.TypeEchoRequest:
+		reply := icmp.Echo{Type: icmp.TypeEchoReply, ID: e.ID, Seq: e.Seq, Payload: e.Payload}
+		_ = s.SendIPFrom(pkt.Dst, pkt.Src, ip.ProtoICMP, reply.Encode())
+	case icmp.TypeEchoReply:
+		p, ok := s.pings[e.ID]
+		if !ok {
+			return
+		}
+		delete(s.pings, e.ID)
+		s.sim.Cancel(p.timer)
+		p.done(true, s.sim.Since(p.sent))
+	}
+}
+
+func (s *Stack) handleUDP(pkt ip.Packet) {
+	d, err := udp.Decode(pkt.Src, pkt.Dst, pkt.Payload)
+	if err != nil {
+		return
+	}
+	if h, ok := s.udpHandlers[d.DstPort]; ok {
+		h(pkt.Src, d.SrcPort, d.Payload)
+	}
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenarios parses and executes every script in the repository's
+// scenarios/ directory, so the shipped demos cannot rot.
+func TestShippedScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shipped-scenario sweep skipped in -short")
+	}
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".sttcp" {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			text, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			sc, err := Parse(string(text))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, c := range res.Checks {
+				if !c.Passed {
+					t.Errorf("line %d: expect %s failed: %s", c.Line, c.Cond, c.Detail)
+				}
+			}
+		})
+		ran++
+	}
+	if ran < 5 {
+		t.Fatalf("only %d shipped scenarios found", ran)
+	}
+}

@@ -1,0 +1,30 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Example shows the basic discrete-event pattern: schedule work in virtual
+// time and run the clock forward. No real time passes.
+func Example() {
+	s := sim.New(1)
+	s.Schedule(250*time.Millisecond, func() {
+		fmt.Println("fired at", s.Elapsed())
+	})
+	sim.NewTicker(s, 100*time.Millisecond, func() {
+		if s.Elapsed() <= 300*time.Millisecond {
+			fmt.Println("tick at", s.Elapsed())
+		}
+	})
+	_ = s.Run(time.Second)
+	fmt.Println("clock now at", s.Elapsed())
+	// Output:
+	// tick at 100ms
+	// tick at 200ms
+	// fired at 250ms
+	// tick at 300ms
+	// clock now at 1s
+}

@@ -1,0 +1,225 @@
+// Package sim implements a deterministic discrete-event simulator.
+//
+// Everything in this repository — links, NICs, TCP stacks, heartbeat timers,
+// applications — runs on one single-threaded event loop driven by a virtual
+// clock. A simulation run is completely determined by its seed and the order
+// in which events are scheduled, which makes every experiment reproducible
+// bit-for-bit. No component inside a simulation may use the real clock or
+// spawn goroutines.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the virtual time at which every simulation starts. The concrete
+// date is arbitrary; only durations relative to Epoch are meaningful.
+var Epoch = time.Date(2005, time.June, 28, 0, 0, 0, 0, time.UTC)
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Stop rather than by reaching its horizon or draining its event queue.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback. It is created by Schedule/At and can be
+// cancelled until it fires.
+type Event struct {
+	when time.Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 once fired or cancelled
+}
+
+// When reports the virtual time at which the event will fire.
+func (e *Event) When() time.Time { return e.when }
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.idx < 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a deterministic discrete-event scheduler. The zero value is
+// not usable; construct with New.
+type Simulator struct {
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	running bool
+	fired   uint64
+}
+
+// New returns a simulator whose clock reads Epoch and whose random source is
+// seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		now: Epoch,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Time { return s.now }
+
+// Since returns the virtual duration elapsed since t.
+func (s *Simulator) Since(t time.Time) time.Duration { return s.now.Sub(t) }
+
+// Elapsed returns the virtual duration elapsed since Epoch.
+func (s *Simulator) Elapsed() time.Duration { return s.now.Sub(Epoch) }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Fired reports how many events have fired so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are scheduled but have not fired.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule arranges for fn to run after delay of virtual time. A negative
+// delay is treated as zero. The returned event can be cancelled until it
+// fires.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now.Add(delay), fn)
+}
+
+// At arranges for fn to run at virtual time t. Times in the past are clamped
+// to the present.
+func (s *Simulator) At(t time.Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t.Before(s.now) {
+		t = s.now
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes e from the queue. Cancelling a nil, fired, or already
+// cancelled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.idx)
+}
+
+// Stop makes the innermost Run return ErrStopped after the current event
+// completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or the
+// virtual clock would pass horizon. The clock is left at the time of the
+// last fired event, or at horizon if the queue outlives it.
+func (s *Simulator) Run(horizon time.Duration) error {
+	return s.RunUntil(s.now.Add(horizon))
+}
+
+// RunUntil executes events in timestamp order until the queue is empty or
+// the next event is after deadline.
+func (s *Simulator) RunUntil(deadline time.Time) error {
+	if s.running {
+		return fmt.Errorf("sim: RunUntil called re-entrantly at %v", s.now)
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.when.After(deadline) {
+			s.now = deadline
+			return nil
+		}
+		heap.Pop(&s.queue)
+		s.now = next.when
+		s.fired++
+		next.fn()
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return nil
+}
+
+// RunUntilIdle executes events until the queue drains, with a safety cap on
+// the number of events to guard against runaway timer loops. It returns an
+// error if the cap is reached.
+func (s *Simulator) RunUntilIdle(maxEvents uint64) error {
+	if s.running {
+		return fmt.Errorf("sim: RunUntilIdle called re-entrantly at %v", s.now)
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	var fired uint64
+	for len(s.queue) > 0 {
+		if fired >= maxEvents {
+			return fmt.Errorf("sim: event cap %d reached at %v with %d pending", maxEvents, s.now, len(s.queue))
+		}
+		next := heap.Pop(&s.queue).(*Event)
+		s.now = next.when
+		s.fired++
+		fired++
+		next.fn()
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// Step fires exactly one event if one is pending and reports whether it did.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(*Event)
+	s.now = next.when
+	s.fired++
+	next.fn()
+	return true
+}

@@ -1,0 +1,63 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// Unlike time.Ticker there is no channel: the callback runs inline on the
+// event loop, which is the natural shape for a single-threaded simulation.
+type Ticker struct {
+	sim     *Simulator
+	period  time.Duration
+	fn      func()
+	pending *Event
+	stopped bool
+}
+
+// NewTicker schedules fn to run every period, starting one period from now.
+// A non-positive period panics: a zero-period ticker would wedge the event
+// loop at a single instant.
+func NewTicker(s *Simulator, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.sim.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		// Re-arm before the callback so the callback may Stop the ticker.
+		t.arm()
+		t.fn()
+	})
+}
+
+// Stop cancels future ticks. It is safe to call from within the callback and
+// is idempotent.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.sim.Cancel(t.pending)
+}
+
+// Period returns the ticker's period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// Reset changes the period and re-arms the ticker from the current instant.
+func (t *Ticker) Reset(period time.Duration) {
+	if period <= 0 {
+		panic("sim: Ticker.Reset with non-positive period")
+	}
+	if t.stopped {
+		return
+	}
+	t.sim.Cancel(t.pending)
+	t.period = period
+	t.arm()
+}

@@ -1,0 +1,196 @@
+package sttcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ip"
+	"repro/internal/serial"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// detectorHarness builds an unstarted node whose detectors can be driven
+// directly with synthetic peer views, plus a live local connection whose
+// application positions the test controls by writing/reading through a
+// pair of in-memory stacks. To keep it lean, the local connection is a
+// replica created via CreateReplicaConn and fed with InjectStreamBytes.
+type detectorHarness struct {
+	sim  *sim.Simulator
+	node *Node
+	rc   *repConn
+	conn *tcp.Conn
+}
+
+func newDetectorHarness(t *testing.T, mutate func(*Config)) *detectorHarness {
+	t.Helper()
+	s := sim.New(1)
+	tr := trace.NewRecorder(s.Now)
+	host := cluster.NewHost(s, "primary", 2, ip.MakeAddr(10, 0, 0, 2), tcp.Options{}, tr)
+	sp, _ := serial.NewPair(s, "a/tty", "b/tty", 0)
+	host.AttachSerial(sp)
+	cfg := Config{
+		ServiceAddr: ip.MakeAddr(10, 0, 0, 100),
+		ServicePort: 80,
+		PeerAddr:    ip.MakeAddr(10, 0, 0, 3),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	node, err := NewNode(host, RolePrimary, cfg, nil)
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	id := tcp.ConnID{
+		LocalAddr:  cfg.ServiceAddr,
+		LocalPort:  80,
+		RemoteAddr: ip.MakeAddr(10, 0, 0, 1),
+		RemotePort: 50000,
+	}
+	conn, err := host.TCP().CreateReplicaConn(id, 0x1000, nil)
+	if err != nil {
+		t.Fatalf("conn: %v", err)
+	}
+	conn.ForceEstablish(0x2000)
+	rc := newRepConn(conn)
+	rc.replicated = true
+	rc.peerValid = true
+	rc.peerEstab = true
+	node.conns[id] = rc
+	return &detectorHarness{sim: s, node: node, rc: rc, conn: conn}
+}
+
+// advance local application positions: write bytes into the send buffer
+// (appW) and receive+read bytes (appR).
+func (h *detectorHarness) localProgress(t *testing.T, bytes int) {
+	t.Helper()
+	if bytes <= 0 {
+		return
+	}
+	if _, err := h.conn.Write(make([]byte, bytes)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	off := h.conn.LastByteReceived()
+	h.conn.InjectStreamBytes(off, make([]byte, bytes))
+	buf := make([]byte, bytes)
+	for read := 0; read < bytes; {
+		n, err := h.conn.Read(buf)
+		if err != nil || n == 0 {
+			t.Fatalf("read: n=%d err=%v", n, err)
+		}
+		read += n
+	}
+}
+
+func (h *detectorHarness) step(d time.Duration) {
+	_ = h.sim.Run(d)
+}
+
+// TestDetectAppLagBytesCriterion: a sustained byte lag beyond
+// AppMaxLagBytes for AppLagByteHold fires; a transient one does not.
+func TestDetectAppLagBytesCriterion(t *testing.T) {
+	h := newDetectorHarness(t, func(c *Config) {
+		c.AppMaxLagBytes = 1000
+		c.AppLagByteHold = time.Second
+		c.AppMaxLagTime = time.Hour // keep the other criterion out
+	})
+	h.localProgress(t, 5000) // local app 5000 bytes ahead of peer's 0
+	now := h.sim.Now()
+	if h.node.detectAppLag(h.rc, now) {
+		t.Fatal("fired on first observation")
+	}
+	// Peer catches up before the hold expires: no detection.
+	h.step(500 * time.Millisecond)
+	h.rc.peerAppW, h.rc.peerAppR = 5000, 5000
+	if h.node.detectAppLag(h.rc, h.sim.Now()) {
+		t.Fatal("fired after the peer caught up")
+	}
+	// Now a lag that persists past the hold.
+	h.localProgress(t, 5000) // local at 10000, peer at 5000
+	if h.node.detectAppLag(h.rc, h.sim.Now()) {
+		t.Fatal("fired without the hold elapsing")
+	}
+	h.step(1100 * time.Millisecond)
+	if !h.node.detectAppLag(h.rc, h.sim.Now()) {
+		t.Fatal("sustained byte lag not detected")
+	}
+	if h.node.State() != StateNonFT {
+		t.Fatalf("node state %v after detection", h.node.State())
+	}
+}
+
+// TestDetectAppLagTimeCriterion: the watermark path — a *particular byte*
+// unprocessed for AppMaxLagTime fires even when the lag is small, but peer
+// progress resets the clock.
+func TestDetectAppLagTimeCriterion(t *testing.T) {
+	h := newDetectorHarness(t, func(c *Config) {
+		c.AppMaxLagBytes = 1 << 40 // keep the bytes criterion out
+		c.AppMaxLagTime = 2 * time.Second
+	})
+	h.localProgress(t, 100) // peer is 100 bytes behind
+	if h.node.detectAppLag(h.rc, h.sim.Now()) {
+		t.Fatal("fired immediately")
+	}
+	// Peer keeps making progress (but stays behind): each advance moves
+	// the watermark and restarts the clock.
+	for i := 0; i < 5; i++ {
+		h.step(time.Second)
+		h.rc.peerAppW += 10
+		h.rc.peerAppR += 10
+		if h.node.detectAppLag(h.rc, h.sim.Now()) {
+			t.Fatalf("fired despite peer progress (iteration %d)", i)
+		}
+	}
+	// Now the peer stalls completely.
+	h.step(2100 * time.Millisecond)
+	if !h.node.detectAppLag(h.rc, h.sim.Now()) {
+		t.Fatal("stalled peer byte not detected after AppMaxLagTime")
+	}
+}
+
+// TestDetectNICLagGraceAndBaseline: the bytes criterion only counts lag
+// accrued since the IP link died, and only after the grace period.
+func TestDetectNICLagGraceAndBaseline(t *testing.T) {
+	h := newDetectorHarness(t, func(c *Config) {
+		c.NICLagBytes = 1000
+		c.NICLagTime = time.Hour // keep the stall criterion out
+		c.NICLagGrace = time.Second
+	})
+	// Big pre-existing asymmetry: local received 50000, peer reported 0.
+	h.conn.InjectStreamBytes(0, make([]byte, 50000))
+	h.node.ipDown = true
+	h.node.ipDownSince = h.sim.Now()
+
+	if h.node.detectNICLag(h.rc, h.sim.Now()) {
+		t.Fatal("fired inside the grace period")
+	}
+	h.step(1100 * time.Millisecond)
+	// First post-grace tick takes the baseline; the huge absolute delta
+	// must not fire.
+	if h.node.detectNICLag(h.rc, h.sim.Now()) {
+		t.Fatal("fired on pre-existing asymmetry (baseline not applied)")
+	}
+	// Now the peer falls a further 2000 bytes behind.
+	h.conn.InjectStreamBytes(50000, make([]byte, 2000))
+	if !h.node.detectNICLag(h.rc, h.sim.Now()) {
+		t.Fatal("fresh lag beyond NICLagBytes not detected")
+	}
+}
+
+// TestDetectorsIgnoreUnreplicatedConns: local-only connections are
+// invisible to the failure detectors.
+func TestDetectorsIgnoreUnreplicatedConns(t *testing.T) {
+	h := newDetectorHarness(t, func(c *Config) {
+		c.AppMaxLagBytes = 10
+		c.AppLagByteHold = time.Millisecond
+	})
+	h.rc.replicated = false
+	h.localProgress(t, 100000)
+	h.step(time.Second)
+	h.node.runDetectors()
+	if h.node.State() != StateActive {
+		t.Fatalf("unreplicated connection triggered detection: %v", h.node.State())
+	}
+}

@@ -1,0 +1,1231 @@
+package sttcp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hb"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// Node construction errors.
+var (
+	ErrNoSerial   = errors.New("sttcp: host has no serial port attached")
+	ErrNotStarted = errors.New("sttcp: node not started")
+)
+
+// maxHeldSegments bounds the backup's per-connection queue of segments
+// awaiting the primary's ISN announcement.
+const maxHeldSegments = 128
+
+// heldSegment is an inbound segment the backup parked until it learns the
+// connection's ISN.
+type heldSegment struct {
+	pkt ip.Packet
+	seg tcp.Segment
+}
+
+// repConn is the node's replication state for one TCP connection.
+type repConn struct {
+	conn *tcp.Conn
+	hold *holdBuffer // primary role only
+
+	// replicated is false for connections that exist only locally —
+	// those accepted while the node ran alone (post-takeover or non-FT)
+	// before a repaired peer rejoined. They are excluded from the
+	// heartbeat and from peer-lag detection: a rejoining backup has no
+	// way to reconstruct their history.
+	replicated bool
+
+	// Latest peer view (unwrapped to 64-bit stream offsets).
+	peerValid bool
+	peerLBR   int64 // peer's LastByteReceived
+	peerLAR   int64 // peer's LastAckReceived
+	peerAppW  int64 // peer's LastAppByteWritten
+	peerAppR  int64 // peer's LastAppByteRead
+	peerFIN   bool
+	peerRST   bool
+	peerEstab bool
+	peerSeen  time.Time
+
+	// Application-lag watermarks (§4.2.1). A watermark of -1 means the
+	// peer is not currently behind on that stream.
+	wWatermark, rWatermark int64
+	wLagSince, rLagSince   time.Time
+	bytesLagSince          time.Time
+	bytesLagging           bool
+	nicLagWatermark        int64
+	nicLagSince            time.Time
+	nicBaseline            int64
+	nicBaselineSet         bool
+
+	// FIN disagreement handling (§4.2.2).
+	finDelayTimer    *sim.Event // primary: local FIN gated for MaxDelayFIN
+	finDisagreeTimer *sim.Event // primary: backup FIN'd, we did not
+	majorityTimer    *sim.Event // primary: pending witness majority vote
+
+	lastRecoveryReq time.Time
+}
+
+// witnessState is the primary's view of the witness replica's verdict on
+// one connection (the §4.2.2 majority mechanism).
+type witnessState struct {
+	fin   bool
+	rst   bool
+	estab bool
+	seen  time.Time
+}
+
+func newRepConn(c *tcp.Conn) *repConn {
+	return &repConn{
+		conn:            c,
+		wWatermark:      -1,
+		rWatermark:      -1,
+		nicLagWatermark: -1,
+	}
+}
+
+// Node is one ST-TCP server endpoint — the primary or the active backup.
+// It owns the replication machinery around the host's TCP stack: the
+// heartbeat exchanger on the dual links, the failure detectors of Table 1,
+// the FIN disagreement protocol, the missed-byte recovery protocol, and the
+// takeover / non-fault-tolerant transitions.
+type Node struct {
+	sim    *sim.Simulator
+	host   *cluster.Host
+	role   Role
+	cfg    Config
+	tracer *trace.Recorder
+	comp   string
+
+	tcpStack  *tcp.Stack
+	listener  *tcp.Listener
+	ex        *hb.Exchanger
+	peerPower *cluster.PowerController
+
+	state NodeState
+	conns map[tcp.ConnID]*repConn
+
+	// Backup-only: segments parked until the ISN announcement, and the
+	// announced ISNs.
+	held      map[tcp.ConnID][]heldSegment
+	announced map[tcp.ConnID]uint32
+
+	// Gateway-ping arbitration (§4.3).
+	pingTicker    *sim.Ticker
+	myPingValid   bool
+	myPingOK      bool
+	peerPingFails int
+	ipDownSince   time.Time
+	ipDown        bool
+
+	detector       *sim.Ticker
+	started        bool
+	localAppFailed bool
+
+	// Primary-only, when a witness is configured: the witness's latest
+	// per-connection verdicts, fed by a second heartbeat exchanger.
+	witnessEx   *hb.Exchanger
+	witnessView map[tcp.ConnID]witnessState
+
+	// OnAccept is invoked for every established service connection (on
+	// the backup these are the suppressed replicas); the replicated
+	// application attaches here.
+	OnAccept func(*tcp.Conn)
+
+	// OnStateChange is invoked after every node state transition.
+	OnStateChange func(NodeState)
+
+	// FailoverReason records why the node left StateActive.
+	FailoverReason string
+}
+
+// NewNode builds an ST-TCP node on host. peerPower is the out-of-band
+// power switch for the other server (STONITH).
+func NewNode(host *cluster.Host, role Role, cfg Config, peerPower *cluster.PowerController) (*Node, error) {
+	cfg.fillDefaults()
+	if host.Serial() == nil && !cfg.Witness {
+		return nil, ErrNoSerial
+	}
+	n := &Node{
+		sim:       host.Sim(),
+		host:      host,
+		role:      role,
+		cfg:       cfg,
+		tracer:    host.Tracer(),
+		comp:      host.Name() + "/sttcp",
+		tcpStack:  host.TCP(),
+		peerPower: peerPower,
+		state:     StateActive,
+		conns:     make(map[tcp.ConnID]*repConn),
+		held:      make(map[tcp.ConnID][]heldSegment),
+		announced: make(map[tcp.ConnID]uint32),
+	}
+	return n, nil
+}
+
+// Role returns the node's role.
+func (n *Node) Role() Role { return n.role }
+
+// State returns the node's life-cycle state.
+func (n *Node) State() NodeState { return n.state }
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Host returns the underlying host.
+func (n *Node) Host() *cluster.Host { return n.host }
+
+// Exchanger returns the heartbeat exchanger (nil before Start).
+func (n *Node) Exchanger() *hb.Exchanger { return n.ex }
+
+// Conns returns the replicated connections, ordered deterministically.
+func (n *Node) Conns() []*tcp.Conn {
+	keys := n.sortedKeys()
+	out := make([]*tcp.Conn, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, n.conns[k].conn)
+	}
+	return out
+}
+
+// Start brings the node up: the service alias and listener, the control
+// channel, and the heartbeat exchanger on both links.
+func (n *Node) Start() error {
+	ns := n.host.Netstack()
+	ns.AddAlias(n.cfg.ServiceAddr)
+
+	l, err := n.tcpStack.Listen(n.cfg.ServiceAddr, n.cfg.ServicePort)
+	if err != nil {
+		return fmt.Errorf("sttcp: %s: %w", n.host.Name(), err)
+	}
+	n.listener = l
+	l.NewConnSetup = n.setupConn
+	l.OnEstablished = n.onEstablished
+	if n.role == RolePrimary {
+		l.OnSynRcvd = n.announceConn
+	} else {
+		l.ISNProvider = func(id tcp.ConnID) (uint32, bool) {
+			isn, ok := n.announced[id]
+			return isn, ok
+		}
+		n.tcpStack.SegmentFilter = n.filterSegment
+	}
+
+	if err := ns.UDPListen(DefaultCtrlPort, n.handleCtrl); err != nil {
+		return fmt.Errorf("sttcp: %s: %w", n.host.Name(), err)
+	}
+
+	hbPort := uint16(DefaultHBPort)
+	if n.cfg.Witness {
+		// The witness heartbeats the primary on a dedicated port so
+		// its liveness cannot be mistaken for the backup's.
+		hbPort = DefaultWitnessHBPort
+	}
+	udpCh, err := hb.NewUDPChannel(ns, hbPort, n.cfg.PeerAddr, hbPort)
+	if err != nil {
+		return fmt.Errorf("sttcp: %s: %w", n.host.Name(), err)
+	}
+	n.ex = hb.NewExchanger(n.sim, n.comp, n.cfg.HB, n.tracer)
+	n.ex.Attach(udpCh)
+	if n.host.Serial() != nil {
+		n.ex.Attach(hb.NewSerialChannel(n.host.Serial()))
+	}
+	n.ex.Compose = n.composeHB
+	n.ex.OnMessage = n.handleHB
+	n.ex.OnLinkDown = n.onLinkDown
+	n.ex.OnLinkUp = n.onLinkUp
+	n.ex.Start()
+
+	// A primary with a witness runs a second exchanger toward it; only
+	// the per-connection FIN verdicts are consumed (§4.2.2 majority).
+	if !n.cfg.WitnessAddr.IsZero() {
+		wCh, err := hb.NewUDPChannel(ns, DefaultWitnessHBPort, n.cfg.WitnessAddr, DefaultWitnessHBPort)
+		if err != nil {
+			return fmt.Errorf("sttcp: %s: witness channel: %w", n.host.Name(), err)
+		}
+		n.witnessView = make(map[tcp.ConnID]witnessState)
+		n.witnessEx = hb.NewExchanger(n.sim, n.comp+"/witness", n.cfg.HB, n.tracer)
+		n.witnessEx.Attach(wCh)
+		n.witnessEx.Compose = n.composeHB
+		n.witnessEx.OnMessage = n.handleWitnessHB
+		n.witnessEx.Start()
+	}
+
+	if !n.cfg.Witness {
+		check := n.cfg.HB.Period / 2
+		if check < 50*time.Millisecond {
+			check = 50 * time.Millisecond
+		}
+		n.detector = sim.NewTicker(n.sim, check, n.runDetectors)
+	}
+
+	n.host.OnCrash(n.Stop)
+	n.started = true
+	return nil
+}
+
+// Stop halts all node activity (host crash or external shutdown).
+func (n *Node) Stop() {
+	if n.state == StateStopped {
+		return
+	}
+	n.setState(StateStopped)
+	n.shutdownTimers()
+}
+
+func (n *Node) shutdownTimers() {
+	if n.ex != nil {
+		n.ex.Stop()
+	}
+	if n.witnessEx != nil {
+		n.witnessEx.Stop()
+	}
+	if n.detector != nil {
+		n.detector.Stop()
+	}
+	n.stopPinging()
+	for _, rc := range n.conns {
+		n.cancelFINTimers(rc)
+	}
+}
+
+func (n *Node) setState(s NodeState) {
+	if n.state == s {
+		return
+	}
+	n.state = s
+	if n.OnStateChange != nil {
+		n.OnStateChange(s)
+	}
+}
+
+func (n *Node) sortedKeys() []tcp.ConnID {
+	keys := make([]tcp.ConnID, 0, len(n.conns))
+	for k := range n.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// --- Connection setup ---
+
+// setupConn runs on every new passive connection before any segment
+// processing: the backup suppresses output; the primary installs the hold
+// buffer tap and the FIN gate.
+func (n *Node) setupConn(c *tcp.Conn) {
+	rc := newRepConn(c)
+	n.conns[c.ID()] = rc
+	switch {
+	case n.role == RoleBackup && n.state == StateActive:
+		rc.replicated = true
+		c.SetSuppressed(true)
+		// A server generating a FIN must communicate it to its peer
+		// immediately through the heartbeat (§4.2.2); the segment
+		// itself stays suppressed.
+		c.SetCloseSignalObserver(func(bool) {
+			if n.state == StateActive && n.ex != nil {
+				n.ex.SendNow()
+			}
+		})
+	case n.role == RolePrimary && n.state == StateActive:
+		rc.replicated = true
+		rc.hold = newHoldBuffer(n.cfg.HoldBufferSize)
+		c.SetDeliverTap(func(off int64, data []byte) { n.tapDelivered(rc, off, data) })
+		c.SetFINGate(func(rst bool) { n.onLocalCloseSignal(rc, rst) })
+	}
+}
+
+// onEstablished hands an established connection to the application.
+func (n *Node) onEstablished(c *tcp.Conn) {
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindConnEstablished, n.comp, "service conn %v established (%s)", c.ID(), n.role)
+	}
+	if n.OnAccept != nil {
+		n.OnAccept(c)
+	}
+}
+
+// announceConn (primary) tells the backup about a new connection's
+// sequence numbers, immediately over the control channel and redundantly
+// in every heartbeat.
+func (n *Node) announceConn(c *tcp.Conn) {
+	if n.state != StateActive {
+		return
+	}
+	id := c.ID()
+	msg := connOpenMsg{
+		RemoteAddr: id.RemoteAddr,
+		RemotePort: id.RemotePort,
+		LocalPort:  id.LocalPort,
+		ISS:        c.ISS(),
+		IRS:        c.IRS(),
+	}
+	raw := msg.encode()
+	_ = n.host.Netstack().UDPSend(DefaultCtrlPort, n.cfg.PeerAddr, DefaultCtrlPort, raw)
+	if !n.cfg.WitnessAddr.IsZero() {
+		_ = n.host.Netstack().UDPSend(DefaultCtrlPort, n.cfg.WitnessAddr, DefaultCtrlPort, raw)
+	}
+}
+
+// tapDelivered copies newly received client bytes into the hold buffer
+// (primary). Overflow means the backup cannot keep up: Table 1 row 5
+// declares the backup failed.
+func (n *Node) tapDelivered(rc *repConn, off int64, data []byte) {
+	if rc.hold == nil || n.state != StateActive {
+		return
+	}
+	if rc.hold.end() < off {
+		// Should not happen (tap is in-order), but never wedge.
+		rc.hold.release(off)
+		rc.hold.base = off
+	}
+	if err := rc.hold.append(off, data); err != nil {
+		if errors.Is(err, ErrHoldOverflow) {
+			n.declarePeerFailed("hold buffer overflow: backup cannot catch up")
+		}
+	}
+}
+
+// --- Backup segment holding ---
+
+// filterSegment parks service-connection segments whose ISN announcement
+// has not arrived yet; everything else passes through.
+func (n *Node) filterSegment(pkt ip.Packet, seg *tcp.Segment) bool {
+	if n.state != StateActive {
+		return true
+	}
+	if pkt.Dst != n.cfg.ServiceAddr || seg.DstPort != n.cfg.ServicePort {
+		return true
+	}
+	id := tcp.ConnID{
+		LocalAddr:  pkt.Dst,
+		LocalPort:  seg.DstPort,
+		RemoteAddr: pkt.Src,
+		RemotePort: seg.SrcPort,
+	}
+	if _, ok := n.tcpStack.Lookup(id); ok {
+		return true
+	}
+	if _, ok := n.announced[id]; ok {
+		return true
+	}
+	q := n.held[id]
+	if len(q) < maxHeldSegments {
+		n.held[id] = append(q, heldSegment{pkt: pkt, seg: *seg})
+	}
+	return false
+}
+
+// adoptAnnouncement records the primary's ISN for a connection and replays
+// any parked segments through normal demux.
+func (n *Node) adoptAnnouncement(id tcp.ConnID, iss uint32) {
+	if _, ok := n.announced[id]; ok {
+		return
+	}
+	n.announced[id] = iss
+	q := n.held[id]
+	delete(n.held, id)
+	for _, h := range q {
+		n.tcpStack.HandleSegment(h.pkt, h.seg)
+	}
+}
+
+// --- Heartbeat compose / consume ---
+
+// ReportLocalAppFailure is the watchdog's entry point (§4.2.2 extension):
+// the node flags itself failed in an immediate heartbeat so the peer can
+// take the recovery action without waiting for socket-level evidence.
+func (n *Node) ReportLocalAppFailure() {
+	if n.state != StateActive || n.localAppFailed {
+		return
+	}
+	n.localAppFailed = true
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindSuspect, n.comp, "local watchdog reports application failure; flagging peer")
+	}
+	if n.ex != nil {
+		n.ex.SendNow()
+	}
+}
+
+func (n *Node) composeHB() hb.Message {
+	m := hb.Message{Role: n.role, PingValid: n.myPingValid, PingOK: n.myPingOK, AppFailed: n.localAppFailed}
+	for _, k := range n.sortedKeys() {
+		rc := n.conns[k]
+		c := rc.conn
+		if c.State() == tcp.StateClosed {
+			n.dropConn(k)
+			continue
+		}
+		if !rc.replicated {
+			continue // local-only connection (accepted while running alone)
+		}
+		m.Conns = append(m.Conns, hb.ConnState{
+			RemoteAddr:         k.RemoteAddr,
+			RemotePort:         k.RemotePort,
+			LocalPort:          k.LocalPort,
+			ISS:                c.ISS(),
+			IRS:                c.IRS(),
+			LastByteReceived:   hb.Wrap32(c.LastByteReceived()),
+			LastAckReceived:    hb.Wrap32(c.LastAckReceived()),
+			LastAppByteWritten: hb.Wrap32(c.LastAppByteWritten()),
+			LastAppByteRead:    hb.Wrap32(c.LastAppByteRead()),
+			FINGenerated:       c.FINQueued() && !c.RSTQueued(),
+			RSTGenerated:       c.RSTQueued(),
+			PeerFINSeen:        c.PeerFINSeen(),
+			Established:        c.State() != tcp.StateSynRcvd && c.State() != tcp.StateSynSent,
+			FINGated:           c.FINGated(),
+		})
+	}
+	return m
+}
+
+func (n *Node) dropConn(id tcp.ConnID) {
+	if rc, ok := n.conns[id]; ok {
+		n.cancelFINTimers(rc)
+		delete(n.conns, id)
+	}
+	delete(n.announced, id)
+	delete(n.held, id)
+}
+
+func (n *Node) handleHB(m hb.Message, link hb.LinkID) {
+	if n.state != StateActive && n.state != StateNonFT {
+		return
+	}
+	// Watchdog extension: the peer's own watchdog says its application
+	// is dead — no further evidence needed.
+	if m.AppFailed && n.state == StateActive {
+		n.declarePeerFailed("peer watchdog reported application failure")
+		return
+	}
+	// Peer ping arbitration inputs (only meaningful while the IP link is
+	// down and the serial link carries the results, §4.3).
+	if n.ipDown && m.PingValid {
+		if n.myPingValid && n.myPingOK && !m.PingOK {
+			n.peerPingFails++
+			if n.peerPingFails >= n.cfg.PingFailsForVerdict {
+				n.declarePeerFailed("gateway pings fail at peer but succeed locally: peer NIC dead")
+				return
+			}
+		} else {
+			n.peerPingFails = 0
+		}
+	}
+
+	for i := range m.Conns {
+		n.applyPeerConnState(&m.Conns[i])
+	}
+}
+
+func (n *Node) applyPeerConnState(cs *hb.ConnState) {
+	id := cs.Key(n.cfg.ServiceAddr)
+	rc, ok := n.conns[id]
+	if !ok {
+		if n.role == RoleBackup {
+			n.adoptFromHB(id, cs)
+			rc, ok = n.conns[id]
+		}
+		if !ok {
+			return
+		}
+	}
+	c := rc.conn
+	now := n.sim.Now()
+	rc.peerValid = true
+	rc.peerSeen = now
+	rc.peerLBR = hb.Unwrap32(cs.LastByteReceived, c.LastByteReceived())
+	rc.peerLAR = hb.Unwrap32(cs.LastAckReceived, c.LastAckReceived())
+	rc.peerAppW = hb.Unwrap32(cs.LastAppByteWritten, c.LastAppByteWritten())
+	rc.peerAppR = hb.Unwrap32(cs.LastAppByteRead, c.LastAppByteRead())
+	rc.peerFIN = cs.FINGenerated
+	rc.peerRST = cs.RSTGenerated
+	rc.peerEstab = cs.Established
+
+	if n.role == RolePrimary {
+		n.primaryConsumeConnState(rc)
+	} else {
+		n.backupConsumeConnState(rc)
+	}
+}
+
+// adoptFromHB lets the backup learn about a connection purely from the
+// heartbeat: if it parked the SYN it replays it; if it never saw the SYN it
+// force-establishes a replica and recovers the stream from the primary.
+func (n *Node) adoptFromHB(id tcp.ConnID, cs *hb.ConnState) {
+	if _, parked := n.held[id]; parked {
+		n.adoptAnnouncement(id, cs.ISS)
+		return
+	}
+	if !cs.Established {
+		return
+	}
+	n.announced[id] = cs.ISS
+	c, err := n.tcpStack.CreateReplicaConn(id, cs.ISS, func(c *tcp.Conn) {
+		n.setupConn(c)
+	})
+	if err != nil {
+		return
+	}
+	c.ForceEstablish(cs.IRS)
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindByteRecovery, n.comp, "replica %v reconstructed from heartbeat", id)
+	}
+	n.onEstablished(c)
+}
+
+// primaryConsumeConnState reacts to the backup's view of one connection.
+func (n *Node) primaryConsumeConnState(rc *repConn) {
+	// Release hold-buffer bytes the backup has confirmed.
+	if rc.hold != nil {
+		rc.hold.release(rc.peerLBR)
+	}
+	// FIN agreement: if we gated a FIN and the backup has also generated
+	// one, this is a normal close — send it (§4.2.2).
+	if rc.conn.FINGated() && (rc.peerFIN || rc.peerRST) {
+		n.releaseGatedFIN(rc, "backup generated matching FIN")
+	}
+	// Backup FIN'd but our application has not: suspect the backup's
+	// application; give it MaxDelayFIN of evidence time.
+	if (rc.peerFIN || rc.peerRST) && !rc.conn.FINQueued() {
+		n.armFINDisagreeTimer(rc)
+	} else if rc.finDisagreeTimer != nil && !(rc.peerFIN || rc.peerRST) {
+		n.sim.Cancel(rc.finDisagreeTimer)
+		rc.finDisagreeTimer = nil
+	}
+	// Serve any recovery needs lazily (the backup asks via the control
+	// channel).
+}
+
+// backupConsumeConnState reacts to the primary's view of one connection.
+func (n *Node) backupConsumeConnState(rc *repConn) {
+	c := rc.conn
+	// Missed-byte recovery (Table 1 row 5): the primary has client bytes
+	// we never received.
+	if rc.peerLBR > c.LastByteReceived() {
+		n.maybeRequestRecovery(rc)
+	}
+}
+
+// --- Control channel ---
+
+func (n *Node) handleCtrl(src ip.Addr, srcPort uint16, payload []byte) {
+	fromLogger := !n.cfg.LoggerAddr.IsZero() && src == n.cfg.LoggerAddr
+	if src != n.cfg.PeerAddr && !fromLogger {
+		return
+	}
+	kind, err := ctrlKind(payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case ctrlConnOpen:
+		m, err := decodeConnOpen(payload)
+		if err != nil || n.role != RoleBackup {
+			return
+		}
+		id := connKey(n.cfg.ServiceAddr, m.RemoteAddr, m.RemotePort, m.LocalPort)
+		n.adoptAnnouncement(id, m.ISS)
+	case ctrlRecoveryRequest:
+		m, err := decodeRecoveryRequest(payload)
+		if err != nil {
+			return
+		}
+		n.serveRecovery(m)
+	case ctrlRecoveryData:
+		m, err := decodeRecoveryData(payload)
+		if err != nil {
+			return
+		}
+		n.applyRecovery(m)
+	}
+}
+
+func (n *Node) maybeRequestRecovery(rc *repConn) {
+	now := n.sim.Now()
+	if !rc.lastRecoveryReq.IsZero() && now.Sub(rc.lastRecoveryReq) < 100*time.Millisecond {
+		return
+	}
+	rc.lastRecoveryReq = now
+	id := rc.conn.ID()
+	req := recoveryRequestMsg{
+		RemoteAddr: id.RemoteAddr,
+		RemotePort: id.RemotePort,
+		LocalPort:  id.LocalPort,
+		From:       rc.conn.LastByteReceived(),
+		To:         rc.peerLBR,
+	}
+	if n.tracer != nil {
+		n.tracer.EmitValue(trace.KindByteRecovery, n.comp, req.To-req.From,
+			"requesting missed bytes [%d,%d) for %v", req.From, req.To, id)
+	}
+	_ = n.host.Netstack().UDPSend(DefaultCtrlPort, n.cfg.PeerAddr, DefaultCtrlPort, req.encode())
+}
+
+// requestLoggerRecovery asks the logger for every logged client byte past
+// our current in-order position on this connection.
+func (n *Node) requestLoggerRecovery(rc *repConn) {
+	id := rc.conn.ID()
+	req := recoveryRequestMsg{
+		RemoteAddr: id.RemoteAddr,
+		RemotePort: id.RemotePort,
+		LocalPort:  id.LocalPort,
+		From:       rc.conn.LastByteReceived(),
+		To:         -1,
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindByteRecovery, n.comp,
+			"takeover: requesting logged bytes from %d for %v from logger", req.From, id)
+	}
+	_ = n.host.Netstack().UDPSend(DefaultCtrlPort, n.cfg.LoggerAddr, DefaultCtrlPort, req.encode())
+}
+
+func (n *Node) serveRecovery(m recoveryRequestMsg) {
+	id := connKey(n.cfg.ServiceAddr, m.RemoteAddr, m.RemotePort, m.LocalPort)
+	rc, ok := n.conns[id]
+	if !ok || rc.hold == nil {
+		return
+	}
+	from := m.From
+	if from < rc.hold.base {
+		from = rc.hold.base // older bytes were confirmed by the peer itself
+	}
+	to := m.To
+	if to < 0 {
+		to = rc.hold.end()
+	}
+	data, err := rc.hold.slice(from, to)
+	if err != nil || len(data) == 0 {
+		return
+	}
+	for off := 0; off < len(data); off += n.cfg.RecoveryChunk {
+		end := off + n.cfg.RecoveryChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		resp := recoveryDataMsg{
+			RemoteAddr: m.RemoteAddr,
+			RemotePort: m.RemotePort,
+			LocalPort:  m.LocalPort,
+			Off:        from + int64(off),
+			Data:       data[off:end],
+		}
+		_ = n.host.Netstack().UDPSend(DefaultCtrlPort, n.cfg.PeerAddr, DefaultCtrlPort, resp.encode())
+	}
+}
+
+func (n *Node) applyRecovery(m recoveryDataMsg) {
+	id := connKey(n.cfg.ServiceAddr, m.RemoteAddr, m.RemotePort, m.LocalPort)
+	rc, ok := n.conns[id]
+	if !ok {
+		return
+	}
+	accepted := rc.conn.InjectStreamBytes(m.Off, m.Data)
+	if accepted > 0 && n.tracer != nil {
+		n.tracer.EmitValue(trace.KindByteRecovery, n.comp, int64(accepted),
+			"recovered %d bytes at %d for %v", accepted, m.Off, id)
+	}
+}
+
+// --- FIN disagreement protocol (§4.2.2) ---
+
+// onLocalCloseSignal fires when the primary's application generates a FIN
+// or RST while the gate is armed.
+func (n *Node) onLocalCloseSignal(rc *repConn, rst bool) {
+	if n.state != StateActive {
+		n.releaseGatedFIN(rc, "not replicating")
+		return
+	}
+	c := rc.conn
+	kind := "FIN"
+	if rst {
+		kind = "RST"
+	}
+	// Communicate the FIN to the peer immediately (paper §4.2.2).
+	n.ex.SendNow()
+	switch {
+	case c.PeerFINSeen():
+		// The client closed first; our close is the normal response.
+		n.releaseGatedFIN(rc, "client already sent FIN")
+	case rc.peerFIN || rc.peerRST:
+		n.releaseGatedFIN(rc, "backup already generated "+kind)
+	default:
+		if n.tracer != nil {
+			n.tracer.Emit(trace.KindFINDelayed, n.comp, "%s gated for up to %v on %v", kind, n.cfg.MaxDelayFIN, c.ID())
+		}
+		rc.finDelayTimer = n.sim.Schedule(n.cfg.MaxDelayFIN, func() {
+			rc.finDelayTimer = nil
+			n.releaseGatedFIN(rc, "MaxDelayFIN expired; assuming local behaviour correct")
+		})
+		if n.witnessView != nil {
+			n.armMajorityVote(rc, true)
+		}
+	}
+}
+
+func (n *Node) releaseGatedFIN(rc *repConn, why string) {
+	if rc.finDelayTimer != nil {
+		n.sim.Cancel(rc.finDelayTimer)
+		rc.finDelayTimer = nil
+	}
+	if rc.conn.FINGated() {
+		if n.tracer != nil {
+			n.tracer.Emit(trace.KindFINReleased, n.comp, "releasing FIN on %v: %s", rc.conn.ID(), why)
+		}
+		rc.conn.ReleaseFIN()
+	}
+}
+
+// armFINDisagreeTimer starts the primary's MaxDelayFIN window after the
+// backup generated a FIN the primary's application did not. With a witness
+// configured, a majority vote resolves the conflict after MajorityDelay
+// instead (§4.2.2's "additional backup servers" proposal).
+func (n *Node) armFINDisagreeTimer(rc *repConn) {
+	if rc.finDisagreeTimer != nil {
+		return
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindFINSuppressed, n.comp,
+			"backup FIN without local FIN on %v; watching for %v", rc.conn.ID(), n.cfg.MaxDelayFIN)
+	}
+	rc.finDisagreeTimer = n.sim.Schedule(n.cfg.MaxDelayFIN, func() {
+		rc.finDisagreeTimer = nil
+		if n.state != StateActive {
+			return
+		}
+		if rc.conn.FINQueued() {
+			return // we closed too in the meantime: normal close
+		}
+		n.declarePeerFailed("backup generated FIN; local application did not within MaxDelayFIN")
+	})
+	if n.witnessView != nil {
+		n.armMajorityVote(rc, false)
+	}
+}
+
+// armMajorityVote schedules the witness consultation for a FIN conflict.
+// localFIN says which side of the disagreement we are on: true when our
+// gated FIN lacks the backup's counterpart, false when the backup FIN'd
+// and we did not.
+func (n *Node) armMajorityVote(rc *repConn, localFIN bool) {
+	if rc.majorityTimer != nil {
+		return
+	}
+	rc.majorityTimer = n.sim.Schedule(n.cfg.MajorityDelay, func() {
+		rc.majorityTimer = nil
+		n.decideByMajority(rc, localFIN)
+	})
+}
+
+// decideByMajority resolves a FIN conflict with the witness's vote: two
+// replicas agreeing on a close outvote the one that did not produce it,
+// and vice versa. A stale or missing witness view falls back to the
+// MaxDelayFIN path already armed.
+func (n *Node) decideByMajority(rc *repConn, localFIN bool) {
+	if n.state != StateActive {
+		return
+	}
+	c := rc.conn
+	// The conflict may have dissolved while we waited.
+	if localFIN && (!c.FINGated() || rc.peerFIN || rc.peerRST) {
+		return
+	}
+	if !localFIN && c.FINQueued() {
+		return
+	}
+	w, ok := n.witnessView[c.ID()]
+	if !ok || n.sim.Since(w.seen) > 4*n.cfg.HB.Period {
+		if n.tracer != nil {
+			n.tracer.Emit(trace.KindFINSuppressed, n.comp,
+				"majority vote on %v: witness view stale; falling back to MaxDelayFIN", c.ID())
+		}
+		return
+	}
+	witnessFIN := w.fin || w.rst
+	switch {
+	case localFIN && witnessFIN:
+		// We and the witness closed; the backup did not: its
+		// application failed (Table 1 row 3B, decided by majority).
+		n.declarePeerFailed("majority: witness corroborates the close; backup application failed")
+	case localFIN && !witnessFIN:
+		// Two replicas see no close; our FIN signals our own failure.
+		if n.tracer != nil {
+			n.tracer.Emit(trace.KindSuspect, n.comp, "majority: witness does not corroborate local FIN on %v; reporting self failed", c.ID())
+		}
+		n.ReportLocalAppFailure()
+	case !localFIN && witnessFIN:
+		// Backup and witness closed; we did not: our application
+		// failed (row 3P, decided by majority instead of lag).
+		if n.tracer != nil {
+			n.tracer.Emit(trace.KindSuspect, n.comp, "majority: backup and witness closed %v but we did not; reporting self failed", c.ID())
+		}
+		n.ReportLocalAppFailure()
+	default:
+		// Backup alone produced a FIN: majority says it failed.
+		n.declarePeerFailed("majority: backup FIN not corroborated by primary or witness")
+	}
+}
+
+// handleWitnessHB records the witness replica's per-connection verdicts.
+func (n *Node) handleWitnessHB(m hb.Message, link hb.LinkID) {
+	if m.Role != hb.RoleBackup || n.witnessView == nil {
+		return
+	}
+	now := n.sim.Now()
+	for i := range m.Conns {
+		cs := &m.Conns[i]
+		n.witnessView[cs.Key(n.cfg.ServiceAddr)] = witnessState{
+			fin:   cs.FINGenerated,
+			rst:   cs.RSTGenerated,
+			estab: cs.Established,
+			seen:  now,
+		}
+	}
+}
+
+func (n *Node) cancelFINTimers(rc *repConn) {
+	if rc.finDelayTimer != nil {
+		n.sim.Cancel(rc.finDelayTimer)
+		rc.finDelayTimer = nil
+	}
+	if rc.finDisagreeTimer != nil {
+		n.sim.Cancel(rc.finDisagreeTimer)
+		rc.finDisagreeTimer = nil
+	}
+	if rc.majorityTimer != nil {
+		n.sim.Cancel(rc.majorityTimer)
+		rc.majorityTimer = nil
+	}
+}
+
+// --- Link events and ping arbitration (§4.3) ---
+
+func (n *Node) onLinkDown(link hb.LinkID) {
+	if n.state != StateActive {
+		return
+	}
+	if n.ex.AllLinksDown() {
+		n.declarePeerFailed("heartbeat lost on both links: peer crashed")
+		return
+	}
+	if link == hb.LinkIP {
+		n.ipDown = true
+		n.ipDownSince = n.sim.Now()
+		n.peerPingFails = 0
+		n.startPinging()
+	}
+}
+
+func (n *Node) onLinkUp(link hb.LinkID) {
+	if link == hb.LinkIP {
+		n.ipDown = false
+		n.stopPinging()
+		n.myPingValid = false
+		n.peerPingFails = 0
+		for _, rc := range n.conns {
+			rc.nicLagWatermark = -1
+			rc.nicBaselineSet = false
+		}
+	}
+}
+
+func (n *Node) startPinging() {
+	if n.pingTicker != nil || n.cfg.GatewayAddr.IsZero() {
+		return
+	}
+	n.pingTicker = sim.NewTicker(n.sim, n.cfg.PingInterval, func() {
+		err := n.host.Netstack().Ping(n.cfg.GatewayAddr, n.cfg.PingTimeout, func(ok bool, _ time.Duration) {
+			n.myPingValid = true
+			n.myPingOK = ok
+		})
+		if err != nil {
+			n.myPingValid = true
+			n.myPingOK = false
+		}
+	})
+}
+
+func (n *Node) stopPinging() {
+	if n.pingTicker != nil {
+		n.pingTicker.Stop()
+		n.pingTicker = nil
+	}
+}
+
+// --- Periodic failure detectors ---
+
+func (n *Node) runDetectors() {
+	if n.state != StateActive {
+		return
+	}
+	now := n.sim.Now()
+	for _, k := range n.sortedKeys() {
+		rc := n.conns[k]
+		if rc.conn.State() == tcp.StateClosed {
+			n.dropConn(k)
+			continue
+		}
+		if !rc.replicated || !rc.peerValid || !rc.peerEstab {
+			continue
+		}
+		if n.detectAppLag(rc, now) {
+			return
+		}
+		if n.ipDown && n.detectNICLag(rc, now) {
+			return
+		}
+	}
+}
+
+// detectAppLag implements §4.2.1: the peer's application has stopped
+// reading or writing while ours progresses.
+func (n *Node) detectAppLag(rc *repConn, now time.Time) bool {
+	c := rc.conn
+	localW, localR := c.LastAppByteWritten(), c.LastAppByteRead()
+
+	// Criterion 2: a particular byte stays unprocessed by the peer for
+	// AppMaxLagTime. Watermarks track the oldest missing byte; peer
+	// progress moves the watermark and restarts the clock.
+	check := func(peerPos, localPos int64, watermark *int64, since *time.Time) bool {
+		if peerPos >= localPos {
+			*watermark = -1
+			return false
+		}
+		if *watermark == -1 || peerPos > *watermark {
+			*watermark = peerPos
+			*since = now
+			return false
+		}
+		return now.Sub(*since) > n.cfg.AppMaxLagTime
+	}
+	if check(rc.peerAppW, localW, &rc.wWatermark, &rc.wLagSince) {
+		n.declarePeerFailed(fmt.Sprintf("peer app write position stuck at %d for >%v (local %d)",
+			rc.peerAppW, n.cfg.AppMaxLagTime, localW))
+		return true
+	}
+	if check(rc.peerAppR, localR, &rc.rWatermark, &rc.rLagSince) {
+		n.declarePeerFailed(fmt.Sprintf("peer app read position stuck at %d for >%v (local %d)",
+			rc.peerAppR, n.cfg.AppMaxLagTime, localR))
+		return true
+	}
+
+	// Criterion 1: lag exceeding AppMaxLagBytes sustained for
+	// AppLagByteHold.
+	lag := localW - rc.peerAppW
+	if r := localR - rc.peerAppR; r > lag {
+		lag = r
+	}
+	if lag > n.cfg.AppMaxLagBytes {
+		if !rc.bytesLagging {
+			rc.bytesLagging = true
+			rc.bytesLagSince = now
+		} else if now.Sub(rc.bytesLagSince) > n.cfg.AppLagByteHold {
+			n.declarePeerFailed(fmt.Sprintf("peer app lags by %d bytes (> %d) for >%v",
+				lag, n.cfg.AppMaxLagBytes, n.cfg.AppLagByteHold))
+			return true
+		}
+	} else {
+		rc.bytesLagging = false
+	}
+	return false
+}
+
+// detectNICLag implements the client-data criterion of §4.3: with the IP
+// heartbeat down, the server that stops receiving client bytes (or client
+// acks) has the dead NIC. Two safeguards keep transients from killing a
+// healthy peer: the criterion only engages once the IP link has been down
+// for a grace period, and the byte threshold applies to lag *accrued
+// since* the link went down (a replica that is legitimately behind — e.g.
+// mid-reconstruction — has a large absolute asymmetry that means nothing).
+func (n *Node) detectNICLag(rc *repConn, now time.Time) bool {
+	if now.Sub(n.ipDownSince) < n.cfg.NICLagGrace {
+		rc.nicBaselineSet = false
+		return false
+	}
+	c := rc.conn
+	localPos := c.LastByteReceived() + c.LastAckReceived()
+	peerPos := rc.peerLBR + rc.peerLAR
+	delta := localPos - peerPos
+	if !rc.nicBaselineSet {
+		rc.nicBaselineSet = true
+		rc.nicBaseline = delta
+		rc.nicLagWatermark = -1
+	}
+	if peerPos >= localPos {
+		rc.nicLagWatermark = -1
+		return false
+	}
+	if growth := delta - rc.nicBaseline; growth > n.cfg.NICLagBytes {
+		n.declarePeerFailed(fmt.Sprintf("IP heartbeat down and peer fell %d further bytes behind on the client stream: peer NIC dead",
+			growth))
+		return true
+	}
+	if rc.nicLagWatermark == -1 || peerPos > rc.nicLagWatermark {
+		rc.nicLagWatermark = peerPos
+		rc.nicLagSince = now
+		return false
+	}
+	if now.Sub(rc.nicLagSince) > n.cfg.NICLagTime {
+		n.declarePeerFailed("IP heartbeat down and peer client stream stalled: peer NIC dead")
+		return true
+	}
+	return false
+}
+
+// --- Recovery actions (Table 1, rightmost column) ---
+
+// declarePeerFailed performs the role-appropriate recovery action: the
+// backup takes over the client connections; the primary transitions to
+// non-fault-tolerant mode. Both power the peer down first (STONITH).
+func (n *Node) declarePeerFailed(reason string) {
+	if n.state != StateActive {
+		return
+	}
+	if n.cfg.Witness {
+		// A witness observes but never acts: no STONITH, no takeover.
+		if n.tracer != nil {
+			n.tracer.Emit(trace.KindSuspect, n.comp, "witness observed peer failure (no action): %s", reason)
+		}
+		return
+	}
+	n.FailoverReason = reason
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindSuspect, n.comp, "peer declared failed: %s", reason)
+	}
+	if n.peerPower != nil {
+		if n.tracer != nil {
+			n.tracer.Emit(trace.KindShutdownPeer, n.comp, "powering peer down")
+		}
+		n.peerPower.Off()
+	}
+	if n.role == RoleBackup {
+		n.takeover(reason)
+	} else {
+		n.enterNonFT(reason)
+	}
+}
+
+// takeover promotes the backup: output suppression ends and the node
+// serves the client connections with the primary's addressing and sequence
+// numbers. Faithful to the paper, nothing is transmitted at the instant of
+// takeover: the stream restarts at the next retransmission (ours or the
+// client's) unless EagerTakeoverRetransmit is set.
+func (n *Node) takeover(reason string) {
+	n.setState(StateTakenOver)
+	n.shutdownTimers()
+	for _, k := range n.sortedKeys() {
+		rc := n.conns[k]
+		rc.conn.SetSuppressed(false)
+		if n.cfg.EagerTakeoverRetransmit {
+			rc.conn.ForceRetransmit()
+			rc.conn.SendAck()
+		}
+		// Output-commit recovery (§4.3): client bytes the dead primary
+		// acknowledged after our last confirmed position will never be
+		// retransmitted by the client; if a logger is deployed, fetch
+		// everything it holds past our position.
+		if !n.cfg.LoggerAddr.IsZero() {
+			n.requestLoggerRecovery(rc)
+		}
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindTakeover, n.comp, "backup took over %d connection(s): %s", len(n.conns), reason)
+	}
+}
+
+// EnableReplication restores fault tolerance after a failover: a node that
+// is serving alone (taken-over backup or non-FT primary) becomes the
+// primary of a fresh pair with a repaired peer (typically the rebooted
+// machine, reachable at peerAddr over the same wiring). Connections that
+// were accepted while running alone stay local-only — a rejoining backup
+// cannot reconstruct their history — but every connection accepted from
+// now on is fully replicated again. The repaired machine must run a new
+// backup-role node (see cluster.Host.Reboot).
+func (n *Node) EnableReplication(peerAddr ip.Addr, peerPower *cluster.PowerController) error {
+	switch n.state {
+	case StateTakenOver, StateNonFT:
+	default:
+		return fmt.Errorf("sttcp: %s: cannot re-enable replication in state %v", n.host.Name(), n.state)
+	}
+	n.cfg.PeerAddr = peerAddr
+	n.peerPower = peerPower
+	n.role = RolePrimary
+	n.localAppFailed = false
+	n.FailoverReason = ""
+
+	// Existing connections continue unreplicated; only their bookkeeping
+	// is reset so stale peer views cannot trigger detectors.
+	for _, rc := range n.conns {
+		rc.replicated = false
+		rc.peerValid = false
+	}
+	n.held = make(map[tcp.ConnID][]heldSegment)
+	n.announced = make(map[tcp.ConnID]uint32)
+
+	// Primary-role listener hooks; the backup-role ones are removed.
+	n.listener.ISNProvider = nil
+	n.listener.OnSynRcvd = n.announceConn
+	n.tcpStack.SegmentFilter = nil
+
+	// Fresh heartbeat exchanger toward the new peer on both links.
+	ns := n.host.Netstack()
+	ns.UDPClose(DefaultHBPort)
+	udpCh, err := hb.NewUDPChannel(ns, DefaultHBPort, peerAddr, DefaultHBPort)
+	if err != nil {
+		return fmt.Errorf("sttcp: %s: rebind heartbeat: %w", n.host.Name(), err)
+	}
+	n.ex = hb.NewExchanger(n.sim, n.comp, n.cfg.HB, n.tracer)
+	n.ex.Attach(udpCh)
+	if n.host.Serial() != nil {
+		n.ex.Attach(hb.NewSerialChannel(n.host.Serial()))
+	}
+	n.ex.Compose = n.composeHB
+	n.ex.OnMessage = n.handleHB
+	n.ex.OnLinkDown = n.onLinkDown
+	n.ex.OnLinkUp = n.onLinkUp
+
+	n.ipDown = false
+	n.myPingValid = false
+	n.peerPingFails = 0
+	n.setState(StateActive)
+	n.ex.Start()
+
+	check := n.cfg.HB.Period / 2
+	if check < 50*time.Millisecond {
+		check = 50 * time.Millisecond
+	}
+	if n.detector != nil {
+		n.detector.Stop()
+	}
+	n.detector = sim.NewTicker(n.sim, check, n.runDetectors)
+
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindGeneric, n.comp,
+			"replication re-enabled as primary with peer %v (%d local-only connection(s) remain)",
+			peerAddr, len(n.conns))
+	}
+	return nil
+}
+
+// enterNonFT switches the primary to non-fault-tolerant operation: gates
+// open, replication stops, service continues.
+func (n *Node) enterNonFT(reason string) {
+	n.setState(StateNonFT)
+	n.shutdownTimers()
+	for _, k := range n.sortedKeys() {
+		rc := n.conns[k]
+		n.releaseGatedFIN(rc, "entering non-fault-tolerant mode")
+		rc.hold = nil
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(trace.KindNonFTMode, n.comp, "primary in non-fault-tolerant mode: %s", reason)
+	}
+}

@@ -1,0 +1,209 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Buffer errors.
+var (
+	ErrBufferFull = errors.New("tcp: buffer full")
+	errGapInData  = errors.New("tcp: internal: requested bytes below buffer base")
+)
+
+// sendBuffer holds the unacknowledged portion of the outgoing byte stream.
+// Offsets are absolute stream offsets (offset 0 is the first payload byte
+// after the SYN); keeping them 64-bit internally confines 32-bit sequence
+// wraparound handling to the wire boundary.
+type sendBuffer struct {
+	data []byte
+	base int64 // stream offset of data[0] (== oldest unacked byte)
+	cap  int
+}
+
+func newSendBuffer(capacity int) *sendBuffer {
+	return &sendBuffer{cap: capacity}
+}
+
+// end returns the stream offset one past the last byte written.
+func (b *sendBuffer) end() int64 { return b.base + int64(len(b.data)) }
+
+// free reports how many bytes may still be written.
+func (b *sendBuffer) free() int { return b.cap - len(b.data) }
+
+// write appends as much of p as fits and returns the number of bytes
+// accepted.
+func (b *sendBuffer) write(p []byte) int {
+	n := b.free()
+	if n > len(p) {
+		n = len(p)
+	}
+	b.data = append(b.data, p[:n]...)
+	return n
+}
+
+// slice returns the stream bytes [off, off+n), clipped to what the buffer
+// holds. The result aliases the buffer and must be copied before any
+// subsequent release.
+func (b *sendBuffer) slice(off int64, n int) ([]byte, error) {
+	if off < b.base {
+		return nil, fmt.Errorf("%w: off=%d base=%d", errGapInData, off, b.base)
+	}
+	start := int(off - b.base)
+	if start >= len(b.data) {
+		return nil, nil
+	}
+	stop := start + n
+	if stop > len(b.data) {
+		stop = len(b.data)
+	}
+	return b.data[start:stop], nil
+}
+
+// release discards bytes acknowledged up to (not including) offset upTo.
+func (b *sendBuffer) release(upTo int64) {
+	if upTo <= b.base {
+		return
+	}
+	drop := upTo - b.base
+	if drop >= int64(len(b.data)) {
+		b.base = upTo
+		b.data = b.data[:0]
+		return
+	}
+	// Copy down rather than re-slicing so released memory is reused and
+	// the backing array cannot grow without bound.
+	remaining := copy(b.data, b.data[drop:])
+	b.data = b.data[:remaining]
+	b.base = upTo
+}
+
+// oooSegment is an out-of-order chunk awaiting the bytes before it.
+type oooSegment struct {
+	off  int64
+	data []byte
+}
+
+// recvBuffer assembles the incoming byte stream: an in-order queue the
+// application reads from, plus a bounded set of out-of-order segments.
+type recvBuffer struct {
+	data    []byte // in-order, unread bytes
+	readOff int64  // stream offset of data[0]
+	rcvNxt  int64  // next expected in-order offset (== readOff+len(data))
+	cap     int
+	ooo     []oooSegment
+	oooMax  int
+}
+
+func newRecvBuffer(capacity int) *recvBuffer {
+	return &recvBuffer{cap: capacity, oooMax: capacity}
+}
+
+// window returns the receive window to advertise: capacity minus buffered
+// unread bytes.
+func (b *recvBuffer) window() int {
+	w := b.cap - len(b.data)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// appRead returns the stream offset of the next byte the application will
+// read (LastAppByteRead in the paper's heartbeat).
+func (b *recvBuffer) appRead() int64 { return b.readOff }
+
+// buffered reports the number of unread in-order bytes.
+func (b *recvBuffer) buffered() int { return len(b.data) }
+
+// read copies up to len(p) in-order bytes to p.
+func (b *recvBuffer) read(p []byte) int {
+	n := copy(p, b.data)
+	if n > 0 {
+		remaining := copy(b.data, b.data[n:])
+		b.data = b.data[:remaining]
+		b.readOff += int64(n)
+	}
+	return n
+}
+
+// accept ingests segment payload at absolute stream offset off and returns
+// the in-order bytes newly added (for the ST-TCP replication tap), which
+// may be empty. Data beyond the window is truncated; data before rcvNxt is
+// trimmed as already-received duplicate.
+func (b *recvBuffer) accept(off int64, payload []byte) []byte {
+	if len(payload) == 0 {
+		return nil
+	}
+	// Trim duplicate prefix.
+	if off < b.rcvNxt {
+		skip := b.rcvNxt - off
+		if skip >= int64(len(payload)) {
+			return nil
+		}
+		payload = payload[skip:]
+		off = b.rcvNxt
+	}
+	// Truncate to window.
+	limit := b.readOff + int64(b.cap)
+	if off >= limit {
+		return nil
+	}
+	if off+int64(len(payload)) > limit {
+		payload = payload[:limit-off]
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	if off > b.rcvNxt {
+		b.insertOOO(off, payload)
+		return nil
+	}
+	// In order: append, then drain any now-contiguous out-of-order data.
+	before := len(b.data)
+	b.data = append(b.data, payload...)
+	b.rcvNxt += int64(len(payload))
+	b.drainOOO()
+	return b.data[before:]
+}
+
+func (b *recvBuffer) insertOOO(off int64, payload []byte) {
+	// Bound total out-of-order bytes.
+	total := 0
+	for _, s := range b.ooo {
+		total += len(s.data)
+	}
+	if total+len(payload) > b.oooMax {
+		return
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	b.ooo = append(b.ooo, oooSegment{off: off, data: cp})
+	sort.Slice(b.ooo, func(i, j int) bool { return b.ooo[i].off < b.ooo[j].off })
+}
+
+func (b *recvBuffer) drainOOO() {
+	for len(b.ooo) > 0 {
+		s := b.ooo[0]
+		if s.off > b.rcvNxt {
+			return
+		}
+		b.ooo = b.ooo[1:]
+		if s.off+int64(len(s.data)) <= b.rcvNxt {
+			continue // fully duplicate
+		}
+		s.data = s.data[b.rcvNxt-s.off:]
+		b.data = append(b.data, s.data...)
+		b.rcvNxt += int64(len(s.data))
+	}
+}
+
+// oooBytes reports buffered out-of-order bytes (diagnostics).
+func (b *recvBuffer) oooBytes() int {
+	n := 0
+	for _, s := range b.ooo {
+		n += len(s.data)
+	}
+	return n
+}

@@ -1,0 +1,203 @@
+package tcp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendBufferBasics(t *testing.T) {
+	b := newSendBuffer(10)
+	if n := b.write([]byte("hello")); n != 5 {
+		t.Fatalf("write = %d", n)
+	}
+	if n := b.write([]byte("worldXYZ")); n != 5 {
+		t.Fatalf("overfull write accepted %d, want 5", n)
+	}
+	if b.free() != 0 {
+		t.Fatalf("free = %d", b.free())
+	}
+	got, err := b.slice(0, 10)
+	if err != nil || string(got) != "helloworld" {
+		t.Fatalf("slice = %q, %v", got, err)
+	}
+	b.release(5)
+	if b.base != 5 || b.free() != 5 {
+		t.Fatalf("after release: base=%d free=%d", b.base, b.free())
+	}
+	got, err = b.slice(5, 5)
+	if err != nil || string(got) != "world" {
+		t.Fatalf("slice after release = %q, %v", got, err)
+	}
+	if _, err := b.slice(3, 2); err == nil {
+		t.Fatal("slice below base did not error")
+	}
+}
+
+func TestSendBufferReleaseBeyondEnd(t *testing.T) {
+	b := newSendBuffer(10)
+	b.write([]byte("abc"))
+	b.release(100)
+	if b.base != 100 || len(b.data) != 0 {
+		t.Fatalf("release beyond end: base=%d len=%d", b.base, len(b.data))
+	}
+}
+
+func TestSendBufferSliceClipped(t *testing.T) {
+	b := newSendBuffer(10)
+	b.write([]byte("abcdef"))
+	got, err := b.slice(4, 100)
+	if err != nil || string(got) != "ef" {
+		t.Fatalf("clipped slice = %q, %v", got, err)
+	}
+	got, err = b.slice(6, 5)
+	if err != nil || got != nil {
+		t.Fatalf("slice past end = %q, %v", got, err)
+	}
+}
+
+// TestSendBufferProperty property-checks that any write/release/slice
+// sequence preserves the byte stream.
+func TestSendBufferProperty(t *testing.T) {
+	fn := func(seed int64, ops []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := newSendBuffer(256)
+		var shadow []byte // full stream ever written
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // write random bytes
+				chunk := make([]byte, rng.Intn(64))
+				rng.Read(chunk)
+				n := b.write(chunk)
+				shadow = append(shadow, chunk[:n]...)
+			case 1: // release some prefix
+				if b.end() > b.base {
+					b.release(b.base + int64(rng.Intn(int(b.end()-b.base)+1)))
+				}
+			case 2: // slice and compare with shadow
+				if b.end() > b.base {
+					off := b.base + int64(rng.Intn(int(b.end()-b.base)))
+					n := rng.Intn(64) + 1
+					got, err := b.slice(off, n)
+					if err != nil {
+						return false
+					}
+					want := shadow[off:]
+					if len(want) > len(got) {
+						want = want[:len(got)]
+					}
+					if !bytes.Equal(got, want) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvBufferInOrder(t *testing.T) {
+	b := newRecvBuffer(100)
+	got := b.accept(0, []byte("hello"))
+	if string(got) != "hello" || b.rcvNxt != 5 {
+		t.Fatalf("accept = %q, rcvNxt=%d", got, b.rcvNxt)
+	}
+	p := make([]byte, 10)
+	if n := b.read(p); n != 5 || string(p[:5]) != "hello" {
+		t.Fatalf("read = %d %q", n, p[:n])
+	}
+	if b.appRead() != 5 {
+		t.Fatalf("appRead = %d", b.appRead())
+	}
+}
+
+func TestRecvBufferDuplicateTrimmed(t *testing.T) {
+	b := newRecvBuffer(100)
+	b.accept(0, []byte("abcdef"))
+	got := b.accept(3, []byte("defghi")) // overlaps 3 bytes
+	if string(got) != "ghi" || b.rcvNxt != 9 {
+		t.Fatalf("overlap accept = %q rcvNxt=%d", got, b.rcvNxt)
+	}
+	if got := b.accept(0, []byte("abc")); got != nil {
+		t.Fatalf("full duplicate returned %q", got)
+	}
+}
+
+func TestRecvBufferOutOfOrderReassembly(t *testing.T) {
+	b := newRecvBuffer(100)
+	if got := b.accept(5, []byte("fghij")); got != nil {
+		t.Fatalf("ooo accept delivered %q", got)
+	}
+	if b.oooBytes() != 5 {
+		t.Fatalf("oooBytes = %d", b.oooBytes())
+	}
+	got := b.accept(0, []byte("abcde"))
+	if string(got) != "abcdefghij" {
+		t.Fatalf("reassembly delivered %q", got)
+	}
+	if b.rcvNxt != 10 || b.oooBytes() != 0 {
+		t.Fatalf("rcvNxt=%d ooo=%d", b.rcvNxt, b.oooBytes())
+	}
+}
+
+func TestRecvBufferWindowTruncation(t *testing.T) {
+	b := newRecvBuffer(8)
+	got := b.accept(0, []byte("0123456789")) // 10 bytes into an 8-byte window
+	if string(got) != "01234567" {
+		t.Fatalf("accepted %q", got)
+	}
+	if b.window() != 0 {
+		t.Fatalf("window = %d, want 0", b.window())
+	}
+	// Data fully beyond the window is refused.
+	if got := b.accept(8, []byte("89")); got != nil {
+		t.Fatalf("beyond-window accept delivered %q", got)
+	}
+	p := make([]byte, 4)
+	b.read(p)
+	if b.window() != 4 {
+		t.Fatalf("window after read = %d, want 4", b.window())
+	}
+}
+
+// TestRecvBufferShuffledSegmentsProperty delivers a stream chopped into
+// random segments in random order (with duplicates) and checks perfect
+// reassembly — the invariant the backup's tap and recovery path rely on.
+func TestRecvBufferShuffledSegmentsProperty(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(2000) + 1
+		stream := make([]byte, size)
+		rng.Read(stream)
+		type seg struct {
+			off int64
+			b   []byte
+		}
+		var segs []seg
+		for off := 0; off < size; {
+			n := rng.Intn(200) + 1
+			if off+n > size {
+				n = size - off
+			}
+			segs = append(segs, seg{int64(off), stream[off : off+n]})
+			off += n
+		}
+		// Shuffle and duplicate some segments.
+		rng.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+		segs = append(segs, segs[:len(segs)/3]...)
+
+		b := newRecvBuffer(size + 4096)
+		var out []byte
+		for _, sg := range segs {
+			out = append(out, b.accept(sg.off, sg.b)...)
+		}
+		return bytes.Equal(out, stream) && b.rcvNxt == int64(size)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// TestSlowStartExponentialRamp runs a bulk transfer over a long-delay path
+// (RTT ≈ 80 ms) and checks that delivered bytes grow super-linearly across
+// the first round trips — the signature of slow start's per-ack window
+// doubling.
+func TestSlowStartExponentialRamp(t *testing.T) {
+	cfg := netem.LinkConfig{BitsPerSecond: 1_000_000_000, Delay: 40 * time.Millisecond}
+	h := newPair(t, 80, cfg, Options{SendBufferSize: 4 << 20, RecvBufferSize: 4 << 20})
+	client, server := connectPair(t, h, 80)
+	sk := attachSink(server)
+	payload := make([]byte, 4<<20)
+	writeAll(client, payload)
+
+	const rtt = 80 * time.Millisecond
+	var perRTT []int
+	prev := 0
+	for i := 0; i < 6; i++ {
+		_ = h.sim.Run(rtt)
+		perRTT = append(perRTT, len(sk.data)-prev)
+		prev = len(sk.data)
+	}
+	// Windows 2..4 (steady slow-start region) must each carry clearly
+	// more than the previous — at least 1.5× while cwnd is the
+	// bottleneck.
+	grew := 0
+	for i := 1; i < len(perRTT); i++ {
+		if perRTT[i] > perRTT[i-1]*3/2 {
+			grew++
+		}
+	}
+	if grew < 3 {
+		t.Fatalf("slow start did not ramp: per-RTT deliveries %v", perRTT)
+	}
+	_ = h.sim.Run(time.Minute)
+	if len(sk.data) != len(payload) {
+		t.Fatalf("transfer incomplete: %d/%d", len(sk.data), len(payload))
+	}
+	if client.Retransmits != 0 {
+		t.Fatalf("%d spurious retransmits on a clean link", client.Retransmits)
+	}
+}
+
+// TestRTOTracksPathRTT: after steady acks over an 80 ms-RTT path, the
+// retransmission timeout reflects the measured RTT rather than staying at
+// the 1 s initial value (with MinRTO lowered out of the way).
+func TestRTOTracksPathRTT(t *testing.T) {
+	cfg := netem.LinkConfig{BitsPerSecond: 1_000_000_000, Delay: 40 * time.Millisecond}
+	h := newPair(t, 81, cfg, Options{MinRTO: 10 * time.Millisecond})
+	client, server := connectPair(t, h, 80)
+	attachSink(server)
+	writeAll(client, make([]byte, 1<<20))
+	_ = h.sim.Run(10 * time.Second)
+	rto := client.RTO()
+	if rto < 80*time.Millisecond {
+		t.Fatalf("RTO %v below the path RTT — retransmission storms would follow", rto)
+	}
+	if rto > 500*time.Millisecond {
+		t.Fatalf("RTO %v did not converge toward the ~80ms RTT", rto)
+	}
+}
+
+// TestTimeoutCollapsesWindow: a blackout mid-transfer collapses cwnd to
+// one MSS and the stream still completes after the link heals.
+func TestTimeoutCollapsesWindow(t *testing.T) {
+	h := newPair(t, 82, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	sk := attachSink(server)
+	payload := make([]byte, 2<<20)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	writeAll(client, payload)
+	_ = h.sim.Run(50 * time.Millisecond)
+	cwndBefore := client.cwnd
+	h.link.SetDown(true)
+	_ = h.sim.Run(2 * time.Second)
+	if client.cwnd != client.mss {
+		t.Fatalf("cwnd = %d after timeouts, want 1 MSS (%d)", client.cwnd, client.mss)
+	}
+	if client.cwnd >= cwndBefore {
+		t.Fatalf("cwnd did not collapse: %d -> %d", cwndBefore, client.cwnd)
+	}
+	h.link.SetDown(false)
+	_ = h.sim.Run(5 * time.Minute)
+	if len(sk.data) != len(payload) {
+		t.Fatalf("transfer incomplete after heal: %d/%d", len(sk.data), len(payload))
+	}
+}
+
+// TestFastRetransmitAvoidsTimeout: a single dropped segment is repaired by
+// duplicate acks well before the RTO fires.
+func TestFastRetransmitAvoidsTimeout(t *testing.T) {
+	h := newPair(t, 83, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	sk := attachSink(server)
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 5)
+	}
+	writeAll(client, payload)
+	// Drop a short burst early in the transfer: ~2 frames at 100 Mb/s.
+	h.sim.Schedule(10*time.Millisecond, func() { h.link.DropFromAFor(250 * time.Microsecond) })
+	start := h.sim.Now()
+	// Step in small slices so the completion time is observable (Run
+	// always advances the clock to its deadline).
+	var elapsed time.Duration
+	for i := 0; i < 200 && len(sk.data) < len(payload); i++ {
+		_ = h.sim.Run(5 * time.Millisecond)
+		elapsed = h.sim.Since(start)
+	}
+	if len(sk.data) != len(payload) {
+		t.Fatalf("transfer incomplete: %d/%d", len(sk.data), len(payload))
+	}
+	if client.Retransmits == 0 {
+		t.Fatal("no retransmission despite the drop")
+	}
+	// The whole 1 MiB at ~96 Mb/s takes ~90 ms; a 200 ms RTO stall
+	// would push completion well past 300 ms.
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("transfer took %v — the loss was repaired by timeout, not fast retransmit", elapsed)
+	}
+}

@@ -1,0 +1,1202 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// State is a TCP connection state.
+type State int
+
+// Connection states (RFC 793). LISTEN lives in Listener, not Conn.
+const (
+	StateSynSent State = iota + 1
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+	StateClosed
+)
+
+var stateNames = map[State]string{
+	StateSynSent:     "SYN_SENT",
+	StateSynRcvd:     "SYN_RCVD",
+	StateEstablished: "ESTABLISHED",
+	StateFinWait1:    "FIN_WAIT_1",
+	StateFinWait2:    "FIN_WAIT_2",
+	StateCloseWait:   "CLOSE_WAIT",
+	StateClosing:     "CLOSING",
+	StateLastAck:     "LAST_ACK",
+	StateTimeWait:    "TIME_WAIT",
+	StateClosed:      "CLOSED",
+}
+
+// String names the state.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Connection-level errors delivered through OnClose.
+var (
+	ErrReset        = errors.New("tcp: connection reset by peer")
+	ErrTimeout      = errors.New("tcp: retransmission timeout")
+	ErrClosed       = errors.New("tcp: connection closed")
+	ErrNotConnected = errors.New("tcp: not connected")
+	ErrWriteClosed  = errors.New("tcp: write side closed")
+)
+
+// Conn is one TCP connection. All methods must be called on the simulation
+// event loop. Reads and writes are non-blocking: Read drains what is
+// buffered, Write accepts what fits, and the OnReadable/OnWritable
+// callbacks signal progress.
+type Conn struct {
+	stack *Stack
+	id    ConnID
+	state State
+
+	iss uint32 // initial send sequence number (SYN occupies iss)
+	irs uint32 // initial receive sequence number
+
+	sb *sendBuffer
+	rb *recvBuffer
+
+	sndUna int64 // oldest unacked stream offset
+	sndNxt int64 // next stream offset to send
+	sndMax int64 // highest offset ever sent (sndNxt may rewind below it)
+	sndWnd int   // peer's advertised window
+	mss    int
+
+	// Congestion control (NewReno-style).
+	cwnd         int
+	ssthresh     int
+	dupAcks      int
+	fastRecovery bool
+	recoverOff   int64 // sndNxt when fast recovery began
+
+	// RTT estimation (RFC 6298).
+	srtt, rttvar time.Duration
+	rto          time.Duration
+	backoff      uint
+	rtStart      time.Time
+	rtOffset     int64
+	rtPending    bool
+
+	retransTimer  *sim.Event
+	persistTimer  *sim.Event
+	timeWaitTimer *sim.Event
+	delAckTimer   *sim.Event
+	ackPending    bool
+	persistShift  uint
+	retransCount  int
+
+	// FIN bookkeeping. finOff is the stream offset the FIN occupies
+	// (one past the last data byte).
+	finQueued bool
+	finOff    int64
+	finSent   bool
+	finAcked  bool
+
+	peerFINSeen bool
+	peerFINOff  int64
+	peerFINRead bool
+
+	// ST-TCP hooks.
+	suppressed    bool
+	wasReplica    bool
+	finGate       bool
+	finGateFired  bool
+	rstQueued     bool
+	closeObserver func(rst bool)
+	deliverTap    func(off int64, data []byte)
+	onCloseSignal func(rst bool)
+	ghostAck      int64 // highest ack beyond sndNxt seen while suppressed
+
+	// SuppressedSegments counts segments generated but not emitted while
+	// suppressed (the backup's discarded output, paper §2).
+	SuppressedSegments int64
+	// Retransmits counts retransmitted segments.
+	Retransmits int64
+
+	// Application callbacks; any may be nil.
+	OnEstablished func()
+	OnReadable    func()
+	OnWritable    func()
+	OnClose       func(err error)
+
+	closeErr        error
+	closeNotified   bool
+	readablePending bool
+	writablePending bool
+}
+
+// ID returns the connection 4-tuple.
+func (c *Conn) ID() ConnID { return c.id }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// ISS returns the initial send sequence number.
+func (c *Conn) ISS() uint32 { return c.iss }
+
+// IRS returns the initial receive sequence number.
+func (c *Conn) IRS() uint32 { return c.irs }
+
+// MSS returns the negotiated maximum segment size.
+func (c *Conn) MSS() int { return c.mss }
+
+// RTO returns the current retransmission timeout including backoff,
+// clamped to the stack's maximum.
+func (c *Conn) RTO() time.Duration {
+	rto := c.rto << c.backoff
+	if rto > c.stack.opts.MaxRTO || rto <= 0 {
+		return c.stack.opts.MaxRTO
+	}
+	return rto
+}
+
+// --- ST-TCP introspection (the heartbeat fields of paper §3) ---
+
+// LastByteReceived returns the stream offset one past the last in-order
+// byte received from the peer.
+func (c *Conn) LastByteReceived() int64 { return c.rb.rcvNxt }
+
+// LastAckReceived returns the highest stream offset acknowledged by the
+// peer.
+func (c *Conn) LastAckReceived() int64 { return c.sndUna }
+
+// LastAppByteWritten returns the stream offset one past the last byte the
+// application wrote to the send buffer.
+func (c *Conn) LastAppByteWritten() int64 { return c.sb.end() }
+
+// LastAppByteRead returns the stream offset one past the last byte the
+// application read from the receive buffer.
+func (c *Conn) LastAppByteRead() int64 { return c.rb.appRead() }
+
+// FINQueued reports whether the local side has generated a FIN (the
+// heartbeat's FIN flag).
+func (c *Conn) FINQueued() bool { return c.finQueued }
+
+// PeerFINSeen reports whether the peer's FIN has been received in order.
+func (c *Conn) PeerFINSeen() bool { return c.peerFINSeen }
+
+// Buffered reports unread in-order receive bytes.
+func (c *Conn) Buffered() int { return c.rb.buffered() }
+
+// --- ST-TCP control hooks ---
+
+// SetSuppressed switches output suppression. A suppressed connection
+// computes and sequences every segment it would send but discards it — the
+// ST-TCP backup's behaviour. Unsuppressing does not by itself transmit
+// anything; the next timer or input event does (the paper's failover delay
+// until the next retransmission).
+func (c *Conn) SetSuppressed(v bool) {
+	c.suppressed = v
+	if v {
+		// Once a replica, always ghost-ack capable: even after
+		// takeover the client may acknowledge bytes only the dead
+		// primary transmitted, which the deterministic replica will
+		// produce shortly.
+		c.wasReplica = true
+	}
+}
+
+// Suppressed reports whether output is being discarded.
+func (c *Conn) Suppressed() bool { return c.suppressed }
+
+// SetDeliverTap registers a callback invoked with every chunk of newly
+// in-order received payload, before the application reads it. The ST-TCP
+// primary uses the tap to copy client bytes into its hold buffer.
+func (c *Conn) SetDeliverTap(tap func(off int64, data []byte)) { c.deliverTap = tap }
+
+// SetFINGate enables the MaxDelayFIN mechanism: when the application
+// closes (or aborts) the connection, the FIN (or RST) is generated and
+// visible via FINQueued but not transmitted until ReleaseFIN. onSignal is
+// invoked once when the close signal is first gated.
+func (c *Conn) SetFINGate(onSignal func(rst bool)) {
+	c.finGate = true
+	c.onCloseSignal = onSignal
+}
+
+// SetCloseSignalObserver registers a callback invoked once when the local
+// application generates a FIN or RST, without gating it. The ST-TCP backup
+// uses it to flash its FIN to the primary through an immediate heartbeat
+// (paper §4.2.2) while the segment itself stays suppressed.
+func (c *Conn) SetCloseSignalObserver(fn func(rst bool)) { c.closeObserver = fn }
+
+func (c *Conn) notifyCloseSignal(rst bool) {
+	if c.closeObserver != nil {
+		fn := c.closeObserver
+		c.closeObserver = nil
+		fn(rst)
+	}
+}
+
+// ReleaseFIN opens the FIN gate, transmitting a gated FIN (or RST).
+func (c *Conn) ReleaseFIN() {
+	if !c.finGate {
+		return
+	}
+	c.finGate = false
+	if c.rstQueued {
+		c.sendRST()
+		c.teardown(ErrReset)
+		return
+	}
+	c.maybeSend()
+}
+
+// RSTQueued reports whether the gated close signal is a RST rather than a
+// FIN.
+func (c *Conn) RSTQueued() bool { return c.rstQueued }
+
+// ForceEstablish initialises a replica connection directly into
+// ESTABLISHED from replicated metadata, for the case where the backup
+// learned of a connection only through the heartbeat (it missed the SYN and
+// the announcement): stream positions start at zero and the missed bytes
+// are fetched through the recovery protocol.
+func (c *Conn) ForceEstablish(irs uint32) {
+	c.irs = irs
+	c.rb.rcvNxt = 0
+	c.rb.readOff = 0
+	c.sndUna, c.sndNxt = 0, 0
+	c.resetCongestion()
+	c.setState(StateEstablished)
+	c.trace(trace.KindConnEstablished, "replica force-established")
+	if c.OnEstablished != nil {
+		c.OnEstablished()
+	}
+}
+
+// FINGated reports whether a generated FIN is currently being withheld.
+func (c *Conn) FINGated() bool { return c.finGate && c.finQueued }
+
+// ForceRetransmit immediately retransmits from the oldest unacked byte and
+// resets the backoff — the "eager takeover" extension measured by the
+// ablation bench (the paper's ST-TCP instead waits for the next
+// retransmission timer).
+func (c *Conn) ForceRetransmit() {
+	if c.state == StateClosed || c.state == StateTimeWait {
+		return
+	}
+	c.backoff = 0
+	c.retransmit()
+	c.armRetransTimer()
+}
+
+// SendAck emits an immediate pure ACK (window update).
+func (c *Conn) SendAck() { c.sendControl(FlagACK) }
+
+// InjectStreamBytes inserts peer-stream bytes obtained out of band (the
+// ST-TCP missed-byte recovery of Table 1 row 5) as if they had arrived in a
+// segment. It returns the number of in-order bytes newly accepted.
+func (c *Conn) InjectStreamBytes(off int64, data []byte) int {
+	delivered := c.rb.accept(off, data)
+	if len(delivered) > 0 {
+		if c.deliverTap != nil {
+			c.deliverTap(c.rb.rcvNxt-int64(len(delivered)), delivered)
+		}
+		c.notifyReadable()
+	}
+	return len(delivered)
+}
+
+// --- Application API ---
+
+// Read copies buffered in-order data into p. It returns 0, nil when no
+// data is available, and 0, io-style error once the stream has ended.
+func (c *Conn) Read(p []byte) (int, error) {
+	n := c.rb.read(p)
+	if n > 0 {
+		// Window may have re-opened; let the peer know if it was
+		// closed enough to matter.
+		if c.rb.window() >= c.mss && c.rb.window()-n < c.mss {
+			c.sendControl(FlagACK)
+		}
+		return n, nil
+	}
+	if c.peerFINSeen && c.rb.rcvNxt >= c.peerFINOff {
+		return 0, ErrClosed
+	}
+	if c.state == StateClosed {
+		if c.closeErr != nil {
+			return 0, c.closeErr
+		}
+		return 0, ErrClosed
+	}
+	return 0, nil
+}
+
+// Write appends p to the send buffer, returning how many bytes were
+// accepted (possibly 0 when the buffer is full).
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.finQueued {
+		return 0, ErrWriteClosed
+	}
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynRcvd, StateSynSent:
+	default:
+		return 0, fmt.Errorf("%w: state %v", ErrNotConnected, c.state)
+	}
+	n := c.sb.write(p)
+	if n > 0 {
+		c.maybeSend()
+	}
+	return n, nil
+}
+
+// WriteSpace reports how many bytes Write would currently accept.
+func (c *Conn) WriteSpace() int { return c.sb.free() }
+
+// Close closes the write side: a FIN is queued after any buffered data.
+// The read side keeps delivering data already received.
+func (c *Conn) Close() error {
+	if c.finQueued || c.state == StateClosed {
+		return nil
+	}
+	switch c.state {
+	case StateEstablished, StateSynRcvd, StateCloseWait, StateSynSent:
+	default:
+		return fmt.Errorf("%w: close in state %v", ErrClosed, c.state)
+	}
+	c.finQueued = true
+	c.finOff = c.sb.end()
+	switch c.state {
+	case StateEstablished, StateSynRcvd, StateSynSent:
+		c.setState(StateFinWait1)
+	case StateCloseWait:
+		c.setState(StateLastAck)
+	}
+	c.notifyCloseSignal(false)
+	if c.finGate && !c.finGateFired {
+		c.finGateFired = true
+		if c.onCloseSignal != nil {
+			c.onCloseSignal(false)
+		}
+	}
+	c.maybeSend()
+	return nil
+}
+
+// Abort sends a RST (subject to suppression and the FIN gate) and closes
+// the connection immediately.
+func (c *Conn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	c.notifyCloseSignal(true)
+	if c.finGate && !c.finGateFired {
+		// Gate the RST exactly like a FIN (Table 1 row 3 treats
+		// FIN/RST uniformly); the connection stays alive until the
+		// replication layer decides.
+		c.finGateFired = true
+		c.finQueued = true
+		c.rstQueued = true
+		c.finOff = c.sb.end()
+		if c.onCloseSignal != nil {
+			c.onCloseSignal(true)
+		}
+		return
+	}
+	c.sendRST()
+	c.teardown(ErrReset)
+}
+
+// --- State machine internals ---
+
+func (c *Conn) setState(s State) {
+	if c.state == s {
+		return
+	}
+	c.state = s
+}
+
+func (c *Conn) trace(kind trace.Kind, format string, args ...any) {
+	if c.stack.tracer != nil {
+		c.stack.tracer.Emit(kind, c.stack.name+"/tcp", format, args...)
+	}
+}
+
+// wire sequence conversions: stream offset 0 is the byte after the SYN, so
+// the SYN itself sits at offset -1.
+func (c *Conn) sendWireSeq(off int64) uint32 { return c.iss + 1 + uint32(uint64(off)) }
+func (c *Conn) recvWireSeq(off int64) uint32 { return c.irs + 1 + uint32(uint64(off)) }
+
+// recvOffset unwraps an incoming wire sequence number to a stream offset.
+func (c *Conn) recvOffset(seq uint32) int64 {
+	return c.rb.rcvNxt + int64(seqDelta(seq, c.recvWireSeq(c.rb.rcvNxt)))
+}
+
+// ackOffset unwraps an incoming wire acknowledgement number.
+func (c *Conn) ackOffset(ack uint32) int64 {
+	return c.sndUna + int64(seqDelta(ack, c.sendWireSeq(c.sndUna)))
+}
+
+func (c *Conn) connect() {
+	c.setState(StateSynSent)
+	c.sndUna, c.sndNxt, c.sndMax = -1, -1, 0 // SYN occupies offset -1
+	c.sendSegmentRaw(FlagSYN, -1, nil, true)
+	c.sndNxt = 0
+	c.armRetransTimer()
+}
+
+// acceptSYN initialises a passive connection from a received SYN.
+func (c *Conn) acceptSYN(seg *Segment) {
+	c.irs = seg.Seq
+	if seg.MSS != 0 && int(seg.MSS) < c.mss {
+		c.mss = int(seg.MSS)
+	}
+	c.sndWnd = int(seg.Window)
+	c.setState(StateSynRcvd)
+	c.sndUna, c.sndNxt, c.sndMax = -1, -1, 0
+	c.sendSegmentRaw(FlagSYN|FlagACK, -1, nil, true)
+	c.sndNxt = 0
+	c.armRetransTimer()
+}
+
+// handleSegment processes one inbound segment addressed to this
+// connection.
+func (c *Conn) handleSegment(seg *Segment) {
+	if c.state == StateClosed {
+		return
+	}
+	if c.state == StateSynSent {
+		c.handleSynSent(seg)
+		return
+	}
+	segOff := c.recvOffset(seg.Seq)
+	segLen := int64(seg.SegLen())
+	wnd := int64(c.rb.window())
+
+	if seg.Flags.Has(FlagRST) {
+		// Accept RST only if in window (approximately).
+		if segOff <= c.rb.rcvNxt+wnd && segOff+segLen >= c.rb.rcvNxt {
+			c.trace(trace.KindConnReset, "RST received in %v", c.state)
+			c.teardown(ErrReset)
+		}
+		return
+	}
+
+	// Duplicate SYN for an embryonic connection: re-send SYN-ACK.
+	if seg.Flags.Has(FlagSYN) && c.state == StateSynRcvd && seg.Seq == c.irs {
+		c.sendSegmentRaw(FlagSYN|FlagACK, -1, nil, true)
+		return
+	}
+
+	// Segment acceptability (RFC 793): any overlap with the window.
+	acceptable := true
+	if segLen == 0 {
+		acceptable = segOff <= c.rb.rcvNxt+wnd // pure ack at or before window edge
+	} else {
+		acceptable = segOff < c.rb.rcvNxt+wnd && segOff+segLen > c.rb.rcvNxt
+	}
+	if !acceptable {
+		// Out-of-window (e.g. a persist probe against a zero
+		// window): answer with the current ack so the sender learns
+		// our window.
+		c.sendControl(FlagACK)
+		return
+	}
+
+	if seg.Flags.Has(FlagACK) {
+		c.processAck(seg)
+		if c.state == StateClosed {
+			return
+		}
+	}
+
+	if len(seg.Payload) > 0 {
+		c.processData(segOff, seg)
+	}
+
+	if seg.Flags.Has(FlagFIN) {
+		finOff := segOff + int64(len(seg.Payload))
+		c.processPeerFIN(finOff)
+	}
+}
+
+func (c *Conn) handleSynSent(seg *Segment) {
+	if seg.Flags.Has(FlagRST) {
+		if seg.Flags.Has(FlagACK) && c.ackOffset(seg.Ack) == c.sndNxt {
+			c.teardown(ErrReset)
+		}
+		return
+	}
+	if !seg.Flags.Has(FlagSYN) || !seg.Flags.Has(FlagACK) {
+		return
+	}
+	if c.ackOffset(seg.Ack) != 0 { // must ack exactly our SYN
+		c.sendRST()
+		return
+	}
+	c.irs = seg.Seq
+	c.rb.rcvNxt = 0
+	c.rb.readOff = 0
+	if seg.MSS != 0 && int(seg.MSS) < c.mss {
+		c.mss = int(seg.MSS)
+	}
+	c.resetCongestion()
+	c.sndUna = 0
+	c.sndWnd = int(seg.Window)
+	c.cancelRetransTimer()
+	c.takeRTTSample()
+	c.setState(StateEstablished)
+	c.trace(trace.KindConnEstablished, "active open to %v:%d", c.id.RemoteAddr, c.id.RemotePort)
+	c.sendControl(FlagACK)
+	if c.OnEstablished != nil {
+		c.OnEstablished()
+	}
+	c.maybeSend()
+}
+
+func (c *Conn) processAck(seg *Segment) {
+	ackOff := c.ackOffset(seg.Ack)
+	// An ack may cover bytes beyond sndNxt when sndNxt was rewound at a
+	// timeout but the receiver had buffered later segments out of
+	// order; anything up to sndMax was genuinely sent.
+	maxAckable := c.sndMax
+
+	if ackOff > maxAckable {
+		if c.suppressed || c.wasReplica {
+			// The backup sees client acks for bytes the primary
+			// sent before the (deterministic) replica produced
+			// them; remember and apply once our stream catches up.
+			if ackOff > c.ghostAck {
+				c.ghostAck = ackOff
+			}
+			c.applyWindow(seg)
+			return
+		}
+		// Ack for data never sent: ignore but re-ack.
+		c.sendControl(FlagACK)
+		return
+	}
+
+	if ackOff > c.sndUna {
+		c.advanceUna(ackOff)
+		c.applyWindow(seg)
+		c.dupAcks = 0
+	} else if ackOff == c.sndUna {
+		c.applyWindow(seg)
+		if c.sndNxt > c.sndUna && len(seg.Payload) == 0 && !seg.Flags.Has(FlagSYN|FlagFIN) {
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				c.fastRetransmit()
+			}
+		}
+	}
+
+	// Handshake completion for passive open.
+	if c.state == StateSynRcvd && ackOff >= 0 {
+		c.setState(StateEstablished)
+		c.cancelRetransTimer()
+		c.armRetransTimerIfNeeded()
+		c.trace(trace.KindConnEstablished, "passive open from %v:%d", c.id.RemoteAddr, c.id.RemotePort)
+		if c.OnEstablished != nil {
+			c.OnEstablished()
+		}
+		if l := c.stack.listenerFor(c.id.LocalAddr, c.id.LocalPort); l != nil && l.OnEstablished != nil {
+			l.OnEstablished(c)
+		}
+	}
+
+	// FIN acknowledged? (Checked against finQueued, not finSent: a
+	// timeout rewind may have cleared finSent after the FIN was in
+	// fact delivered.)
+	if c.finQueued && !c.finAcked && ackOff > c.finOff {
+		c.finAcked = true
+		c.finSent = true
+		switch c.state {
+		case StateFinWait1:
+			c.setState(StateFinWait2)
+		case StateClosing:
+			c.enterTimeWait()
+		case StateLastAck:
+			c.trace(trace.KindConnClosed, "closed (LAST_ACK)")
+			c.teardown(nil)
+		}
+	}
+}
+
+// advanceUna handles a new acknowledgement: frees the send buffer, updates
+// RTT and congestion state, and manages the retransmission timer.
+func (c *Conn) advanceUna(ackOff int64) {
+	acked := ackOff - c.sndUna
+	c.sndUna = ackOff
+	if c.sndNxt < ackOff {
+		c.sndNxt = ackOff // the ack vouches for rewound-past bytes
+	}
+	// Bytes (not the FIN's phantom octet) leave the buffer.
+	relTo := ackOff
+	if relTo > c.sb.end() {
+		relTo = c.sb.end()
+	}
+	c.sb.release(relTo)
+
+	if c.rtPending && ackOff > c.rtOffset {
+		c.updateRTT(c.stack.sim.Since(c.rtStart))
+		c.rtPending = false
+	}
+	c.backoff = 0
+	c.retransCount = 0
+	// NewReno partial-ack handling: an ack that advances una but not
+	// past the recovery point means the next hole is also lost —
+	// retransmit it immediately instead of waiting for the RTO.
+	if c.fastRecovery {
+		if ackOff >= c.recoverOff {
+			c.fastRecovery = false
+		} else {
+			c.retransmit()
+		}
+	}
+	c.growCwnd(int(acked))
+	if c.sndNxt > c.sndUna || (c.finQueued && !c.finAcked && c.finSent) {
+		c.armRetransTimer()
+	} else {
+		c.cancelRetransTimer()
+	}
+	c.notifyWritable()
+}
+
+func (c *Conn) applyWindow(seg *Segment) {
+	c.sndWnd = int(seg.Window)
+	if c.sndWnd > 0 {
+		c.cancelPersistTimer()
+		c.maybeSend()
+	} else if c.pendingToSend() {
+		c.armPersistTimer()
+	}
+}
+
+func (c *Conn) processData(segOff int64, seg *Segment) {
+	oldNxt := c.rb.rcvNxt
+	delivered := c.rb.accept(segOff, seg.Payload)
+	if len(delivered) > 0 && c.deliverTap != nil {
+		c.deliverTap(oldNxt, delivered)
+	}
+	// A duplicate or out-of-order segment must be acknowledged
+	// immediately — the duplicate ack drives the peer's fast retransmit;
+	// only a lone in-order segment may be delayed (RFC 1122).
+	inOrder := len(delivered) > 0 && segOff <= oldNxt
+	if c.stack.opts.DelayedACK && inOrder && !seg.Flags.Has(FlagFIN) {
+		c.scheduleDelayedAck()
+	} else {
+		c.sendControl(FlagACK)
+	}
+	if len(delivered) > 0 {
+		c.notifyReadable()
+	}
+}
+
+// scheduleDelayedAck acknowledges every second segment immediately and a
+// lone segment after the ack-delay timer.
+func (c *Conn) scheduleDelayedAck() {
+	if c.ackPending {
+		c.sendControl(FlagACK) // second segment: ack now
+		return
+	}
+	c.ackPending = true
+	c.delAckTimer = c.stack.sim.Schedule(c.stack.opts.AckDelay, func() {
+		c.delAckTimer = nil
+		if c.ackPending {
+			c.sendControl(FlagACK)
+		}
+	})
+}
+
+// clearDelayedAck cancels a pending delayed acknowledgement; called when
+// any segment carrying ACK goes out (the ack rides along).
+func (c *Conn) clearDelayedAck() {
+	c.ackPending = false
+	if c.delAckTimer != nil {
+		c.stack.sim.Cancel(c.delAckTimer)
+		c.delAckTimer = nil
+	}
+}
+
+func (c *Conn) processPeerFIN(finOff int64) {
+	if c.rb.rcvNxt != finOff {
+		return // FIN not yet in order; will be processed on retransmit
+	}
+	if !c.peerFINSeen {
+		c.peerFINSeen = true
+		c.peerFINOff = finOff
+		c.rb.rcvNxt = finOff + 1
+	}
+	c.sendControl(FlagACK)
+	switch c.state {
+	case StateEstablished, StateSynRcvd:
+		c.setState(StateCloseWait)
+	case StateFinWait1:
+		if c.finAcked {
+			c.enterTimeWait()
+		} else {
+			c.setState(StateClosing)
+		}
+	case StateFinWait2:
+		c.enterTimeWait()
+	}
+	c.notifyReadable() // EOF is readable
+}
+
+// --- Output path ---
+
+// pendingToSend reports whether unsent data or an unsent FIN exists.
+func (c *Conn) pendingToSend() bool {
+	if c.sndNxt < c.sb.end() {
+		return true
+	}
+	return c.finQueued && !c.finSent && !c.finGate
+}
+
+// maybeSend transmits as much pending data as the flow-control and
+// congestion windows allow, then a FIN if due.
+func (c *Conn) maybeSend() {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateFinWait1, StateClosing, StateLastAck:
+	default:
+		return
+	}
+	c.applyGhostAck()
+	wnd := c.sndWnd
+	if c.cwnd < wnd {
+		wnd = c.cwnd
+	}
+	sent := false
+	for c.sndNxt < c.sb.end() {
+		flight := int(c.sndNxt - c.sndUna)
+		room := wnd - flight
+		if room <= 0 {
+			break
+		}
+		n := c.mss
+		if n > room {
+			n = room
+		}
+		payload, err := c.sb.slice(c.sndNxt, n)
+		if err != nil || len(payload) == 0 {
+			break
+		}
+		// Nagle (RFC 896): hold back a sub-MSS segment while earlier
+		// data is unacknowledged, unless it is the final data before
+		// a FIN.
+		if c.stack.opts.Nagle && len(payload) < c.mss &&
+			c.sndNxt > c.sndUna &&
+			c.sndNxt+int64(len(payload)) == c.sb.end() &&
+			!(c.finQueued && !c.finGate) {
+			break
+		}
+		c.transmitData(c.sndNxt, payload, false)
+		c.sndNxt += int64(len(payload))
+		if c.sndMax < c.sndNxt {
+			c.sndMax = c.sndNxt
+		}
+		sent = true
+	}
+	// FIN rides after all data, if the gate is open and window permits
+	// its phantom octet.
+	if c.finQueued && !c.finSent && !c.finGate && c.sndNxt == c.sb.end() {
+		c.sendSegmentRaw(FlagFIN|FlagACK, c.sndNxt, nil, false)
+		c.finSent = true
+		c.sndNxt = c.finOff + 1
+		if c.sndMax < c.sndNxt {
+			c.sndMax = c.sndNxt
+		}
+		sent = true
+	}
+	if sent {
+		c.armRetransTimerIfNeeded()
+		// Karn's algorithm: never sample while backing off — the
+		// bytes at the front of the window are retransmissions.
+		if !c.rtPending && c.backoff == 0 && c.sndNxt > c.sndUna {
+			c.startRTTSample(c.sndUna)
+		}
+		// A suppressed replica may just have produced bytes the
+		// client acknowledged before we wrote them; re-apply.
+		c.applyGhostAck()
+	}
+	if c.sndWnd == 0 && c.pendingToSend() {
+		c.armPersistTimer()
+	}
+}
+
+// applyGhostAck applies a remembered client acknowledgement for bytes the
+// deterministic replica had not produced when the ack arrived (backup
+// role, paper §2: the client's acks serve as acks for both servers).
+func (c *Conn) applyGhostAck() {
+	if !(c.suppressed || c.wasReplica) || c.ghostAck <= c.sndUna {
+		return
+	}
+	target := c.ghostAck
+	if target > c.sndNxt {
+		target = c.sndNxt
+	}
+	if target > c.sndUna {
+		c.advanceUna(target)
+	}
+}
+
+func (c *Conn) transmitData(off int64, payload []byte, retrans bool) {
+	flags := FlagACK | FlagPSH
+	// Piggyback the FIN on the final data segment when possible.
+	if c.finQueued && !c.finGate && off+int64(len(payload)) == c.finOff &&
+		(c.finSent || retrans) {
+		flags |= FlagFIN
+	}
+	c.sendSegmentRaw(flags, off, payload, false)
+}
+
+// sendControl emits a data-less segment with the given flags at the
+// current send position.
+func (c *Conn) sendControl(flags Flags) {
+	if c.state == StateClosed {
+		return
+	}
+	c.sendSegmentRaw(flags, c.sndNxt, nil, false)
+}
+
+// sendSegmentRaw builds and emits one segment. off -1 denotes the SYN.
+func (c *Conn) sendSegmentRaw(flags Flags, off int64, payload []byte, isSYN bool) {
+	seg := Segment{
+		SrcPort: c.id.LocalPort,
+		DstPort: c.id.RemotePort,
+		Seq:     c.sendWireSeq(off),
+		Flags:   flags,
+		Window:  clampWindow(c.rb.window()),
+	}
+	if isSYN {
+		seg.MSS = uint16(c.stack.opts.MSS)
+	}
+	if flags.Has(FlagACK) {
+		seg.Ack = c.recvWireSeq(c.rb.rcvNxt)
+		c.clearDelayedAck() // this segment carries the ack
+	}
+	if len(payload) > 0 {
+		// Copy: the send buffer may compact under this segment.
+		seg.Payload = append([]byte(nil), payload...)
+	}
+	if c.suppressed {
+		c.SuppressedSegments++
+		c.stack.noteSuppressed(&seg, c)
+		return
+	}
+	c.stack.emit(c, &seg)
+}
+
+func (c *Conn) sendRST() {
+	if c.state == StateClosed {
+		return
+	}
+	seg := Segment{
+		SrcPort: c.id.LocalPort,
+		DstPort: c.id.RemotePort,
+		Seq:     c.sendWireSeq(c.sndNxt),
+		Ack:     c.recvWireSeq(c.rb.rcvNxt),
+		Flags:   FlagRST | FlagACK,
+	}
+	if c.suppressed {
+		c.SuppressedSegments++
+		c.stack.noteSuppressed(&seg, c)
+		return
+	}
+	c.stack.emit(c, &seg)
+}
+
+func clampWindow(w int) uint16 {
+	if w > 65535 {
+		return 65535
+	}
+	return uint16(w)
+}
+
+// --- Timers ---
+
+func (c *Conn) armRetransTimer() {
+	c.cancelRetransTimer()
+	c.retransTimer = c.stack.sim.Schedule(c.RTO(), c.onRetransTimeout)
+}
+
+func (c *Conn) armRetransTimerIfNeeded() {
+	if c.retransTimer == nil || c.retransTimer.Cancelled() {
+		c.armRetransTimer()
+	}
+}
+
+func (c *Conn) cancelRetransTimer() {
+	if c.retransTimer != nil {
+		c.stack.sim.Cancel(c.retransTimer)
+		c.retransTimer = nil
+	}
+}
+
+func (c *Conn) onRetransTimeout() {
+	c.retransTimer = nil
+	if c.state == StateClosed || c.state == StateTimeWait {
+		return
+	}
+	if c.sndNxt <= c.sndUna && !(c.finSent && !c.finAcked) &&
+		!(c.state == StateSynSent || c.state == StateSynRcvd) {
+		return // nothing outstanding
+	}
+	c.retransCount++
+	if c.retransCount > c.stack.opts.MaxRetransmits {
+		c.trace(trace.KindConnClosed, "giving up after %d retransmits", c.retransCount-1)
+		c.teardown(ErrTimeout)
+		return
+	}
+	// Timeout: collapse the congestion window (Reno).
+	flight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = maxInt(flight/2, 2*c.mss)
+	c.cwnd = c.mss
+	c.dupAcks = 0
+	c.fastRecovery = false
+	c.rtPending = false // Karn's algorithm: no samples from retransmits
+	if c.backoff < 16 {
+		c.backoff++
+	}
+	// Go back to the oldest unacked byte: everything in flight is
+	// presumed lost. Without this, segments that genuinely vanished
+	// (the backup's suppressed output, a crashed primary's in-flight
+	// data) would count against the window forever and strangle the
+	// post-takeover stream to one segment per RTO.
+	switch c.state {
+	case StateSynSent, StateSynRcvd:
+		c.retransmit()
+	default:
+		if c.sndUna < c.sb.end() {
+			c.sndNxt = c.sndUna
+			if c.finSent && !c.finAcked {
+				c.finSent = false // resend the FIN after the data
+			}
+			c.Retransmits++
+			c.trace(trace.KindRetransmit, "timeout: rewind to una=%d rto=%v", c.sndUna, c.RTO())
+			c.maybeSend()
+		} else if c.finSent && !c.finAcked {
+			c.retransmit() // lone FIN outstanding
+		}
+	}
+	c.armRetransTimer()
+}
+
+// retransmit resends the oldest outstanding segment (or SYN/FIN).
+func (c *Conn) retransmit() {
+	c.Retransmits++
+	c.trace(trace.KindRetransmit, "retransmit una=%d nxt=%d rto=%v", c.sndUna, c.sndNxt, c.RTO())
+	switch c.state {
+	case StateSynSent:
+		c.sendSegmentRaw(FlagSYN, -1, nil, true)
+		return
+	case StateSynRcvd:
+		c.sendSegmentRaw(FlagSYN|FlagACK, -1, nil, true)
+		return
+	}
+	if c.sndUna < c.sb.end() {
+		n := c.mss
+		payload, err := c.sb.slice(c.sndUna, n)
+		if err != nil || len(payload) == 0 {
+			return
+		}
+		c.transmitData(c.sndUna, payload, true)
+		return
+	}
+	if c.finSent && !c.finAcked {
+		c.sendSegmentRaw(FlagFIN|FlagACK, c.finOff, nil, false)
+	}
+}
+
+func (c *Conn) fastRetransmit() {
+	if c.fastRecovery {
+		return
+	}
+	c.fastRecovery = true
+	c.recoverOff = c.sndNxt
+	flight := int(c.sndNxt - c.sndUna)
+	c.ssthresh = maxInt(flight/2, 2*c.mss)
+	c.cwnd = c.ssthresh
+	c.retransmit()
+}
+
+func (c *Conn) armPersistTimer() {
+	if c.persistTimer != nil && !c.persistTimer.Cancelled() {
+		return
+	}
+	d := c.stack.opts.MinRTO << c.persistShift
+	if d > c.stack.opts.MaxRTO {
+		d = c.stack.opts.MaxRTO
+	}
+	c.persistTimer = c.stack.sim.Schedule(d, c.onPersistTimeout)
+}
+
+func (c *Conn) cancelPersistTimer() {
+	if c.persistTimer != nil {
+		c.stack.sim.Cancel(c.persistTimer)
+		c.persistTimer = nil
+	}
+	c.persistShift = 0
+}
+
+func (c *Conn) onPersistTimeout() {
+	c.persistTimer = nil
+	if c.state == StateClosed || !c.pendingToSend() || c.sndWnd > 0 {
+		return
+	}
+	// Send a 1-byte window probe beyond the closed window; the peer
+	// drops the byte but answers with its current window.
+	payload, err := c.sb.slice(c.sndNxt, 1)
+	if err == nil && len(payload) == 1 {
+		c.sendSegmentRaw(FlagACK|FlagPSH, c.sndNxt, payload, false)
+	} else if c.finQueued && !c.finSent && !c.finGate {
+		c.sendSegmentRaw(FlagFIN|FlagACK, c.sndNxt, nil, false)
+	}
+	if c.persistShift < 6 {
+		c.persistShift++
+	}
+	c.armPersistTimer()
+}
+
+func (c *Conn) enterTimeWait() {
+	c.setState(StateTimeWait)
+	c.cancelRetransTimer()
+	c.cancelPersistTimer()
+	if c.timeWaitTimer != nil {
+		c.stack.sim.Cancel(c.timeWaitTimer)
+	}
+	c.timeWaitTimer = c.stack.sim.Schedule(2*c.stack.opts.MSL, func() {
+		c.trace(trace.KindConnClosed, "closed (TIME_WAIT expired)")
+		c.teardown(nil)
+	})
+}
+
+// teardown finalises the connection and notifies the application once.
+func (c *Conn) teardown(err error) {
+	if c.state == StateClosed && c.closeNotified {
+		return
+	}
+	c.setState(StateClosed)
+	c.closeErr = err
+	c.cancelRetransTimer()
+	c.cancelPersistTimer()
+	c.clearDelayedAck()
+	if c.timeWaitTimer != nil {
+		c.stack.sim.Cancel(c.timeWaitTimer)
+		c.timeWaitTimer = nil
+	}
+	c.stack.removeConn(c)
+	if !c.closeNotified {
+		c.closeNotified = true
+		if c.OnClose != nil {
+			c.OnClose(err)
+		}
+	}
+}
+
+// --- RTT / congestion ---
+
+func (c *Conn) startRTTSample(off int64) {
+	c.rtPending = true
+	c.rtOffset = off
+	c.rtStart = c.stack.sim.Now()
+}
+
+// takeRTTSample seeds the estimator from the handshake round trip.
+func (c *Conn) takeRTTSample() {
+	// The SYN's RTT is unknown here (no timestamp kept); keep defaults.
+}
+
+func (c *Conn) updateRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		d := c.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if rto < c.stack.opts.MinRTO {
+		rto = c.stack.opts.MinRTO
+	}
+	if rto > c.stack.opts.MaxRTO {
+		rto = c.stack.opts.MaxRTO
+	}
+	c.rto = rto
+}
+
+func (c *Conn) resetCongestion() {
+	c.cwnd = 2 * c.mss
+	c.ssthresh = 1 << 30
+}
+
+func (c *Conn) growCwnd(acked int) {
+	if acked <= 0 {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd += minInt(acked, c.mss) // slow start
+	} else {
+		c.cwnd += maxInt(1, c.mss*c.mss/c.cwnd) // congestion avoidance
+	}
+	if limit := c.stack.opts.SendBufferSize; c.cwnd > limit {
+		c.cwnd = limit
+	}
+}
+
+// notifyReadable and notifyWritable deliver application callbacks
+// asynchronously (as zero-delay events) so that protocol processing
+// triggered from inside an application's Read/Write call can never
+// re-enter the application synchronously. Deliveries are coalesced.
+func (c *Conn) notifyReadable() {
+	if c.OnReadable == nil || c.readablePending {
+		return
+	}
+	c.readablePending = true
+	c.stack.sim.Schedule(0, func() {
+		c.readablePending = false
+		if c.OnReadable != nil {
+			c.OnReadable()
+		}
+	})
+}
+
+func (c *Conn) notifyWritable() {
+	if c.OnWritable == nil || c.writablePending {
+		return
+	}
+	c.writablePending = true
+	c.stack.sim.Schedule(0, func() {
+		c.writablePending = false
+		if c.OnWritable != nil && c.sb.free() > 0 {
+			c.OnWritable()
+		}
+	})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

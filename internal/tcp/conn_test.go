@@ -1,0 +1,363 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/netem"
+)
+
+func lan() netem.LinkConfig { return netem.DefaultLANConfig() }
+
+func TestHandshake(t *testing.T) {
+	h := newPair(t, 1, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	if client.ISS() == server.ISS() {
+		t.Fatal("both sides chose the same ISN (suspicious)")
+	}
+	if client.IRS() != server.ISS() || server.IRS() != client.ISS() {
+		t.Fatal("IRS/ISS mismatch between the two ends")
+	}
+	if client.MSS() != DefaultMSS {
+		t.Fatalf("negotiated MSS %d, want %d", client.MSS(), DefaultMSS)
+	}
+}
+
+func TestSmallTransfer(t *testing.T) {
+	h := newPair(t, 2, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	sk := attachSink(server)
+	msg := []byte("hello st-tcp world")
+	if _, err := client.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = h.sim.Run(time.Second)
+	if !bytes.Equal(sk.data, msg) {
+		t.Fatalf("server got %q, want %q", sk.data, msg)
+	}
+}
+
+func TestLargeTransferBothDirections(t *testing.T) {
+	h := newPair(t, 3, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	up := make([]byte, 2<<20)
+	down := make([]byte, 3<<20)
+	for i := range up {
+		up[i] = byte(i * 7)
+	}
+	for i := range down {
+		down[i] = byte(i * 13)
+	}
+	skServer := attachSink(server)
+	skClient := attachSink(client)
+	writeAll(client, up)
+	writeAll(server, down)
+	_ = h.sim.Run(time.Minute)
+	if !bytes.Equal(skServer.data, up) {
+		t.Fatalf("upstream corrupted: got %d bytes want %d", len(skServer.data), len(up))
+	}
+	if !bytes.Equal(skClient.data, down) {
+		t.Fatalf("downstream corrupted: got %d bytes want %d", len(skClient.data), len(down))
+	}
+}
+
+// TestLossyLinkTransfer checks retransmission repairs a 5% lossy link.
+func TestLossyLinkTransfer(t *testing.T) {
+	cfg := lan()
+	cfg.LossRate = 0.05
+	h := newPair(t, 4, cfg, Options{})
+	client, server := connectPair(t, h, 80)
+	payload := make([]byte, 512<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	sk := attachSink(server)
+	writeAll(client, payload)
+	_ = h.sim.Run(5 * time.Minute)
+	if !bytes.Equal(sk.data, payload) {
+		t.Fatalf("lossy transfer corrupted: got %d bytes want %d (retransmits=%d)",
+			len(sk.data), len(payload), client.Retransmits)
+	}
+	if client.Retransmits == 0 {
+		t.Fatal("no retransmissions on a 5% lossy link")
+	}
+}
+
+// TestTransferProperty property-checks stream integrity across random
+// payload sizes and loss rates.
+func TestTransferProperty(t *testing.T) {
+	fn := func(seed int64, sizeKB uint8, lossPct uint8) bool {
+		size := (int(sizeKB)%64 + 1) << 10
+		cfg := lan()
+		cfg.LossRate = float64(lossPct%10) / 100
+		h := newPair(t, seed, cfg, Options{})
+		client, server := connectPair(t, h, 80)
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(int(seed) + i)
+		}
+		sk := attachSink(server)
+		writeAll(client, payload)
+		_ = h.sim.Run(5 * time.Minute)
+		return bytes.Equal(sk.data, payload)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroWindowAndPersist checks flow control: a non-reading receiver
+// closes the window, the sender probes, and reading resumes the stream.
+func TestZeroWindowAndPersist(t *testing.T) {
+	opts := Options{RecvBufferSize: 8 << 10, SendBufferSize: 64 << 10}
+	h := newPair(t, 5, lan(), opts)
+	client, server := connectPair(t, h, 80)
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	writeAll(client, payload)
+	_ = h.sim.Run(3 * time.Second)
+	// The server never read: at most the receive buffer arrived.
+	if got := server.Buffered(); got > opts.RecvBufferSize {
+		t.Fatalf("receiver buffered %d with an 8KiB buffer", got)
+	}
+	if got := server.LastByteReceived(); got > int64(opts.RecvBufferSize) {
+		t.Fatalf("receiver accepted %d bytes into an 8KiB window", got)
+	}
+	// Now drain; the transfer must complete (persist probes reopen it).
+	var received []byte
+	server.OnReadable = func() {
+		buf := make([]byte, 4096)
+		for {
+			n, _ := server.Read(buf)
+			if n == 0 {
+				return
+			}
+			received = append(received, buf[:n]...)
+		}
+	}
+	server.OnReadable()
+	_ = h.sim.Run(2 * time.Minute)
+	if len(received) != len(payload) {
+		t.Fatalf("drained %d bytes, want %d", len(received), len(payload))
+	}
+	if !bytes.Equal(received, payload) {
+		t.Fatal("payload corrupted across zero-window stall")
+	}
+}
+
+func TestCleanCloseBothWays(t *testing.T) {
+	h := newPair(t, 6, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	skC, skS := attachSink(client), attachSink(server)
+	if err := client.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+	_ = h.sim.Run(time.Second)
+	if server.State() != StateCloseWait {
+		t.Fatalf("server state %v, want CLOSE_WAIT", server.State())
+	}
+	if !skS.eof {
+		t.Fatal("server did not observe EOF")
+	}
+	if err := server.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	_ = h.sim.Run(30 * time.Second) // covers TIME_WAIT
+	if !skS.closed || skS.err != nil {
+		t.Fatalf("server close notification: closed=%v err=%v", skS.closed, skS.err)
+	}
+	if !skC.closed || skC.err != nil {
+		t.Fatalf("client close notification: closed=%v err=%v", skC.closed, skC.err)
+	}
+	if client.State() != StateClosed || server.State() != StateClosed {
+		t.Fatalf("states %v/%v, want CLOSED/CLOSED", client.State(), server.State())
+	}
+}
+
+func TestFINWithPendingData(t *testing.T) {
+	h := newPair(t, 7, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	sk := attachSink(server)
+	msg := make([]byte, 100<<10)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	writeAll(client, msg)
+	if err := client.Close(); err != nil { // close with data still queued
+		t.Fatalf("close: %v", err)
+	}
+	_ = h.sim.Run(time.Minute)
+	if !bytes.Equal(sk.data, msg) {
+		t.Fatalf("data lost at close: got %d want %d", len(sk.data), len(msg))
+	}
+	if !sk.eof {
+		t.Fatal("FIN did not arrive after data")
+	}
+}
+
+func TestSimultaneousClose(t *testing.T) {
+	h := newPair(t, 8, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	_ = client.Close()
+	_ = server.Close()
+	_ = h.sim.Run(time.Minute)
+	if client.State() != StateClosed || server.State() != StateClosed {
+		t.Fatalf("states %v/%v after simultaneous close", client.State(), server.State())
+	}
+}
+
+func TestAbortSendsRST(t *testing.T) {
+	h := newPair(t, 9, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	sk := attachSink(server)
+	client.Abort()
+	_ = h.sim.Run(time.Second)
+	if !sk.closed || !errors.Is(sk.err, ErrReset) {
+		t.Fatalf("server close err = %v, want ErrReset", sk.err)
+	}
+	if client.State() != StateClosed {
+		t.Fatalf("client state %v", client.State())
+	}
+}
+
+func TestOutOfTheBlueGetsRST(t *testing.T) {
+	h := newPair(t, 10, lan(), Options{})
+	// Dial a port nobody listens on.
+	c, err := h.stackA.Dial(ip.Addr{}, addrB, 9999)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	var closeErr error
+	closed := false
+	c.OnClose = func(err error) { closed = true; closeErr = err }
+	_ = h.sim.Run(5 * time.Second)
+	if !closed || !errors.Is(closeErr, ErrReset) {
+		t.Fatalf("refused connection: closed=%v err=%v, want RST", closed, closeErr)
+	}
+}
+
+func TestRetransmissionTimeoutGivesUp(t *testing.T) {
+	h := newPair(t, 11, lan(), Options{MaxRetransmits: 4})
+	client, server := connectPair(t, h, 80)
+	_ = server
+	sk := attachSink(client)
+	h.link.SetDown(true)
+	if _, err := client.Write([]byte("into the void")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = h.sim.Run(2 * time.Minute)
+	if !sk.closed || !errors.Is(sk.err, ErrTimeout) {
+		t.Fatalf("close err = %v, want ErrTimeout", sk.err)
+	}
+}
+
+// TestRTOBackoffGrows checks exponential backoff: retransmission intervals
+// must grow while the peer is unreachable.
+func TestRTOBackoffGrows(t *testing.T) {
+	h := newPair(t, 12, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	_ = server
+	_, _ = client.Write([]byte("x"))
+	_ = h.sim.Run(100 * time.Millisecond)
+	h.link.SetDown(true)
+	_, _ = client.Write([]byte("y"))
+	before := client.RTO()
+	_ = h.sim.Run(10 * time.Second)
+	after := client.RTO()
+	if after < 4*before {
+		t.Fatalf("RTO grew only from %v to %v in 10s of silence", before, after)
+	}
+	if client.Retransmits < 3 {
+		t.Fatalf("only %d retransmits in 10s", client.Retransmits)
+	}
+}
+
+func TestDuplicateSYNHandled(t *testing.T) {
+	h := newPair(t, 13, lan(), Options{})
+	client, server := connectPair(t, h, 80)
+	// Re-deliver a synthetic duplicate SYN for the same connection.
+	seg := Segment{
+		SrcPort: client.ID().LocalPort,
+		DstPort: 80,
+		Seq:     client.ISS(),
+		Flags:   FlagSYN,
+		Window:  65535,
+		MSS:     DefaultMSS,
+	}
+	pkt := ip.Packet{Src: addrA, Dst: addrB, Proto: ip.ProtoTCP}
+	h.stackB.HandleSegment(pkt, seg)
+	_ = h.sim.Run(time.Second)
+	if server.State() != StateEstablished {
+		t.Fatalf("duplicate SYN broke the connection: %v", server.State())
+	}
+	sk := attachSink(server)
+	_, _ = client.Write([]byte("still works"))
+	_ = h.sim.Run(time.Second)
+	if string(sk.data) != "still works" {
+		t.Fatalf("data after duplicate SYN: %q", sk.data)
+	}
+}
+
+func TestMSSNegotiationTakesMin(t *testing.T) {
+	s := newPair(t, 14, lan(), Options{})
+	_ = s
+	// Rebuild with asymmetric MSS: client 536, server default.
+	h := newPair(t, 14, lan(), Options{})
+	h.stackA.opts.MSS = 536
+	client, server := connectPair(t, h, 80)
+	if client.MSS() != 536 || server.MSS() != 536 {
+		t.Fatalf("negotiated MSS %d/%d, want 536", client.MSS(), server.MSS())
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	h := newPair(t, 15, lan(), Options{})
+	l, err := h.stackB.Listen(addrB, 80)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var accepted []*Conn
+	l.OnEstablished = func(c *Conn) { accepted = append(accepted, c) }
+	seen := map[uint16]bool{}
+	for i := 0; i < 10; i++ {
+		c, err := h.stackA.Dial(ip.Addr{}, addrB, 80)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		if seen[c.ID().LocalPort] {
+			t.Fatalf("ephemeral port %d reused", c.ID().LocalPort)
+		}
+		seen[c.ID().LocalPort] = true
+	}
+	_ = h.sim.Run(time.Second)
+	if len(accepted) != 10 {
+		t.Fatalf("accepted %d connections, want 10", len(accepted))
+	}
+}
+
+func TestListenerRejectsDuplicateBind(t *testing.T) {
+	h := newPair(t, 16, lan(), Options{})
+	if _, err := h.stackB.Listen(addrB, 80); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	if _, err := h.stackB.Listen(addrB, 80); !errors.Is(err, ErrListenerExists) {
+		t.Fatalf("err = %v, want ErrListenerExists", err)
+	}
+}
+
+func TestConnIDReverse(t *testing.T) {
+	id := ConnID{LocalAddr: addrA, LocalPort: 1, RemoteAddr: addrB, RemotePort: 2}
+	r := id.Reverse()
+	if r.LocalAddr != addrB || r.LocalPort != 2 || r.RemoteAddr != addrA || r.RemotePort != 1 {
+		t.Fatalf("reverse = %+v", r)
+	}
+	if r.Reverse() != id {
+		t.Fatal("double reverse not identity")
+	}
+}

@@ -1,0 +1,394 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ip"
+	"repro/internal/netstack"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Stack-level errors.
+var (
+	ErrListenerExists = errors.New("tcp: listener already bound")
+	ErrConnExists     = errors.New("tcp: connection already exists")
+	ErrNoPorts        = errors.New("tcp: ephemeral ports exhausted")
+)
+
+// ConnID identifies a connection by its 4-tuple.
+type ConnID struct {
+	LocalAddr  ip.Addr
+	LocalPort  uint16
+	RemoteAddr ip.Addr
+	RemotePort uint16
+}
+
+// String renders the 4-tuple.
+func (id ConnID) String() string {
+	return fmt.Sprintf("%v:%d<->%v:%d", id.LocalAddr, id.LocalPort, id.RemoteAddr, id.RemotePort)
+}
+
+// Reverse swaps the local and remote halves.
+func (id ConnID) Reverse() ConnID {
+	return ConnID{
+		LocalAddr:  id.RemoteAddr,
+		LocalPort:  id.RemotePort,
+		RemoteAddr: id.LocalAddr,
+		RemotePort: id.LocalPort,
+	}
+}
+
+// Options tune a TCP stack. Zero values select defaults.
+type Options struct {
+	MSS            int
+	SendBufferSize int
+	RecvBufferSize int
+	MinRTO         time.Duration
+	MaxRTO         time.Duration
+	InitialRTO     time.Duration
+	MaxRetransmits int
+	MSL            time.Duration
+
+	// Nagle enables RFC 896 small-segment coalescing: a sub-MSS segment
+	// is held back while unacknowledged data is in flight.
+	Nagle bool
+	// DelayedACK enables RFC 1122 acknowledgement delay: a lone in-order
+	// data segment is acknowledged after AckDelay or when a second
+	// segment arrives, whichever is first. Out-of-order segments are
+	// always acknowledged immediately (duplicate acks drive fast
+	// retransmit).
+	DelayedACK bool
+	// AckDelay is the delayed-acknowledgement timer (default 40 ms).
+	AckDelay time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.MSS == 0 {
+		o.MSS = DefaultMSS
+	}
+	if o.SendBufferSize == 0 {
+		o.SendBufferSize = 256 << 10
+	}
+	if o.RecvBufferSize == 0 {
+		o.RecvBufferSize = 256 << 10
+	}
+	if o.MinRTO == 0 {
+		o.MinRTO = 200 * time.Millisecond
+	}
+	if o.MaxRTO == 0 {
+		o.MaxRTO = 60 * time.Second
+	}
+	if o.InitialRTO == 0 {
+		o.InitialRTO = time.Second
+	}
+	if o.MaxRetransmits == 0 {
+		o.MaxRetransmits = 15
+	}
+	if o.MSL == 0 {
+		o.MSL = 5 * time.Second
+	}
+	if o.AckDelay == 0 {
+		o.AckDelay = 40 * time.Millisecond
+	}
+}
+
+// Listener accepts inbound connections on one (address, port) pair.
+type Listener struct {
+	stack *Stack
+	addr  ip.Addr
+	port  uint16
+
+	// ISNProvider, when non-nil, supplies the initial send sequence
+	// number for a new passive connection. The ST-TCP backup installs a
+	// provider that returns the primary's announced ISN (paper §2: the
+	// backup "changes its initial sequence number to match that of the
+	// primary").
+	ISNProvider func(id ConnID) (uint32, bool)
+
+	// OnSynRcvd fires when a SYN creates an embryonic connection; the
+	// ST-TCP primary uses it to announce the new connection to the
+	// backup.
+	OnSynRcvd func(*Conn)
+
+	// OnEstablished fires when a passive connection completes the
+	// handshake; it is the accept callback.
+	OnEstablished func(*Conn)
+
+	// NewConnSetup, when non-nil, runs on every connection the listener
+	// creates, before any segment processing; replication layers use it
+	// to install taps and suppression.
+	NewConnSetup func(*Conn)
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() ip.Addr { return l.addr }
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Stack is a host's TCP layer: it owns the connection table, demultiplexes
+// inbound segments, and emits outbound segments through the netstack.
+type Stack struct {
+	sim    *sim.Simulator
+	ns     *netstack.Stack
+	name   string
+	opts   Options
+	tracer *trace.Recorder
+
+	conns     map[ConnID]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+
+	// OnSuppressed, when non-nil, observes every segment a suppressed
+	// connection generated but did not emit.
+	OnSuppressed func(c *Conn, seg *Segment)
+
+	// SegmentFilter, when non-nil, sees every inbound segment before
+	// demux and may consume it by returning false. The ST-TCP backup
+	// uses it to hold segments for connections whose ISN announcement
+	// has not yet arrived.
+	SegmentFilter func(pkt ip.Packet, seg *Segment) bool
+
+	// Emitted counts segments actually transmitted.
+	Emitted int64
+	// Received counts segments accepted by demux.
+	Received int64
+}
+
+// NewStack creates a TCP layer on top of ns and registers itself as the
+// netstack's TCP handler.
+func NewStack(s *sim.Simulator, ns *netstack.Stack, name string, opts Options, tracer *trace.Recorder) *Stack {
+	opts.fillDefaults()
+	st := &Stack{
+		sim:       s,
+		ns:        ns,
+		name:      name,
+		opts:      opts,
+		tracer:    tracer,
+		conns:     make(map[ConnID]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  49152,
+	}
+	ns.RegisterTCP(st.handlePacket)
+	return st
+}
+
+// Name returns the stack's trace name.
+func (st *Stack) Name() string { return st.name }
+
+// Options returns the stack's effective options.
+func (st *Stack) Options() Options { return st.opts }
+
+// Netstack returns the underlying IP stack.
+func (st *Stack) Netstack() *netstack.Stack { return st.ns }
+
+// Sim returns the simulator the stack runs on.
+func (st *Stack) Sim() *sim.Simulator { return st.sim }
+
+// Conns returns a snapshot of live connections.
+func (st *Stack) Conns() []*Conn {
+	out := make([]*Conn, 0, len(st.conns))
+	for _, c := range st.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Lookup finds the connection with the given 4-tuple.
+func (st *Stack) Lookup(id ConnID) (*Conn, bool) {
+	c, ok := st.conns[id]
+	return c, ok
+}
+
+// Listen binds a listener to (addr, port). addr may be an alias such as the
+// shared serviceIP.
+func (st *Stack) Listen(addr ip.Addr, port uint16) (*Listener, error) {
+	if _, ok := st.listeners[port]; ok {
+		return nil, fmt.Errorf("%w: port %d", ErrListenerExists, port)
+	}
+	l := &Listener{stack: st, addr: addr, port: port}
+	st.listeners[port] = l
+	return l, nil
+}
+
+// Close unbinds the listener.
+func (l *Listener) Close() { delete(l.stack.listeners, l.port) }
+
+// Dial opens an active connection from local (the stack's primary address
+// if zero) to remote:remotePort.
+func (st *Stack) Dial(local ip.Addr, remote ip.Addr, remotePort uint16) (*Conn, error) {
+	if local.IsZero() {
+		local = st.ns.Addr()
+	}
+	port, err := st.allocPort(local, remote, remotePort)
+	if err != nil {
+		return nil, err
+	}
+	id := ConnID{LocalAddr: local, LocalPort: port, RemoteAddr: remote, RemotePort: remotePort}
+	c := st.newConn(id)
+	c.iss = st.chooseISN()
+	st.conns[id] = c
+	c.connect()
+	return c, nil
+}
+
+func (st *Stack) allocPort(local, remote ip.Addr, remotePort uint16) (uint16, error) {
+	for i := 0; i < 16384; i++ {
+		p := st.nextPort
+		st.nextPort++
+		if st.nextPort == 0 {
+			st.nextPort = 49152
+		}
+		id := ConnID{LocalAddr: local, LocalPort: p, RemoteAddr: remote, RemotePort: remotePort}
+		if _, used := st.conns[id]; !used {
+			if _, listening := st.listeners[p]; !listening {
+				return p, nil
+			}
+		}
+	}
+	return 0, ErrNoPorts
+}
+
+func (st *Stack) chooseISN() uint32 {
+	return st.sim.Rand().Uint32()
+}
+
+func (st *Stack) newConn(id ConnID) *Conn {
+	c := &Conn{
+		stack: st,
+		id:    id,
+		mss:   st.opts.MSS,
+		sb:    newSendBuffer(st.opts.SendBufferSize),
+		rb:    newRecvBuffer(st.opts.RecvBufferSize),
+		rto:   st.opts.InitialRTO,
+	}
+	c.resetCongestion()
+	return c
+}
+
+// CreateReplicaConn builds a passive connection with a pinned ISN and
+// applies setup before any segment is processed; the ST-TCP backup uses it
+// when replaying a held SYN would be awkward (e.g. reconstructing state
+// from a heartbeat after the announcement datagram was lost).
+func (st *Stack) CreateReplicaConn(id ConnID, iss uint32, setup func(*Conn)) (*Conn, error) {
+	if _, ok := st.conns[id]; ok {
+		return nil, fmt.Errorf("%w: %v", ErrConnExists, id)
+	}
+	c := st.newConn(id)
+	c.iss = iss
+	if setup != nil {
+		setup(c)
+	}
+	st.conns[id] = c
+	return c, nil
+}
+
+func (st *Stack) removeConn(c *Conn) {
+	if cur, ok := st.conns[c.id]; ok && cur == c {
+		delete(st.conns, c.id)
+	}
+}
+
+func (st *Stack) listenerFor(addr ip.Addr, port uint16) *Listener {
+	l, ok := st.listeners[port]
+	if !ok {
+		return nil
+	}
+	if !l.addr.IsZero() && l.addr != addr {
+		return nil
+	}
+	return l
+}
+
+// emit transmits a segment for conn through the IP layer.
+func (st *Stack) emit(c *Conn, seg *Segment) {
+	st.Emitted++
+	raw := seg.Encode(c.id.LocalAddr, c.id.RemoteAddr)
+	_ = st.ns.SendIPFrom(c.id.LocalAddr, c.id.RemoteAddr, ip.ProtoTCP, raw)
+}
+
+func (st *Stack) noteSuppressed(seg *Segment, c *Conn) {
+	if st.OnSuppressed != nil {
+		st.OnSuppressed(c, seg)
+	}
+}
+
+// handlePacket demultiplexes one inbound TCP packet.
+func (st *Stack) handlePacket(pkt ip.Packet) {
+	seg, err := Decode(pkt.Src, pkt.Dst, pkt.Payload)
+	if err != nil {
+		return
+	}
+	st.HandleSegment(pkt, seg)
+}
+
+// HandleSegment runs demux on an already-decoded segment. It is exported
+// so the ST-TCP backup can re-inject segments it held back.
+func (st *Stack) HandleSegment(pkt ip.Packet, seg Segment) {
+	if st.SegmentFilter != nil && !st.SegmentFilter(pkt, &seg) {
+		return
+	}
+	st.Received++
+	id := ConnID{
+		LocalAddr:  pkt.Dst,
+		LocalPort:  seg.DstPort,
+		RemoteAddr: pkt.Src,
+		RemotePort: seg.SrcPort,
+	}
+	if c, ok := st.conns[id]; ok {
+		c.handleSegment(&seg)
+		return
+	}
+	if seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagACK) {
+		if l := st.listenerFor(pkt.Dst, seg.DstPort); l != nil {
+			st.acceptNew(l, id, &seg)
+			return
+		}
+	}
+	// Out of the blue: reset, unless it was itself a RST.
+	if !seg.Flags.Has(FlagRST) {
+		st.sendRSTFor(pkt, &seg)
+	}
+}
+
+func (st *Stack) acceptNew(l *Listener, id ConnID, seg *Segment) {
+	c := st.newConn(id)
+	if l.ISNProvider != nil {
+		if isn, ok := l.ISNProvider(id); ok {
+			c.iss = isn
+		} else {
+			c.iss = st.chooseISN()
+		}
+	} else {
+		c.iss = st.chooseISN()
+	}
+	if l.NewConnSetup != nil {
+		l.NewConnSetup(c)
+	}
+	st.conns[id] = c
+	c.acceptSYN(seg)
+	if l.OnSynRcvd != nil {
+		l.OnSynRcvd(c)
+	}
+}
+
+// sendRSTFor answers an out-of-the-blue segment with a RST, as a freshly
+// rebooted server would — the visible failure mode ST-TCP exists to mask.
+func (st *Stack) sendRSTFor(pkt ip.Packet, seg *Segment) {
+	rst := Segment{
+		SrcPort: seg.DstPort,
+		DstPort: seg.SrcPort,
+		Flags:   FlagRST | FlagACK,
+		Ack:     seg.Seq + uint32(seg.SegLen()),
+	}
+	if seg.Flags.Has(FlagACK) {
+		rst.Seq = seg.Ack
+		rst.Flags = FlagRST
+	}
+	st.Emitted++
+	raw := rst.Encode(pkt.Dst, pkt.Src)
+	_ = st.ns.SendIPFrom(pkt.Dst, pkt.Src, ip.ProtoTCP, raw)
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonEvent is the serialised form of an Event; times are emitted both as
+// RFC 3339 stamps and as nanoseconds since the given epoch so downstream
+// tooling can plot without date parsing.
+type jsonEvent struct {
+	Time      time.Time `json:"time"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+	Kind      string    `json:"kind"`
+	Component string    `json:"component"`
+	Message   string    `json:"message"`
+	Value     int64     `json:"value,omitempty"`
+}
+
+// WriteJSON streams the recorded events as a JSON array to w, with
+// elapsed_ns measured from epoch. It is the machine-readable counterpart
+// of Dump for post-processing experiment traces.
+func (r *Recorder) WriteJSON(w io.Writer, epoch time.Time) error {
+	events := r.Events()
+	out := make([]jsonEvent, len(events))
+	for i, e := range events {
+		out[i] = jsonEvent{
+			Time:      e.Time,
+			ElapsedNS: e.Time.Sub(epoch).Nanoseconds(),
+			Kind:      e.Kind.String(),
+			Component: e.Component,
+			Message:   e.Message,
+			Value:     e.Value,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteJSON(t *testing.T) {
+	epoch := time.Date(2005, 6, 28, 0, 0, 0, 0, time.UTC)
+	now := epoch
+	r := NewRecorder(func() time.Time {
+		now = now.Add(50 * time.Millisecond)
+		return now
+	})
+	r.Emit(KindHostCrash, "primary", "HW crash")
+	r.EmitValue(KindTakeover, "backup/sttcp", 3, "took over")
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, epoch); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0]["kind"] != "host-crash" || events[1]["kind"] != "takeover" {
+		t.Fatalf("kinds: %v / %v", events[0]["kind"], events[1]["kind"])
+	}
+	if events[0]["elapsed_ns"].(float64) != float64(50*time.Millisecond) {
+		t.Fatalf("elapsed_ns = %v", events[0]["elapsed_ns"])
+	}
+	if events[1]["value"].(float64) != 3 {
+		t.Fatalf("value = %v", events[1]["value"])
+	}
+	if _, present := events[0]["value"]; present {
+		t.Fatal("zero value not omitted")
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	r := NewRecorder(time.Now)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, time.Now()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty export: %v, %d", err, len(events))
+	}
+}

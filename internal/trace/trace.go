@@ -1,0 +1,263 @@
+// Package trace provides structured event recording for simulations.
+//
+// Components emit typed events (connection takeover, heartbeat loss, crash
+// injection, ...) tagged with virtual timestamps; experiments query the
+// recorded stream to compute metrics such as failover time, and tests assert
+// on it to verify that a scenario unfolded the way Table 1 of the paper says
+// it should.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind classifies a recorded event.
+type Kind int
+
+// Event kinds, grouped by the subsystem that emits them.
+const (
+	KindGeneric Kind = iota + 1
+
+	// Fault injection.
+	KindHostCrash
+	KindOSCrash
+	KindAppCrash
+	KindNICFail
+	KindLinkDrop
+	KindPowerOff
+
+	// Heartbeat subsystem.
+	KindHBSent
+	KindHBReceived
+	KindHBLinkDown
+	KindHBLinkUp
+
+	// Failure detection and recovery (Table 1 actions).
+	KindSuspect
+	KindTakeover
+	KindNonFTMode
+	KindShutdownPeer
+	KindFINDelayed
+	KindFINSuppressed
+	KindFINReleased
+	KindByteRecovery
+
+	// TCP milestones.
+	KindConnEstablished
+	KindConnClosed
+	KindConnReset
+	KindRetransmit
+
+	// Application milestones.
+	KindAppProgress
+	KindAppDone
+)
+
+var kindNames = map[Kind]string{
+	KindGeneric:         "generic",
+	KindHostCrash:       "host-crash",
+	KindOSCrash:         "os-crash",
+	KindAppCrash:        "app-crash",
+	KindNICFail:         "nic-fail",
+	KindLinkDrop:        "link-drop",
+	KindPowerOff:        "power-off",
+	KindHBSent:          "hb-sent",
+	KindHBReceived:      "hb-received",
+	KindHBLinkDown:      "hb-link-down",
+	KindHBLinkUp:        "hb-link-up",
+	KindSuspect:         "suspect",
+	KindTakeover:        "takeover",
+	KindNonFTMode:       "non-ft-mode",
+	KindShutdownPeer:    "shutdown-peer",
+	KindFINDelayed:      "fin-delayed",
+	KindFINSuppressed:   "fin-suppressed",
+	KindFINReleased:     "fin-released",
+	KindByteRecovery:    "byte-recovery",
+	KindConnEstablished: "conn-established",
+	KindConnClosed:      "conn-closed",
+	KindConnReset:       "conn-reset",
+	KindRetransmit:      "retransmit",
+	KindAppProgress:     "app-progress",
+	KindAppDone:         "app-done",
+}
+
+// String returns the canonical lowercase name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Time      time.Time
+	Kind      Kind
+	Component string // e.g. "primary/sttcp", "client/tcp"
+	Message   string
+	Value     int64 // optional numeric payload (bytes, sequence number, ...)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12s %-18s %-20s %s", e.Time.Format("15:04:05.000"), e.Kind, e.Component, e.Message)
+}
+
+// Recorder accumulates events in timestamp order (events arrive in order
+// because the simulation is single-threaded).
+type Recorder struct {
+	events []Event
+	nowFn  func() time.Time
+}
+
+// NewRecorder returns a recorder that stamps events using now, typically
+// (*sim.Simulator).Now.
+func NewRecorder(now func() time.Time) *Recorder {
+	return &Recorder{nowFn: now}
+}
+
+// Emit records an event with a formatted message.
+func (r *Recorder) Emit(kind Kind, component, format string, args ...any) {
+	r.EmitValue(kind, component, 0, format, args...)
+}
+
+// EmitValue records an event carrying a numeric payload.
+func (r *Recorder) EmitValue(kind Kind, component string, value int64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Time:      r.nowFn(),
+		Kind:      kind,
+		Component: component,
+		Message:   fmt.Sprintf(format, args...),
+		Value:     value,
+	})
+}
+
+// Events returns a copy of all recorded events.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Filter returns the events matching kind, in order.
+func (r *Recorder) Filter(kind Kind) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FilterComponent returns events whose component contains substr.
+func (r *Recorder) FilterComponent(substr string) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range r.events {
+		if strings.Contains(e.Component, substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the earliest event of the given kind, or false if none.
+func (r *Recorder) First(kind Kind) (Event, bool) {
+	if r == nil {
+		return Event{}, false
+	}
+	for _, e := range r.events {
+		if e.Kind == kind {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Last returns the latest event of the given kind, or false if none.
+func (r *Recorder) Last(kind Kind) (Event, bool) {
+	if r == nil {
+		return Event{}, false
+	}
+	for i := len(r.events) - 1; i >= 0; i-- {
+		if r.events[i].Kind == kind {
+			return r.events[i], true
+		}
+	}
+	return Event{}, false
+}
+
+// Count reports the number of events of the given kind.
+func (r *Recorder) Count(kind Kind) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether any event of the given kind was recorded.
+func (r *Recorder) Has(kind Kind) bool {
+	_, ok := r.First(kind)
+	return ok
+}
+
+// Dump renders all events as a multi-line string, for debugging and the demo
+// CLIs.
+func (r *Recorder) Dump() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range r.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Kinds returns the distinct kinds recorded, sorted by name, useful in
+// tests that assert a scenario produced exactly the expected classes of
+// events.
+func (r *Recorder) Kinds() []Kind {
+	if r == nil {
+		return nil
+	}
+	seen := map[Kind]bool{}
+	var out []Kind
+	for _, e := range r.events {
+		if !seen[e.Kind] {
+			seen[e.Kind] = true
+			out = append(out, e.Kind)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

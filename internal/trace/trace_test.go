@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func newClock() func() time.Time {
+	now := time.Date(2005, 6, 28, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}
+}
+
+func TestEmitAndQuery(t *testing.T) {
+	r := NewRecorder(newClock())
+	r.Emit(KindHostCrash, "primary", "HW crash")
+	r.Emit(KindTakeover, "backup/sttcp", "took over %d conns", 3)
+	r.EmitValue(KindAppProgress, "client", 42, "progress")
+
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	e, ok := r.First(KindTakeover)
+	if !ok || e.Message != "took over 3 conns" {
+		t.Fatalf("first takeover = %+v, %v", e, ok)
+	}
+	if r.Count(KindHostCrash) != 1 || r.Count(KindNICFail) != 0 {
+		t.Fatal("count wrong")
+	}
+	if !r.Has(KindAppProgress) || r.Has(KindFINDelayed) {
+		t.Fatal("has wrong")
+	}
+	if got := r.Filter(KindAppProgress); len(got) != 1 || got[0].Value != 42 {
+		t.Fatalf("filter = %+v", got)
+	}
+	if got := r.FilterComponent("sttcp"); len(got) != 1 {
+		t.Fatalf("filterComponent = %+v", got)
+	}
+}
+
+func TestLastAndOrdering(t *testing.T) {
+	r := NewRecorder(newClock())
+	r.Emit(KindRetransmit, "a", "first")
+	r.Emit(KindRetransmit, "b", "second")
+	e, ok := r.Last(KindRetransmit)
+	if !ok || e.Message != "second" {
+		t.Fatalf("last = %+v", e)
+	}
+	events := r.Events()
+	if !events[1].Time.After(events[0].Time) {
+		t.Fatal("timestamps not monotone")
+	}
+	// Events() must be a copy.
+	events[0].Message = "mutated"
+	if e, _ := r.First(KindRetransmit); e.Message == "mutated" {
+		t.Fatal("Events leaked internal storage")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(KindGeneric, "x", "must not panic")
+	if r.Len() != 0 || r.Events() != nil || r.Has(KindGeneric) {
+		t.Fatal("nil recorder misbehaved")
+	}
+	if _, ok := r.First(KindGeneric); ok {
+		t.Fatal("nil recorder returned an event")
+	}
+	if r.Dump() != "" {
+		t.Fatal("nil dump")
+	}
+}
+
+func TestDumpAndKinds(t *testing.T) {
+	r := NewRecorder(newClock())
+	r.Emit(KindHBLinkDown, "primary/sttcp", "ip-link silent")
+	r.Emit(KindSuspect, "backup/sttcp", "peer failed")
+	d := r.Dump()
+	if !strings.Contains(d, "hb-link-down") || !strings.Contains(d, "peer failed") {
+		t.Fatalf("dump missing content:\n%s", d)
+	}
+	kinds := r.Kinds()
+	if len(kinds) != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindTakeover.String() != "takeover" {
+		t.Fatalf("takeover = %q", KindTakeover.String())
+	}
+	if !strings.Contains(Kind(9999).String(), "9999") {
+		t.Fatal("unknown kind string")
+	}
+}
