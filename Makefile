@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench clean
+
+all: check
+
+# The full gate: static analysis, compile everything, then the test suite
+# under the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator is single-threaded, but the race build also runs ~10x
+# slower, so give the long experiment suites room.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

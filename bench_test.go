@@ -18,6 +18,21 @@ import (
 	"repro/internal/tcp"
 )
 
+// runDemo resolves a demonstration through the experiment registry and runs
+// it, failing the benchmark on any error.
+func runDemo(b *testing.B, name string, p experiment.Params) experiment.Result {
+	b.Helper()
+	d, ok := experiment.DemoByName(name)
+	if !ok {
+		b.Fatalf("demo %q is not registered", name)
+	}
+	res, err := d.Run(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // BenchmarkDemo1Failover regenerates Demo 1: the client-visible stall under
 // ST-TCP versus the reconnect-based hot-backup baseline.
 func BenchmarkDemo1Failover(b *testing.B) {
@@ -26,13 +41,12 @@ func BenchmarkDemo1Failover(b *testing.B) {
 			var stall, transfer time.Duration
 			var reconnects int
 			for i := 0; i < b.N; i++ {
-				res, err := experiment.RunDemo1(int64(i+1), 16<<20, 500*time.Millisecond)
-				if err != nil {
-					b.Fatal(err)
-				}
-				r := res.STTCP
+				res := runDemo(b, "demo1", experiment.Params{
+					Seed: int64(i + 1), Size: 16 << 20, CrashAfter: 500 * time.Millisecond,
+				})
+				r := res.Failovers[0]
 				if which == "baseline" {
-					r = res.Baseline
+					r = *res.Baseline
 				}
 				if !r.Completed {
 					b.Fatalf("transfer failed: %v", r.ClientErr)
@@ -55,15 +69,15 @@ func BenchmarkDemo2FailoverVsHB(b *testing.B) {
 		b.Run("hb="+period.String(), func(b *testing.B) {
 			var detect, failover time.Duration
 			for i := 0; i < b.N; i++ {
-				res, err := experiment.RunDemo2(int64(i+1), []time.Duration{period}, false)
-				if err != nil {
-					b.Fatal(err)
+				res := runDemo(b, "demo2", experiment.Params{
+					Seed: int64(i + 1), Periods: []time.Duration{period},
+				})
+				r := res.Failovers[0]
+				if !r.Completed {
+					b.Fatalf("transfer failed: %v", r.ClientErr)
 				}
-				if !res[0].Completed {
-					b.Fatalf("transfer failed: %v", res[0].ClientErr)
-				}
-				detect += res[0].DetectionTime
-				failover += res[0].FailoverTime
+				detect += r.DetectionTime
+				failover += r.FailoverTime
 			}
 			b.ReportMetric(float64(detect.Milliseconds())/float64(b.N), "detect_ms")
 			b.ReportMetric(float64(failover.Milliseconds())/float64(b.N), "failover_ms")
@@ -78,14 +92,14 @@ func BenchmarkDemo2UploadVsHB(b *testing.B) {
 		b.Run("hb="+period.String(), func(b *testing.B) {
 			var failover time.Duration
 			for i := 0; i < b.N; i++ {
-				res, err := experiment.RunDemo2Upload(int64(i+1), []time.Duration{period})
-				if err != nil {
-					b.Fatal(err)
+				res := runDemo(b, "demo2-upload", experiment.Params{
+					Seed: int64(i + 1), Periods: []time.Duration{period},
+				})
+				r := res.Failovers[0]
+				if !r.Completed {
+					b.Fatalf("echo failed: %v", r.ClientErr)
 				}
-				if !res[0].Completed {
-					b.Fatalf("echo failed: %v", res[0].ClientErr)
-				}
-				failover += res[0].FailoverTime
+				failover += r.FailoverTime
 			}
 			b.ReportMetric(float64(failover.Milliseconds())/float64(b.N), "failover_ms")
 		})
@@ -125,13 +139,10 @@ func BenchmarkDemo3Overhead(b *testing.B) {
 	var overhead float64
 	var with, without time.Duration
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunDemo3(int64(i+1), size)
-		if err != nil {
-			b.Fatal(err)
-		}
-		overhead += res.OverheadPct
-		with += res.WithSTTCP
-		without += res.WithoutTCP
+		res := runDemo(b, "demo3", experiment.Params{Seed: int64(i + 1), Size: size})
+		overhead += res.Overhead.OverheadPct
+		with += res.Overhead.WithSTTCP
+		without += res.Overhead.WithoutTCP
 	}
 	b.ReportMetric(overhead/float64(b.N), "overhead_pct")
 	b.ReportMetric(float64(with.Milliseconds())/float64(b.N), "with_ms")
@@ -145,15 +156,13 @@ func BenchmarkDemo4AppCrash(b *testing.B) {
 		b.Run(mode.String(), func(b *testing.B) {
 			var detect, failover time.Duration
 			for i := 0; i < b.N; i++ {
-				res, err := experiment.RunDemo4(int64(i+1), mode)
-				if err != nil {
-					b.Fatal(err)
+				res := runDemo(b, "demo4", experiment.Params{Seed: int64(i + 1), Mode: mode})
+				r := res.Failovers[0]
+				if !r.Completed {
+					b.Fatalf("transfer failed: %v", r.ClientErr)
 				}
-				if !res.Completed {
-					b.Fatalf("transfer failed: %v", res.ClientErr)
-				}
-				detect += res.DetectionTime
-				failover += res.FailoverTime
+				detect += r.DetectionTime
+				failover += r.FailoverTime
 			}
 			b.ReportMetric(float64(detect.Milliseconds())/float64(b.N), "detect_ms")
 			b.ReportMetric(float64(failover.Milliseconds())/float64(b.N), "failover_ms")
@@ -171,14 +180,16 @@ func BenchmarkDemo5NICFailure(b *testing.B) {
 		b.Run(part.name, func(b *testing.B) {
 			var detect time.Duration
 			for i := 0; i < b.N; i++ {
-				res, err := experiment.RunDemo5(int64(i+1), part.primary)
-				if err != nil {
-					b.Fatal(err)
+				res := runDemo(b, "demo5", experiment.Params{Seed: int64(i + 1)})
+				for _, r := range res.NIC {
+					if r.FailedAtPrimary != part.primary {
+						continue
+					}
+					if !r.ClientOK {
+						b.Fatalf("client failed: %v", r.ClientErr)
+					}
+					detect += r.DetectionTime
 				}
-				if !res.ClientOK {
-					b.Fatalf("client failed: %v", res.ClientErr)
-				}
-				detect += res.DetectionTime
 			}
 			b.ReportMetric(float64(detect.Milliseconds())/float64(b.N), "detect_ms")
 		})
@@ -216,7 +227,10 @@ func BenchmarkHeartbeatSerialCapacity(b *testing.B) {
 			var queue time.Duration
 			saturated := 0
 			for i := 0; i < b.N; i++ {
-				res := experiment.RunSerialCapacity(conns, 200*time.Millisecond, 10*time.Second)
+				res, err := experiment.RunSerialCapacity(conns, 200*time.Millisecond, 10*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
 				queue += res.MaxQueueDelay
 				if res.Saturated {
 					saturated++
@@ -261,11 +275,10 @@ func BenchmarkAblationEagerTakeover(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var failover time.Duration
 			for i := 0; i < b.N; i++ {
-				res, err := experiment.RunDemo2(int64(i+1), []time.Duration{time.Second}, mode.eager)
-				if err != nil {
-					b.Fatal(err)
-				}
-				failover += res[0].FailoverTime
+				res := runDemo(b, "demo2", experiment.Params{
+					Seed: int64(i + 1), Periods: []time.Duration{time.Second}, Eager: mode.eager,
+				})
+				failover += res.Failovers[0].FailoverTime
 			}
 			b.ReportMetric(float64(failover.Milliseconds())/float64(b.N), "failover_ms")
 		})

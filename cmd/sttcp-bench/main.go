@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sttcp-bench -exp demo2|demo3|hbcap|ablation|all [-seed 42]
+//	sttcp-bench -exp demo2|demo3|hbcap|ablation|all [-seed 42] [-metrics-out m.json]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func run() error {
 	exp := flag.String("exp", "all", "experiment: demo2, demo3, hbcap, ablation, or all")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "also write the series as CSV files into this directory")
+	metricsOut := flag.String("metrics-out", "", "write the last testbed run's metric snapshot as JSON to this file ('-' for stdout)")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -54,10 +56,17 @@ func run() error {
 		}
 	}
 	if run["hbcap"] {
-		hbCapacitySweep()
+		if err := hbCapacitySweep(); err != nil {
+			return err
+		}
 	}
 	if run["ablation"] {
 		if err := ablations(*seed); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
 			return err
 		}
 	}
@@ -66,6 +75,36 @@ func run() error {
 
 // csvOut, when set, receives CSV exports of the sweeps.
 var csvOut string
+
+// lastSnapshot holds the metric snapshot of the most recent testbed run,
+// for -metrics-out.
+var lastSnapshot *metrics.Snapshot
+
+func noteSnapshot(s *metrics.Snapshot) {
+	if s != nil {
+		lastSnapshot = s
+	}
+}
+
+func writeMetrics(path string) error {
+	if lastSnapshot == nil {
+		return fmt.Errorf("-metrics-out: no testbed run produced a metric snapshot (did the selected -exp run one?)")
+	}
+	if path == "-" {
+		fmt.Println(lastSnapshot.String())
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := lastSnapshot.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("\n(metric snapshot written to %s)\n", path)
+	return nil
+}
 
 func writeCSV(name string, write func(w *os.File) error) error {
 	if csvOut == "" {
@@ -84,6 +123,20 @@ func writeCSV(name string, write func(w *os.File) error) error {
 	return nil
 }
 
+// runDemo looks the demo up in the experiment registry and runs it.
+func runDemo(name string, p experiment.Params) (experiment.Result, error) {
+	d, ok := experiment.DemoByName(name)
+	if !ok {
+		return experiment.Result{}, fmt.Errorf("demo %q is not registered", name)
+	}
+	res, err := d.Run(p)
+	if err != nil {
+		return res, fmt.Errorf("%s: %w", name, err)
+	}
+	noteSnapshot(res.Metrics)
+	return res, nil
+}
+
 func demo2Sweep(seed int64) error {
 	fmt.Println("\n## Demo 2 sweep: failover time vs heartbeat period")
 	fmt.Printf("%-12s %-14s %-14s %-14s\n", "hb period", "detection", "failover", "failover(eager)")
@@ -91,14 +144,15 @@ func demo2Sweep(seed int64) error {
 		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
 		time.Second, 2 * time.Second,
 	}
-	faithful, err := experiment.RunDemo2(seed, periods, false)
+	eagerRes, err := runDemo("demo2", experiment.Params{Seed: seed, Periods: periods, Eager: true})
 	if err != nil {
 		return err
 	}
-	eager, err := experiment.RunDemo2(seed, periods, true)
+	faithfulRes, err := runDemo("demo2", experiment.Params{Seed: seed, Periods: periods})
 	if err != nil {
 		return err
 	}
+	faithful, eager := faithfulRes.Failovers, eagerRes.Failovers
 	for i, r := range faithful {
 		fmt.Printf("%-12v %-14v %-14v %-14v\n", r.HBPeriod,
 			r.DetectionTime.Round(time.Millisecond),
@@ -121,14 +175,17 @@ func demo2Sweep(seed int64) error {
 	fmt.Println("   (failover is quantised by the retransmission schedule, not by detection phase)")
 
 	fmt.Println("\n   client-as-sender variant (restart driven by the client's backoff):")
-	upload, err := experiment.RunDemo2Upload(seed, periods)
+	uploadRes, err := runDemo("demo2-upload", experiment.Params{Seed: seed, Periods: periods})
 	if err != nil {
 		return err
 	}
-	for _, r := range upload {
+	for _, r := range uploadRes.Failovers {
 		fmt.Printf("%-12v %-14v %-14v\n", r.HBPeriod,
 			r.DetectionTime.Round(time.Millisecond), r.FailoverTime.Round(time.Millisecond))
 	}
+	// Leave the faithful demo2 snapshot as the -metrics-out payload: its
+	// counters are the ones the paper's Figure 4 discussion references.
+	noteSnapshot(faithfulRes.Metrics)
 	return nil
 }
 
@@ -136,39 +193,49 @@ func demo3Sweep(seed int64) error {
 	fmt.Println("\n## Demo 3 sweep: failure-free overhead vs transfer size")
 	fmt.Printf("%-12s %-14s %-14s %-10s\n", "size", "with ST-TCP", "without", "overhead")
 	for _, size := range []int64{10 << 20, 50 << 20, 100 << 20} {
-		res, err := experiment.RunDemo3(seed, size)
+		res, err := runDemo("demo3", experiment.Params{Seed: seed, Size: size})
 		if err != nil {
 			return err
 		}
+		o := res.Overhead
 		fmt.Printf("%-12s %-14v %-14v %.3f%%\n",
 			fmt.Sprintf("%dMiB", size>>20),
-			res.WithSTTCP.Round(time.Millisecond),
-			res.WithoutTCP.Round(time.Millisecond),
-			res.OverheadPct)
+			o.WithSTTCP.Round(time.Millisecond),
+			o.WithoutTCP.Round(time.Millisecond),
+			o.OverheadPct)
 	}
 	return nil
 }
 
-func hbCapacitySweep() {
+func hbCapacitySweep() error {
 	fmt.Println("\n## §3 serial heartbeat capacity (115.2 kbit/s, 200 ms period)")
 	fmt.Printf("%-8s %-10s %-14s %-14s %s\n", "conns", "hb bytes", "mean interval", "max backlog", "saturated")
 	var series []experiment.SerialCapacityResult
 	for _, n := range []int{1, 10, 25, 50, 75, 100, 125, 150, 250} {
-		res := experiment.RunSerialCapacity(n, 200*time.Millisecond, 10*time.Second)
+		res, err := experiment.RunSerialCapacity(n, 200*time.Millisecond, 10*time.Second)
+		if err != nil {
+			return err
+		}
 		series = append(series, res)
 		fmt.Printf("%-8d %-10d %-14v %-14v %v\n", n, res.MessageBytes,
 			res.MeanInterval.Round(time.Millisecond), res.MaxQueueDelay.Round(time.Millisecond), res.Saturated)
 	}
-	_ = writeCSV("hbcap.csv", func(f *os.File) error {
+	if err := writeCSV("hbcap.csv", func(f *os.File) error {
 		return experiment.WriteCapacityCSV(f, series)
-	})
+	}); err != nil {
+		return err
+	}
 	fmt.Println("\n   same load over a crossover 100 Mbit/s Ethernet heartbeat link (§3's advice):")
 	fmt.Printf("%-8s %-14s %-14s %s\n", "conns", "mean interval", "max backlog", "saturated")
 	for _, n := range []int{100, 250, 1000, 3500} {
-		res := experiment.RunHBLinkCapacity(n, 200*time.Millisecond, 10*time.Second, 100_000_000)
+		res, err := experiment.RunHBLinkCapacity(n, 200*time.Millisecond, 10*time.Second, 100_000_000)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("%-8d %-14v %-14v %v\n", n,
 			res.MeanInterval.Round(time.Millisecond), res.MaxQueueDelay.Round(time.Millisecond), res.Saturated)
 	}
+	return nil
 }
 
 func ablations(seed int64) error {
@@ -185,16 +252,17 @@ func ablations(seed int64) error {
 	fmt.Printf("%-28s %8d KB received at backup NIC (%.1fx)\n", "old (tap both directions)", old>>10, float64(old)/float64(enhanced))
 
 	fmt.Println("\n## Ablation: takeover strategy at hb=1s (paper waits for the next retransmission)")
-	faithful, err := experiment.RunDemo2(seed, []time.Duration{time.Second}, false)
+	second := []time.Duration{time.Second}
+	faithful, err := runDemo("demo2", experiment.Params{Seed: seed, Periods: second})
 	if err != nil {
 		return err
 	}
-	eager, err := experiment.RunDemo2(seed, []time.Duration{time.Second}, true)
+	eager, err := runDemo("demo2", experiment.Params{Seed: seed, Periods: second, Eager: true})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-28s failover %v\n", "faithful (wait for RTO)", faithful[0].FailoverTime.Round(time.Millisecond))
-	fmt.Printf("%-28s failover %v\n", "eager retransmit extension", eager[0].FailoverTime.Round(time.Millisecond))
+	fmt.Printf("%-28s failover %v\n", "faithful (wait for RTO)", faithful.Failovers[0].FailoverTime.Round(time.Millisecond))
+	fmt.Printf("%-28s failover %v\n", "eager retransmit extension", eager.Failovers[0].FailoverTime.Round(time.Millisecond))
 
 	fmt.Println("\n## Extension: output-commit logger (§4.3's unrecoverable case)")
 	for _, withLogger := range []bool{false, true} {

@@ -1,23 +1,27 @@
-// Command sttcp-demo runs the five demonstrations of the paper "A System
+// Command sttcp-demo runs the demonstrations of the paper "A System
 // Demonstration of ST-TCP" (DSN 2005) on the simulated testbed and prints
 // what the conference audience would have seen: the client's progress
 // across a failover, the measured failover and detection times, and the
 // server-side event trace.
 //
+// Demos are discovered through the experiment registry; -demo accepts any
+// registered name (demo1..demo5, demo2-upload) or 'all'.
+//
 // Usage:
 //
-//	sttcp-demo -demo 1 [-seed 42] [-trace]
-//	sttcp-demo -demo all
+//	sttcp-demo -demo demo1 [-seed 42] [-trace]
+//	sttcp-demo -demo all [-metrics-out metrics.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -29,58 +33,100 @@ func main() {
 }
 
 func run() error {
-	demo := flag.String("demo", "all", "demonstration to run: 1..5 or 'all'")
+	demo := flag.String("demo", "all", "demonstration to run: a registry name (demo1..demo5, demo2-upload), a bare number 1..5, or 'all'")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	eager := flag.Bool("eager", false, "enable the eager-retransmit takeover extension where applicable")
 	showTrace := flag.Bool("trace", false, "dump the event trace after each demo")
-	jsonPath := flag.String("json", "", "write the ST-TCP run's event trace of demo 1 as JSON to this file")
+	jsonPath := flag.String("json", "", "write demo1's ST-TCP event trace as JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write the final demo's metric snapshot as JSON to this file ('-' for stdout)")
 	flag.Parse()
-	jsonOut = *jsonPath
 
-	demos := []int{1, 2, 3, 4, 5}
-	if *demo != "all" {
-		n, err := strconv.Atoi(*demo)
-		if err != nil || n < 1 || n > 5 {
-			return fmt.Errorf("invalid -demo %q (want 1..5 or all)", *demo)
+	var selected []experiment.Demo
+	if *demo == "all" {
+		selected = experiment.Demos()
+	} else {
+		name := *demo
+		if len(name) == 1 && name >= "1" && name <= "5" {
+			name = "demo" + name // accept the historical bare numbers
 		}
-		demos = []int{n}
+		d, ok := experiment.DemoByName(name)
+		if !ok {
+			var names []string
+			for _, d := range experiment.Demos() {
+				names = append(names, d.Name)
+			}
+			return fmt.Errorf("unknown -demo %q (want one of %s, or all)", *demo, strings.Join(names, ", "))
+		}
+		selected = []experiment.Demo{d}
 	}
-	for _, n := range demos {
-		var err error
-		switch n {
-		case 1:
-			err = demo1(*seed, *showTrace)
-		case 2:
-			err = demo2(*seed)
-		case 3:
-			err = demo3(*seed)
-		case 4:
-			err = demo4(*seed, *showTrace)
-		case 5:
-			err = demo5(*seed, *showTrace)
-		}
+
+	var lastSnapshot *metrics.Snapshot
+	for _, d := range selected {
+		res, err := d.Run(experiment.Params{Seed: *seed, Eager: *eager})
 		if err != nil {
-			return fmt.Errorf("demo %d: %w", n, err)
+			return fmt.Errorf("%s: %w", d.Name, err)
+		}
+		printResult(d, res, *showTrace)
+		if d.Name == "demo1" && *jsonPath != "" {
+			if err := writeTraceJSON(*jsonPath, res); err != nil {
+				return err
+			}
+		}
+		if res.Metrics != nil {
+			lastSnapshot = res.Metrics
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, lastSnapshot); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// jsonOut, when set, receives demo 1's ST-TCP trace as JSON.
-var jsonOut string
-
-func header(title string) {
-	fmt.Println()
-	fmt.Println("=== " + title + " ===")
+// printResult renders whichever result shape the demo produced.
+func printResult(d experiment.Demo, res experiment.Result, showTrace bool) {
+	fmt.Printf("\n=== %s: %s ===\n\n", d.Name, d.Title)
+	switch {
+	case res.Baseline != nil:
+		printFailoverVsBaseline(res)
+	case res.Overhead != nil:
+		o := res.Overhead
+		fmt.Printf("workload: %d MiB failure-free download over 100 Mbit/s\n\n", o.Size>>20)
+		fmt.Printf("%-20s %v\n", "ST-TCP enabled:", o.WithSTTCP.Round(time.Millisecond))
+		fmt.Printf("%-20s %v\n", "ST-TCP disabled:", o.WithoutTCP.Round(time.Millisecond))
+		fmt.Printf("%-20s %.3f%%\n", "overhead:", o.OverheadPct)
+	case len(res.NIC) > 0:
+		for _, r := range res.NIC {
+			where, action := "backup", "primary entered non-fault-tolerant mode"
+			if r.FailedAtPrimary {
+				where, action = "primary", "backup took over the connection"
+			}
+			fmt.Printf("NIC failure at the %s: detected in %v; %s; client unaffected: %v\n",
+				where, r.DetectionTime.Round(time.Millisecond), action, r.ClientOK)
+			if showTrace && r.Tracer != nil {
+				fmt.Println(r.Tracer.Dump())
+			}
+		}
+	default:
+		fmt.Printf("%-14s %-14s %-12s %-12s %s\n", "scenario", "HB period", "detection", "failover", "completed")
+		for _, r := range res.Failovers {
+			scen := r.Scenario
+			if scen == "" {
+				scen = "-"
+			}
+			fmt.Printf("%-14s %-14v %-12v %-12v %v\n", scen, r.HBPeriod,
+				r.DetectionTime.Round(time.Millisecond), r.FailoverTime.Round(time.Millisecond), r.Completed)
+			if showTrace && r.Tracer != nil {
+				fmt.Println(r.Tracer.Dump())
+			}
+		}
+	}
 }
 
-func demo1(seed int64, showTrace bool) error {
-	header("Demo 1: Client-Transparent Seamless Failover")
-	res, err := experiment.RunDemo1(seed, 16<<20, 500*time.Millisecond)
-	if err != nil {
-		return err
-	}
-	st, bl := res.STTCP, res.Baseline
-	fmt.Printf("workload: 16 MiB download; primary HW crash at t=500ms\n\n")
+func printFailoverVsBaseline(res experiment.Result) {
+	st, bl := res.Failovers[0], *res.Baseline
+	fmt.Printf("workload: %d MiB download; primary HW crash mid-transfer\n\n", st.TotalBytes>>20)
 	fmt.Printf("%-28s %-14s %-14s %-12s %s\n", "", "transfer time", "client stall", "reconnects", "completed")
 	fmt.Printf("%-28s %-14v %-14v %-12d %v\n", "ST-TCP",
 		st.TransferTime.Round(time.Millisecond), st.FailoverTime.Round(time.Millisecond), st.Reconnects, st.Completed)
@@ -90,103 +136,49 @@ func demo1(seed int64, showTrace bool) error {
 		st.DetectionTime.Round(time.Millisecond), st.FailoverTime.Round(time.Millisecond))
 
 	// The demo GUI's pie chart, flattened into a timeline (one glyph per
-	// 100 ms; the crash is at t=500ms). The ST-TCP chart pauses briefly
-	// and keeps filling; the baseline chart flatlines until the client's
-	// own stall detector reconnects it.
+	// 100 ms). The ST-TCP chart pauses briefly and keeps filling; the
+	// baseline chart flatlines until the client's own stall detector
+	// reconnects it.
 	end := st.StartAt.Add(6 * time.Second)
 	fmt.Println("\npie-chart progression (one glyph per 100ms):")
 	fmt.Printf("ST-TCP:    %s\n", experiment.FormatTimeline(
 		experiment.ProgressTimeline(st.Progress, st.TotalBytes, st.StartAt, end, 100*time.Millisecond)))
 	fmt.Printf("baseline:  %s\n", experiment.FormatTimeline(
 		experiment.ProgressTimeline(bl.Progress, bl.TotalBytes, bl.StartAt, bl.StartAt.Add(6*time.Second), 100*time.Millisecond)))
-	if showTrace {
-		fmt.Println(st.Tracer.Dump())
-	}
-	if jsonOut != "" {
-		f, err := os.Create(jsonOut)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", jsonOut, err)
-		}
-		defer f.Close()
-		if err := st.Tracer.WriteJSON(f, sim.Epoch); err != nil {
-			return err
-		}
-		fmt.Printf("\n(event trace written to %s)\n", jsonOut)
-	}
-	return nil
 }
 
-func demo2(seed int64) error {
-	header("Demo 2: Dependence of Failover Time on HB Frequency")
-	periods := []time.Duration{200 * time.Millisecond, 500 * time.Millisecond, time.Second}
-	results, err := experiment.RunDemo2(seed, periods, false)
+func writeTraceJSON(path string, res experiment.Result) error {
+	if len(res.Failovers) == 0 || res.Failovers[0].Tracer == nil {
+		return nil
+	}
+	f, err := os.Create(path)
 	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := res.Failovers[0].Tracer.WriteJSON(f, sim.Epoch); err != nil {
 		return err
 	}
-	eager, err := experiment.RunDemo2(seed, periods, true)
+	fmt.Printf("\n(event trace written to %s)\n", path)
+	return nil
+}
+
+func writeMetrics(path string, snap *metrics.Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("no metric snapshot was produced")
+	}
+	if path == "-" {
+		fmt.Println(snap.String())
+		return nil
+	}
+	f, err := os.Create(path)
 	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := snap.WriteJSON(f); err != nil {
 		return err
 	}
-	fmt.Printf("workload: 32 MiB download; primary HW crash at t=700ms\n\n")
-	fmt.Printf("%-12s %-16s %-16s %-22s\n", "HB period", "detection", "failover", "failover (eager ext.)")
-	for i, r := range results {
-		fmt.Printf("%-12v %-16v %-16v %-22v\n", r.HBPeriod,
-			r.DetectionTime.Round(time.Millisecond), r.FailoverTime.Round(time.Millisecond),
-			eager[i].FailoverTime.Round(time.Millisecond))
-	}
-	fmt.Println("\nfailover = detection (≈3 HB periods) + residual TCP retransmission backoff;")
-	fmt.Println("the eager extension retransmits at takeover instead of waiting for the RTO.")
-	return nil
-}
-
-func demo3(seed int64) error {
-	header("Demo 3: Insignificant Overhead during Normal Operation")
-	res, err := experiment.RunDemo3(seed, 100<<20)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("workload: %d MiB failure-free download over 100 Mbit/s\n\n", res.Size>>20)
-	fmt.Printf("%-20s %v\n", "ST-TCP enabled:", res.WithSTTCP.Round(time.Millisecond))
-	fmt.Printf("%-20s %v\n", "ST-TCP disabled:", res.WithoutTCP.Round(time.Millisecond))
-	fmt.Printf("%-20s %.3f%%\n", "overhead:", res.OverheadPct)
-	return nil
-}
-
-func demo4(seed int64, showTrace bool) error {
-	header("Demo 4: Application Crash Failure")
-	for _, mode := range []experiment.AppCrashMode{experiment.CrashNoCleanup, experiment.CrashWithCleanup} {
-		res, err := experiment.RunDemo4(seed, mode)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("\nscenario %v: primary application crashes at t=700ms\n", mode)
-		fmt.Printf("  detection %v, client stall %v, transfer completed: %v\n",
-			res.DetectionTime.Round(time.Millisecond), res.FailoverTime.Round(time.Millisecond), res.Completed)
-		if showTrace {
-			fmt.Println(res.Tracer.Dump())
-		}
-	}
-	return nil
-}
-
-func demo5(seed int64, showTrace bool) error {
-	header("Demo 5: NIC Failure")
-	for _, atPrimary := range []bool{true, false} {
-		res, err := experiment.RunDemo5(seed, atPrimary)
-		if err != nil {
-			return err
-		}
-		where := "backup"
-		action := "primary entered non-fault-tolerant mode"
-		if atPrimary {
-			where = "primary"
-			action = "backup took over the connection"
-		}
-		fmt.Printf("\nNIC failure at the %s (t=2s): detected in %v; %s; client unaffected: %v\n",
-			where, res.DetectionTime.Round(time.Millisecond), action, res.ClientOK)
-		if showTrace {
-			fmt.Println(res.Tracer.Dump())
-		}
-	}
+	fmt.Printf("\n(metric snapshot written to %s)\n", path)
 	return nil
 }

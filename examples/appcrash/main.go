@@ -34,11 +34,16 @@ func main() {
 }
 
 func run() error {
+	demo, ok := experiment.DemoByName("demo4")
+	if !ok {
+		return fmt.Errorf("demo4 is not registered")
+	}
 	for _, mode := range []experiment.AppCrashMode{experiment.CrashNoCleanup, experiment.CrashWithCleanup} {
-		res, err := experiment.RunDemo4(21, mode)
+		out, err := demo.Run(experiment.Params{Seed: 21, Mode: mode})
 		if err != nil {
 			return err
 		}
+		res := out.Failovers[0]
 		fmt.Printf("=== application crash, %v ===\n", mode)
 		fmt.Printf("detection:  %v after the crash\n", res.DetectionTime.Round(time.Millisecond))
 		fmt.Printf("stall seen by client: %v\n", res.FailoverTime.Round(time.Millisecond))

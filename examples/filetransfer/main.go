@@ -30,10 +30,15 @@ func main() {
 
 func run(size int64) error {
 	fmt.Printf("transferring %d MiB over simulated 100 Mbit/s switched Ethernet...\n\n", size>>20)
-	res, err := experiment.RunDemo3(7, size)
+	demo, ok := experiment.DemoByName("demo3")
+	if !ok {
+		return fmt.Errorf("demo3 is not registered")
+	}
+	out, err := demo.Run(experiment.Params{Seed: 7, Size: size})
 	if err != nil {
 		return err
 	}
+	res := out.Overhead
 	rate := func(d time.Duration) float64 {
 		return float64(size) * 8 / d.Seconds() / 1e6
 	}

@@ -38,14 +38,18 @@ func main() {
 }
 
 func run() error {
-	for _, atPrimary := range []bool{true, false} {
+	demo, ok := experiment.DemoByName("demo5")
+	if !ok {
+		return fmt.Errorf("demo5 is not registered")
+	}
+	out, err := demo.Run(experiment.Params{Seed: 31})
+	if err != nil {
+		return err
+	}
+	for _, res := range out.NIC {
 		where := "backup"
-		if atPrimary {
+		if res.FailedAtPrimary {
 			where = "primary"
-		}
-		res, err := experiment.RunDemo5(31, atPrimary)
-		if err != nil {
-			return err
 		}
 		fmt.Printf("=== NIC failure at the %s ===\n", where)
 		fmt.Printf("diagnosed in %v; backup took over: %v; primary non-FT: %v; client unaffected: %v\n",

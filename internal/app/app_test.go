@@ -40,8 +40,8 @@ func newFixture(t *testing.T, seed int64) *fixture {
 	nsS := netstack.New(s, "server", nicS, addrServer)
 	return &fixture{
 		sim:    s,
-		client: tcp.NewStack(s, nsC, "client", tcp.Options{}, tracer),
-		server: tcp.NewStack(s, nsS, "server", tcp.Options{}, tracer),
+		client: tcp.NewStack(s, nsC, "client", tcp.Options{}, tracer, nil),
+		server: tcp.NewStack(s, nsS, "server", tcp.Options{}, tracer, nil),
 		tracer: tracer,
 	}
 }

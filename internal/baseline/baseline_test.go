@@ -9,7 +9,6 @@ import (
 	"repro/internal/ip"
 	"repro/internal/netem"
 	"repro/internal/sim"
-	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
@@ -35,9 +34,9 @@ func newFixture(t *testing.T, seed int64) *fixture {
 	f := &fixture{
 		sim:    s,
 		tracer: tr,
-		client: cluster.NewHost(s, "client", 1, clientAddr, tcp.Options{}, tr),
-		srv1:   cluster.NewHost(s, "srv1", 2, srv1Addr, tcp.Options{}, tr),
-		srv2:   cluster.NewHost(s, "srv2", 3, srv2Addr, tcp.Options{}, tr),
+		client: cluster.New(s, cluster.HostConfig{Name: "client", EthNum: 1, Addr: clientAddr, Tracer: tr}),
+		srv1:   cluster.New(s, cluster.HostConfig{Name: "srv1", EthNum: 2, Addr: srv1Addr, Tracer: tr}),
+		srv2:   cluster.New(s, cluster.HostConfig{Name: "srv2", EthNum: 3, Addr: srv2Addr, Tracer: tr}),
 	}
 	for _, h := range []*cluster.Host{f.client, f.srv1, f.srv2} {
 		h.ConnectToSwitch(sw, netem.DefaultLANConfig())

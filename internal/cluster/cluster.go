@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/eth"
 	"repro/internal/ip"
+	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/netstack"
 	"repro/internal/serial"
@@ -20,9 +21,10 @@ import (
 
 // Host is one simulated machine.
 type Host struct {
-	sim    *sim.Simulator
-	name   string
-	tracer *trace.Recorder
+	sim     *sim.Simulator
+	name    string
+	tracer  *trace.Recorder
+	metrics *metrics.Registry
 
 	addr    ip.Addr
 	tcpOpts tcp.Options
@@ -38,18 +40,39 @@ type Host struct {
 	reboots   int
 }
 
-// NewHost builds a machine with one NIC. ethNum seeds a stable MAC
-// address; addr is the host's own IP address.
-func NewHost(s *sim.Simulator, name string, ethNum uint32, addr ip.Addr, tcpOpts tcp.Options, tracer *trace.Recorder) *Host {
-	nic := netem.NewNIC(s, name+"/eth0", eth.MakeAddr(ethNum))
-	ns := netstack.New(s, name, nic, addr)
-	st := tcp.NewStack(s, ns, name, tcpOpts, tracer)
+// HostConfig describes one machine. Name and Addr are required; the
+// rest default sensibly: EthNum seeds the MAC address (derive it from
+// the address when zero is fine for single-host tests, but testbeds
+// with several hosts must assign distinct values), TCP zero-value means
+// default options, Tracer and Metrics may be nil.
+type HostConfig struct {
+	// Name labels the host in traces and metric component names.
+	Name string
+	// EthNum seeds a stable MAC address for the host's NIC.
+	EthNum uint32
+	// Addr is the host's own IP address.
+	Addr ip.Addr
+	// TCP tunes the host's TCP stack; zero values select defaults.
+	TCP tcp.Options
+	// Tracer is the shared event recorder (nil for none).
+	Tracer *trace.Recorder
+	// Metrics receives the host's instruments (nil for none); it is
+	// threaded through the TCP stack and survives reboots.
+	Metrics *metrics.Registry
+}
+
+// New builds a machine with one NIC from cfg.
+func New(s *sim.Simulator, cfg HostConfig) *Host {
+	nic := netem.NewNIC(s, cfg.Name+"/eth0", eth.MakeAddr(cfg.EthNum))
+	ns := netstack.New(s, cfg.Name, nic, cfg.Addr)
+	st := tcp.NewStack(s, ns, cfg.Name, cfg.TCP, cfg.Tracer, cfg.Metrics)
 	return &Host{
 		sim:     s,
-		name:    name,
-		tracer:  tracer,
-		addr:    addr,
-		tcpOpts: tcpOpts,
+		name:    cfg.Name,
+		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
+		addr:    cfg.Addr,
+		tcpOpts: cfg.TCP,
 		nic:     nic,
 		ns:      ns,
 		tcp:     st,
@@ -73,6 +96,9 @@ func (h *Host) TCP() *tcp.Stack { return h.tcp }
 
 // Tracer returns the shared trace recorder.
 func (h *Host) Tracer() *trace.Recorder { return h.tracer }
+
+// Metrics returns the host's metrics registry (possibly nil).
+func (h *Host) Metrics() *metrics.Registry { return h.metrics }
 
 // AttachSerial associates one end of a null-modem pair with the host.
 func (h *Host) AttachSerial(p *serial.Port) { h.serial = p }
@@ -155,7 +181,7 @@ func (h *Host) Reboot() {
 	h.reboots++
 	h.nic.Recover()
 	h.ns = netstack.New(h.sim, h.name, h.nic, h.addr)
-	h.tcp = tcp.NewStack(h.sim, h.ns, h.name, h.tcpOpts, h.tracer)
+	h.tcp = tcp.NewStack(h.sim, h.ns, h.name, h.tcpOpts, h.tracer, h.metrics)
 	if h.serial != nil {
 		h.serial.SetDown(false)
 		h.serial.SetHandler(nil)

@@ -8,7 +8,6 @@ import (
 	"repro/internal/netem"
 	"repro/internal/serial"
 	"repro/internal/sim"
-	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
@@ -17,8 +16,8 @@ func newHostPair(t *testing.T) (*sim.Simulator, *Host, *Host, *trace.Recorder) {
 	s := sim.New(1)
 	tr := trace.NewRecorder(s.Now)
 	sw := netem.NewSwitch(s, "sw", time.Microsecond)
-	a := NewHost(s, "a", 1, ip.MakeAddr(10, 0, 0, 1), tcp.Options{}, tr)
-	b := NewHost(s, "b", 2, ip.MakeAddr(10, 0, 0, 2), tcp.Options{}, tr)
+	a := New(s, HostConfig{Name: "a", EthNum: 1, Addr: ip.MakeAddr(10, 0, 0, 1), Tracer: tr})
+	b := New(s, HostConfig{Name: "b", EthNum: 2, Addr: ip.MakeAddr(10, 0, 0, 2), Tracer: tr})
 	a.ConnectToSwitch(sw, netem.DefaultLANConfig())
 	b.ConnectToSwitch(sw, netem.DefaultLANConfig())
 	return s, a, b, tr

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/hb"
@@ -29,7 +30,7 @@ type SerialCapacityResult struct {
 // heartbeats describing n connections for the given duration and measures
 // queueing: once serialization time exceeds the period, heartbeats back up
 // and the link is saturated.
-func RunSerialCapacity(n int, period, runFor time.Duration) SerialCapacityResult {
+func RunSerialCapacity(n int, period, runFor time.Duration) (SerialCapacityResult, error) {
 	return RunHBLinkCapacity(n, period, runFor, serial.DefaultBitsPerSecond)
 }
 
@@ -37,7 +38,7 @@ func RunSerialCapacity(n int, period, runFor time.Duration) SerialCapacityResult
 // point-to-point link rate; §3 recommends a crossover 10/100 Mbit/s
 // Ethernet cable instead of RS-232 when more than ~100 connections are
 // expected, and this shows why.
-func RunHBLinkCapacity(n int, period, runFor time.Duration, bitsPerSecond int64) SerialCapacityResult {
+func RunHBLinkCapacity(n int, period, runFor time.Duration, bitsPerSecond int64) (SerialCapacityResult, error) {
 	s := sim.New(1)
 	pa, pb := serial.NewPair(s, "primary/hb0", "backup/hb0", bitsPerSecond)
 
@@ -51,7 +52,7 @@ func RunHBLinkCapacity(n int, period, runFor time.Duration, bitsPerSecond int64)
 	}
 	chunks, err := msg.Split(serial.MaxMessageLen)
 	if err != nil {
-		return SerialCapacityResult{Conns: n}
+		return SerialCapacityResult{Conns: n}, fmt.Errorf("experiment: split %d-connection heartbeat: %w", n, err)
 	}
 	total := 0
 	for _, c := range chunks {
@@ -90,5 +91,5 @@ func RunHBLinkCapacity(n int, period, runFor time.Duration, bitsPerSecond int64)
 	if res.MeanInterval > 0 {
 		res.EffectiveBitsS = float64(res.MessageBytes*10) / res.MeanInterval.Seconds()
 	}
-	return res
+	return res, nil
 }

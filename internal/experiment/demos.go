@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/baseline"
+	"repro/internal/metrics"
 	"repro/internal/sttcp"
 	"repro/internal/trace"
 )
@@ -15,6 +16,10 @@ import (
 // took over) with the client-side view (the stall in the progress series —
 // the paper's failover time).
 type FailoverResult struct {
+	// Scenario labels the variant inside a multi-run demo (e.g. Demo 4's
+	// "no-cleanup" vs "with-cleanup"); empty for single-run demos.
+	Scenario string
+
 	HBPeriod time.Duration
 	CrashAt  time.Time
 
@@ -47,6 +52,9 @@ type FailoverResult struct {
 	TotalBytes int64
 
 	Tracer *trace.Recorder
+
+	// Metrics is the testbed's metric snapshot at the end of the run.
+	Metrics *metrics.Snapshot
 }
 
 func (r FailoverResult) String() string {
@@ -87,6 +95,7 @@ func fillFailoverTimes(r *FailoverResult, tb *Testbed, maxGap func() (time.Durat
 		r.FailoverTime = gap
 	}
 	r.Tracer = tb.Tracer
+	r.Metrics = tb.Metrics.Snapshot()
 }
 
 // Demo1Result pairs the ST-TCP run with the conventional hot-backup
@@ -96,11 +105,11 @@ type Demo1Result struct {
 	Baseline FailoverResult
 }
 
-// RunDemo1 reproduces Demo 1: a client downloads transferSize bytes while
+// runDemo1 reproduces Demo 1: a client downloads transferSize bytes while
 // the primary is crashed mid-transfer. Under ST-TCP the transfer survives
 // with at worst a brief stall; under the baseline the client must detect
 // the stall itself, reconnect to the backup server, and resume.
-func RunDemo1(seed int64, transferSize int64, crashAfter time.Duration) (Demo1Result, error) {
+func runDemo1(seed int64, transferSize int64, crashAfter time.Duration) (Demo1Result, error) {
 	var out Demo1Result
 
 	// --- ST-TCP run ---
@@ -176,12 +185,12 @@ func RunDemo1(seed int64, transferSize int64, crashAfter time.Duration) (Demo1Re
 	return out, nil
 }
 
-// RunDemo2 reproduces Demo 2: the dependence of failover time on the
+// runDemo2 reproduces Demo 2: the dependence of failover time on the
 // heartbeat period. For each period the primary is crashed mid-transfer
 // and the client-observed gap is measured. eager enables the
 // retransmit-at-takeover extension (the paper's design waits for the next
 // retransmission).
-func RunDemo2(seed int64, periods []time.Duration, eager bool) ([]FailoverResult, error) {
+func runDemo2(seed int64, periods []time.Duration, eager bool) ([]FailoverResult, error) {
 	results := make([]FailoverResult, 0, len(periods))
 	for i, p := range periods {
 		tb := Build(Options{Seed: seed + int64(i)})
@@ -217,12 +226,12 @@ func RunDemo2(seed int64, periods []time.Duration, eager bool) ([]FailoverResult
 	return results, nil
 }
 
-// RunDemo2Upload is Demo 2 with the client as the data source (the paper's
+// runDemo2Upload is Demo 2 with the client as the data source (the paper's
 // discussion covers "both the server and the client … sending data"): after
 // the crash it is the *client's* TCP that retransmits with exponential
 // backoff, and the post-detection gap is governed by the client's RTO
 // schedule rather than the backup's.
-func RunDemo2Upload(seed int64, periods []time.Duration) ([]FailoverResult, error) {
+func runDemo2Upload(seed int64, periods []time.Duration) ([]FailoverResult, error) {
 	results := make([]FailoverResult, 0, len(periods))
 	for i, p := range periods {
 		tb := Build(Options{Seed: seed + int64(i)})
@@ -265,6 +274,9 @@ type Demo3Result struct {
 	WithSTTCP   time.Duration
 	WithoutTCP  time.Duration
 	OverheadPct float64
+
+	// Metrics is the snapshot from the ST-TCP-enabled run.
+	Metrics *metrics.Snapshot
 }
 
 func (r Demo3Result) String() string {
@@ -272,10 +284,10 @@ func (r Demo3Result) String() string {
 		r.Size>>20, r.WithSTTCP.Round(time.Millisecond), r.WithoutTCP.Round(time.Millisecond), r.OverheadPct)
 }
 
-// RunDemo3 reproduces Demo 3: a large failure-free transfer (the paper
+// runDemo3 reproduces Demo 3: a large failure-free transfer (the paper
 // uses about 100 MB) timed with ST-TCP enabled and disabled; the point is
 // that the overhead is negligible.
-func RunDemo3(seed int64, size int64) (Demo3Result, error) {
+func runDemo3(seed int64, size int64) (Demo3Result, error) {
 	out := Demo3Result{Size: size}
 
 	// ST-TCP enabled.
@@ -295,6 +307,7 @@ func RunDemo3(seed int64, size int64) (Demo3Result, error) {
 		return out, fmt.Errorf("experiment: demo3 ST-TCP transfer failed: done=%v err=%v", cl.Done, cl.Err)
 	}
 	out.WithSTTCP = cl.Elapsed()
+	out.Metrics = tb.Metrics.Snapshot()
 
 	// ST-TCP disabled: plain server on the primary, same topology.
 	tb2 := Build(Options{Seed: seed})
@@ -345,11 +358,11 @@ func (m AppCrashMode) String() string {
 	}
 }
 
-// RunDemo4 reproduces Demo 4: the application on the primary crashes
+// runDemo4 reproduces Demo 4: the application on the primary crashes
 // mid-transfer (in either of the two modes) while the OS and TCP layer stay
 // up; ST-TCP detects it via the application-lag criteria and migrates the
 // connection to the backup.
-func RunDemo4(seed int64, mode AppCrashMode) (FailoverResult, error) {
+func runDemo4(seed int64, mode AppCrashMode) (FailoverResult, error) {
 	tb := Build(Options{Seed: seed})
 	// Shrink MaxDelayFIN so the gated-FIN path is visible inside the
 	// run; detection is still expected to come from the lag criteria
@@ -405,14 +418,15 @@ type Demo5Result struct {
 	ClientOK  bool
 	ClientErr error
 	Tracer    *trace.Recorder
+	Metrics   *metrics.Snapshot
 }
 
-// RunDemo5 reproduces Demo 5: a NIC failure at the primary (first part) or
+// runDemo5 reproduces Demo 5: a NIC failure at the primary (first part) or
 // the backup (second part). The heartbeat on the IP link dies while the
 // serial link stays up; the servers diagnose which side lost its NIC using
 // the client-stream positions and gateway pings exchanged over the serial
 // heartbeat.
-func RunDemo5(seed int64, failPrimary bool) (Demo5Result, error) {
+func runDemo5(seed int64, failPrimary bool) (Demo5Result, error) {
 	out := Demo5Result{FailedAtPrimary: failPrimary}
 	tb := Build(Options{Seed: seed})
 	if err := tb.StartSTTCP(0, nil); err != nil {
@@ -451,5 +465,6 @@ func RunDemo5(seed int64, failPrimary bool) (Demo5Result, error) {
 	out.ClientOK = cl.Done && cl.Err == nil && cl.VerifyFailures == 0
 	out.ClientErr = cl.Err
 	out.Tracer = tb.Tracer
+	out.Metrics = tb.Metrics.Snapshot()
 	return out, nil
 }

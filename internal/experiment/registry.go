@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Params is the common parameter set every registered demo accepts.
+// Zero values select each demo's paper-faithful defaults, so
+// Params{Seed: 42} is always a valid input.
+type Params struct {
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Size is the transfer size in bytes where the demo moves bulk data
+	// (Demo 1: default 16 MiB; Demo 3: default 100 MiB).
+	Size int64
+	// CrashAfter is when the primary is crashed after the transfer
+	// starts (Demo 1; default 500 ms).
+	CrashAfter time.Duration
+	// Periods is the heartbeat-period sweep (Demo 2 and its upload
+	// variant; default 200 ms, 500 ms, 1 s — the paper's three
+	// settings).
+	Periods []time.Duration
+	// Eager enables the eager-retransmit takeover extension (Demo 2).
+	Eager bool
+	// Mode selects Demo 4's application-crash scenario; zero runs both.
+	Mode AppCrashMode
+}
+
+// Result is the common result shape. Which fields are populated depends
+// on the demo: every failover-style run lands in Failovers (one per
+// sweep point or scenario), Demo 1 additionally fills Baseline, Demo 3
+// fills Overhead, Demo 5 fills NIC. Metrics is the snapshot from the
+// demo's last (or only) ST-TCP testbed run.
+type Result struct {
+	Demo      string
+	Failovers []FailoverResult
+	Baseline  *FailoverResult
+	Overhead  *Demo3Result
+	NIC       []Demo5Result
+	Metrics   *metrics.Snapshot
+}
+
+// Demo is one registered demonstration.
+type Demo struct {
+	// Name is the stable identifier used on command lines ("demo2").
+	Name string
+	// Title is the one-line human description.
+	Title string
+	// Run executes the demo.
+	Run func(Params) (Result, error)
+}
+
+func defaultPeriods(p []time.Duration) []time.Duration {
+	if len(p) > 0 {
+		return p
+	}
+	return []time.Duration{200 * time.Millisecond, 500 * time.Millisecond, time.Second}
+}
+
+// Demos returns every registered demonstration in presentation order.
+// The slice is freshly allocated; callers may reorder or filter it.
+func Demos() []Demo {
+	return []Demo{
+		{
+			Name:  "demo1",
+			Title: "transparent failover vs. reconnecting hot-backup baseline",
+			Run: func(p Params) (Result, error) {
+				size := p.Size
+				if size == 0 {
+					size = 16 << 20
+				}
+				crashAfter := p.CrashAfter
+				if crashAfter == 0 {
+					crashAfter = 500 * time.Millisecond
+				}
+				d, err := runDemo1(p.Seed, size, crashAfter)
+				if err != nil {
+					return Result{Demo: "demo1"}, err
+				}
+				return Result{
+					Demo:      "demo1",
+					Failovers: []FailoverResult{d.STTCP},
+					Baseline:  &d.Baseline,
+					Metrics:   d.STTCP.Metrics,
+				}, nil
+			},
+		},
+		{
+			Name:  "demo2",
+			Title: "failover time vs. heartbeat period",
+			Run: func(p Params) (Result, error) {
+				rs, err := runDemo2(p.Seed, defaultPeriods(p.Periods), p.Eager)
+				if err != nil {
+					return Result{Demo: "demo2"}, err
+				}
+				return Result{Demo: "demo2", Failovers: rs, Metrics: lastMetrics(rs)}, nil
+			},
+		},
+		{
+			Name:  "demo2-upload",
+			Title: "failover time vs. heartbeat period, client as sender",
+			Run: func(p Params) (Result, error) {
+				rs, err := runDemo2Upload(p.Seed, defaultPeriods(p.Periods))
+				if err != nil {
+					return Result{Demo: "demo2-upload"}, err
+				}
+				return Result{Demo: "demo2-upload", Failovers: rs, Metrics: lastMetrics(rs)}, nil
+			},
+		},
+		{
+			Name:  "demo3",
+			Title: "failure-free overhead of replication",
+			Run: func(p Params) (Result, error) {
+				size := p.Size
+				if size == 0 {
+					size = 100 << 20
+				}
+				d, err := runDemo3(p.Seed, size)
+				if err != nil {
+					return Result{Demo: "demo3"}, err
+				}
+				return Result{Demo: "demo3", Overhead: &d, Metrics: d.Metrics}, nil
+			},
+		},
+		{
+			Name:  "demo4",
+			Title: "application crash with and without OS cleanup",
+			Run: func(p Params) (Result, error) {
+				modes := []AppCrashMode{CrashNoCleanup, CrashWithCleanup}
+				if p.Mode != 0 {
+					modes = []AppCrashMode{p.Mode}
+				}
+				out := Result{Demo: "demo4"}
+				for _, mode := range modes {
+					r, err := runDemo4(p.Seed, mode)
+					if err != nil {
+						return out, fmt.Errorf("mode %v: %w", mode, err)
+					}
+					r.Scenario = mode.String()
+					out.Failovers = append(out.Failovers, r)
+				}
+				out.Metrics = lastMetrics(out.Failovers)
+				return out, nil
+			},
+		},
+		{
+			Name:  "demo5",
+			Title: "NIC failure diagnosis at the primary and the backup",
+			Run: func(p Params) (Result, error) {
+				out := Result{Demo: "demo5"}
+				for _, atPrimary := range []bool{true, false} {
+					r, err := runDemo5(p.Seed, atPrimary)
+					if err != nil {
+						return out, err
+					}
+					out.NIC = append(out.NIC, r)
+					out.Metrics = r.Metrics
+				}
+				return out, nil
+			},
+		},
+	}
+}
+
+// DemoByName finds a registered demo.
+func DemoByName(name string) (Demo, bool) {
+	for _, d := range Demos() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Demo{}, false
+}
+
+func lastMetrics(rs []FailoverResult) *metrics.Snapshot {
+	if len(rs) == 0 {
+		return nil
+	}
+	return rs[len(rs)-1].Metrics
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/eth"
 	"repro/internal/hb"
 	"repro/internal/ip"
+	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/serial"
 	"repro/internal/sim"
@@ -71,9 +72,10 @@ type Options struct {
 
 // Testbed is the assembled Figure 2 network.
 type Testbed struct {
-	Sim    *sim.Simulator
-	Tracer *trace.Recorder
-	Switch *netem.Switch
+	Sim     *sim.Simulator
+	Tracer  *trace.Recorder
+	Metrics *metrics.Registry
+	Switch  *netem.Switch
 
 	Client  *cluster.Host
 	Primary *cluster.Host
@@ -115,14 +117,27 @@ func Build(opts Options) *Testbed {
 		lan = *opts.LAN
 	}
 
-	tb := &Testbed{Sim: s, Tracer: tracer, Switch: sw}
-	tb.Client = cluster.NewHost(s, "client", 1, ClientAddr, opts.TCP, tracer)
-	tb.Primary = cluster.NewHost(s, "primary", 2, PrimaryAddr, opts.TCP, tracer)
-	tb.Backup = cluster.NewHost(s, "backup", 3, BackupAddr, opts.TCP, tracer)
-	tb.Gateway = cluster.NewHost(s, "gateway", 254, GatewayAddr, opts.TCP, tracer)
+	reg := metrics.New(s.Now)
+	tb := &Testbed{Sim: s, Tracer: tracer, Metrics: reg, Switch: sw}
+	host := func(name string, ethNum uint32, addr ip.Addr) *cluster.Host {
+		return cluster.New(s, cluster.HostConfig{
+			Name:    name,
+			EthNum:  ethNum,
+			Addr:    addr,
+			TCP:     opts.TCP,
+			Tracer:  tracer,
+			Metrics: reg,
+		})
+	}
+	tb.Client = host("client", 1, ClientAddr)
+	tb.Primary = host("primary", 2, PrimaryAddr)
+	tb.Backup = host("backup", 3, BackupAddr)
+	tb.Gateway = host("gateway", 254, GatewayAddr)
 
 	connect := func(h *cluster.Host) (*netem.Link, *netem.SwitchPort) {
-		return netem.Connect(s, sw, h.NIC(), lan)
+		l, p := netem.Connect(s, sw, h.NIC(), lan)
+		l.SetMetrics(reg, h.Name()+"-switch")
+		return l, p
 	}
 	var clientPort, primaryPort, backupPort *netem.SwitchPort
 	tb.ClientLink, clientPort = connect(tb.Client)
@@ -155,14 +170,14 @@ func Build(opts Options) *Testbed {
 	}
 
 	if opts.WithLogger {
-		tb.LoggerHost = cluster.NewHost(s, "logger", 9, LoggerAddr, opts.TCP, tracer)
-		_, loggerPort := netem.Connect(s, sw, tb.LoggerHost.NIC(), lan)
+		tb.LoggerHost = host("logger", 9, LoggerAddr)
+		_, loggerPort := connect(tb.LoggerHost)
 		sw.JoinGroup(ServiceGroup, loggerPort)
 		tb.LoggerHost.NIC().JoinGroup(ServiceGroup)
 	}
 	if opts.WithWitness {
-		tb.WitnessHost = cluster.NewHost(s, "witness", 5, WitnessAddr, opts.TCP, tracer)
-		_, witnessPort := netem.Connect(s, sw, tb.WitnessHost.NIC(), lan)
+		tb.WitnessHost = host("witness", 5, WitnessAddr)
+		_, witnessPort := connect(tb.WitnessHost)
 		sw.JoinGroup(ServiceGroup, witnessPort)
 		tb.WitnessHost.NIC().JoinGroup(ServiceGroup)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ip"
+	"repro/internal/metrics"
 	"repro/internal/netstack"
 	"repro/internal/serial"
 	"repro/internal/sim"
@@ -154,11 +155,20 @@ type Exchanger struct {
 	// Sent and Received count heartbeats per link.
 	Sent     map[LinkID]int64
 	Received map[LinkID]int64
+
+	// Per-link metric instruments, created lazily at Attach; all nil
+	// no-ops when the exchanger was built without a registry. mSent is
+	// incremented exactly where KindHBSent is traced, so the counter
+	// matches the trace stream.
+	reg       *metrics.Registry
+	mSent     map[LinkID]*metrics.Counter
+	mReceived map[LinkID]*metrics.Counter
+	mLinkDown map[LinkID]*metrics.Counter
 }
 
 // NewExchanger builds an exchanger; call Attach for each channel, then
-// Start.
-func NewExchanger(s *sim.Simulator, name string, cfg ExchangerConfig, tracer *trace.Recorder) *Exchanger {
+// Start. reg may be nil (no metrics).
+func NewExchanger(s *sim.Simulator, name string, cfg ExchangerConfig, tracer *trace.Recorder, reg *metrics.Registry) *Exchanger {
 	if cfg.Period <= 0 {
 		cfg.Period = DefaultConfig().Period
 	}
@@ -166,14 +176,18 @@ func NewExchanger(s *sim.Simulator, name string, cfg ExchangerConfig, tracer *tr
 		cfg.Timeout = 3 * cfg.Period
 	}
 	return &Exchanger{
-		sim:      s,
-		name:     name,
-		cfg:      cfg,
-		tracer:   tracer,
-		lastRx:   make(map[LinkID]time.Time),
-		down:     make(map[LinkID]bool),
-		Sent:     make(map[LinkID]int64),
-		Received: make(map[LinkID]int64),
+		sim:       s,
+		name:      name,
+		cfg:       cfg,
+		tracer:    tracer,
+		lastRx:    make(map[LinkID]time.Time),
+		down:      make(map[LinkID]bool),
+		Sent:      make(map[LinkID]int64),
+		Received:  make(map[LinkID]int64),
+		reg:       reg,
+		mSent:     make(map[LinkID]*metrics.Counter),
+		mReceived: make(map[LinkID]*metrics.Counter),
+		mLinkDown: make(map[LinkID]*metrics.Counter),
 	}
 }
 
@@ -184,6 +198,10 @@ func (e *Exchanger) Config() ExchangerConfig { return e.cfg }
 func (e *Exchanger) Attach(c Channel) {
 	e.channels = append(e.channels, c)
 	id := c.ID()
+	l := metrics.Label{Key: "link", Value: id.String()}
+	e.mSent[id] = e.reg.Counter(e.name, "hb.sent", l)
+	e.mReceived[id] = e.reg.Counter(e.name, "hb.received", l)
+	e.mLinkDown[id] = e.reg.Counter(e.name, "hb.link_down", l)
 	c.SetHandler(func(raw []byte) { e.receive(id, raw) })
 }
 
@@ -268,6 +286,7 @@ func (e *Exchanger) tick() {
 		}
 		if sent > 0 {
 			e.Sent[c.ID()]++
+			e.mSent[c.ID()].Inc()
 			if e.tracer != nil {
 				e.tracer.EmitValue(trace.KindHBSent, e.name, int64(m.Seq), "hb seq=%d on %v (%d chunk(s), %dB)", m.Seq, c.ID(), sent, bytes)
 			}
@@ -284,6 +303,7 @@ func (e *Exchanger) receive(link LinkID, raw []byte) {
 		return
 	}
 	e.Received[link]++
+	e.mReceived[link].Inc()
 	e.lastRx[link] = e.sim.Now()
 	if e.down[link] {
 		e.down[link] = false
@@ -311,6 +331,7 @@ func (e *Exchanger) checkLiveness() {
 		}
 		if now.Sub(e.lastRx[id]) > e.cfg.Timeout {
 			e.down[id] = true
+			e.mLinkDown[id].Inc()
 			if e.tracer != nil {
 				e.tracer.Emit(trace.KindHBLinkDown, e.name, "%v silent for >%v", id, e.cfg.Timeout)
 			}

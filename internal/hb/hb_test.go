@@ -156,8 +156,8 @@ func TestWrapUnwrapProperty(t *testing.T) {
 func exchangerPair(s *sim.Simulator, cfg ExchangerConfig) (*Exchanger, *Exchanger) {
 	tr := trace.NewRecorder(s.Now)
 	pa, pb := serial.NewPair(s, "a/tty", "b/tty", 0)
-	ea := NewExchanger(s, "a", cfg, tr)
-	eb := NewExchanger(s, "b", cfg, tr)
+	ea := NewExchanger(s, "a", cfg, tr, nil)
+	eb := NewExchanger(s, "b", cfg, tr, nil)
 	ea.Attach(NewSerialChannel(pa))
 	eb.Attach(NewSerialChannel(pb))
 	ea.Compose = func() Message { return Message{Role: RolePrimary} }
@@ -209,7 +209,7 @@ func TestExchangerLinkDownAndRecovery(t *testing.T) {
 		t.Fatal("silent link not reported down")
 	}
 	// A fresh sender on the same wire brings it back.
-	ea2 := NewExchanger(s, "a2", ExchangerConfig{Period: 100 * time.Millisecond, Timeout: 300 * time.Millisecond}, nil)
+	ea2 := NewExchanger(s, "a2", ExchangerConfig{Period: 100 * time.Millisecond, Timeout: 300 * time.Millisecond}, nil, nil)
 	_ = ea2
 	ea.Compose = func() Message { return Message{Role: RolePrimary} }
 	// Restart the original exchanger's ticker by re-creating it.

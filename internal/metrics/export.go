@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Sample is one instrument's state at snapshot time. Exactly one of the
+// Counter/Gauge/Histogram views is populated, per Type.
+type Sample struct {
+	Component string `json:"component"`
+	Name      string `json:"name"`
+	Labels    string `json:"labels,omitempty"`
+	Type      string `json:"type"` // "counter", "gauge", "histogram"
+
+	// Counter / gauge.
+	Value int64 `json:"value,omitempty"`
+	Max   int64 `json:"max,omitempty"` // gauge high-water mark
+
+	// Histogram.
+	Count   int64           `json:"count,omitempty"`
+	Sum     time.Duration   `json:"sum,omitempty"`
+	MinDur  time.Duration   `json:"min,omitempty"`
+	MaxDur  time.Duration   `json:"max_dur,omitempty"`
+	Bounds  []time.Duration `json:"bounds,omitempty"`
+	Buckets []int64         `json:"buckets,omitempty"` // len(Bounds)+1, last = overflow
+}
+
+// Snapshot is an immutable copy of every instrument in a registry,
+// sorted by (component, name, labels). Taking a snapshot does not
+// disturb the live instruments, and later updates to the registry do
+// not alter an already-taken snapshot.
+type Snapshot struct {
+	At      time.Time `json:"at"` // virtual time the snapshot was taken
+	Samples []Sample  `json:"samples"`
+}
+
+// Snapshot captures the registry's current state. Nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	if r.now != nil {
+		s.At = r.now()
+	}
+	for _, k := range r.order {
+		if c, ok := r.counters[k]; ok {
+			s.Samples = append(s.Samples, Sample{
+				Component: k.component, Name: k.name, Labels: k.labels,
+				Type: "counter", Value: c.v,
+			})
+		}
+		if g, ok := r.gauges[k]; ok {
+			s.Samples = append(s.Samples, Sample{
+				Component: k.component, Name: k.name, Labels: k.labels,
+				Type: "gauge", Value: g.v, Max: g.max,
+			})
+		}
+		if h, ok := r.histos[k]; ok {
+			s.Samples = append(s.Samples, Sample{
+				Component: k.component, Name: k.name, Labels: k.labels,
+				Type: "histogram", Count: h.count, Sum: h.sum,
+				MinDur: h.min, MaxDur: h.max,
+				Bounds:  append([]time.Duration(nil), h.bounds...),
+				Buckets: append([]int64(nil), h.counts...),
+			})
+		}
+	}
+	sort.Slice(s.Samples, func(i, j int) bool {
+		a, b := s.Samples[i], s.Samples[j]
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Labels < b.Labels
+	})
+	return s
+}
+
+// CounterTotal sums every counter sample named name across all
+// components and label sets. Nil-safe.
+func (s *Snapshot) CounterTotal(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	var total int64
+	for _, sm := range s.Samples {
+		if sm.Type == "counter" && sm.Name == name {
+			total += sm.Value
+		}
+	}
+	return total
+}
+
+// Counter returns the value of the counter (component, name, labels),
+// or 0 if absent. labels must be in canonical "k=v,k=v" sorted form
+// (empty for none).
+func (s *Snapshot) Counter(component, name, labels string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, sm := range s.Samples {
+		if sm.Type == "counter" && sm.Component == component && sm.Name == name && sm.Labels == labels {
+			return sm.Value
+		}
+	}
+	return 0
+}
+
+// Find returns every sample named name, in snapshot order. Nil-safe.
+func (s *Snapshot) Find(name string) []Sample {
+	if s == nil {
+		return nil
+	}
+	var out []Sample
+	for _, sm := range s.Samples {
+		if sm.Name == name {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// Histogram returns the first histogram sample named name, across any
+// component, or nil. Nil-safe.
+func (s *Snapshot) Histogram(name string) *Sample {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Samples {
+		if s.Samples[i].Type == "histogram" && s.Samples[i].Name == name {
+			return &s.Samples[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as CSV with one row per sample:
+// component,name,labels,type,value,max,count,sum_ns. Histogram buckets
+// are elided — use JSON for the full distribution.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"component", "name", "labels", "type", "value", "max", "count", "sum_ns"}); err != nil {
+		return err
+	}
+	for _, sm := range s.Samples {
+		rec := []string{
+			sm.Component, sm.Name, sm.Labels, sm.Type,
+			strconv.FormatInt(sm.Value, 10),
+			strconv.FormatInt(sm.Max, 10),
+			strconv.FormatInt(sm.Count, 10),
+			strconv.FormatInt(int64(sm.Sum), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders a compact human-readable dump (used by -metrics-out=-
+// and debugging).
+func (s *Snapshot) String() string {
+	if s == nil {
+		return "<nil snapshot>"
+	}
+	out := fmt.Sprintf("metrics @ %s (%d samples)\n", s.At.Format("15:04:05.000"), len(s.Samples))
+	for _, sm := range s.Samples {
+		switch sm.Type {
+		case "counter":
+			out += fmt.Sprintf("  %-28s %-26s %s= %d\n", sm.Component, sm.Name, labelCol(sm.Labels), sm.Value)
+		case "gauge":
+			out += fmt.Sprintf("  %-28s %-26s %s= %d (max %d)\n", sm.Component, sm.Name, labelCol(sm.Labels), sm.Value, sm.Max)
+		case "histogram":
+			if sm.Count == 0 {
+				out += fmt.Sprintf("  %-28s %-26s %s= (empty)\n", sm.Component, sm.Name, labelCol(sm.Labels))
+				continue
+			}
+			mean := time.Duration(int64(sm.Sum) / sm.Count)
+			out += fmt.Sprintf("  %-28s %-26s %s= n=%d min=%v mean=%v max=%v\n",
+				sm.Component, sm.Name, labelCol(sm.Labels), sm.Count, sm.MinDur, mean, sm.MaxDur)
+		}
+	}
+	return out
+}
+
+func labelCol(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "} "
+}

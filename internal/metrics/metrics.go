@@ -1,0 +1,271 @@
+// Package metrics is the testbed's measurement substrate: a registry of
+// counters, gauges, and fixed-bucket latency histograms keyed by
+// (component, name, labels), driven by the simulator's virtual clock.
+//
+// The design rule is zero allocation on the hot path. Instruments are
+// created once (typically at host/stack construction) and the returned
+// pointers are kept by the instrumented component; Inc/Add/Set/Observe
+// are plain field operations. The simulation is single-threaded, so no
+// atomics or locking are needed.
+//
+// Every method on Registry and on the instruments is nil-receiver safe:
+// a component handed a nil *Registry gets nil instruments, and updating
+// a nil instrument is a no-op. That makes metrics strictly opt-in —
+// existing call sites can pass nil and pay nothing.
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Label is one key=value dimension attached to an instrument, e.g.
+// {"link", "client-switch"}.
+type Label struct {
+	Key, Value string
+}
+
+// key identifies an instrument inside a registry. Labels are rendered
+// to a canonical sorted "k=v,k=v" string at registration time so the
+// hot path never touches them.
+type key struct {
+	component string
+	name      string
+	labels    string
+}
+
+func canonLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Registry holds every instrument for one simulation run. The zero
+// value is not useful; create one with New. A nil *Registry is a valid
+// no-op sink.
+type Registry struct {
+	now       func() time.Time
+	counters  map[key]*Counter
+	gauges    map[key]*Gauge
+	histos    map[key]*Histogram
+	order     []key // registration order, for stable iteration before sort
+}
+
+// New creates a registry. now supplies the virtual clock (pass
+// sim.Now); it may be nil, in which case snapshots carry a zero time.
+func New(now func() time.Time) *Registry {
+	return &Registry{
+		now:      now,
+		counters: make(map[key]*Counter),
+		gauges:   make(map[key]*Gauge),
+		histos:   make(map[key]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count. The zero value and nil
+// are both usable (nil is a no-op).
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds n (n must be >= 0; negative deltas are ignored to keep the
+// counter monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v += n
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous value that can move both ways. It remembers
+// the maximum it has ever been set to, which is what most capacity
+// questions ("how full did the hold buffer get?") actually want.
+type Gauge struct {
+	v, max int64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add applies a delta.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + n)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark (0 on nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram is a fixed-bucket latency histogram. Bucket i counts
+// observations d with d <= Buckets[i] (and above Buckets[i-1]); one
+// extra overflow bucket counts everything larger than the last bound.
+// Bounds are fixed at registration, so Observe is a linear scan over a
+// small array and never allocates.
+type Histogram struct {
+	bounds []time.Duration
+	counts []int64 // len(bounds)+1; last is overflow
+	count  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// DefaultLatencyBuckets spans the scales the testbed cares about: from
+// sub-millisecond queueing delay to multi-second failover stalls.
+var DefaultLatencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2 * time.Second,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	for i, b := range h.bounds {
+		if d <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all observations (0 on nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Counter returns (creating if needed) the counter for
+// (component, name, labels). Nil registry returns nil.
+func (r *Registry) Counter(component, name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := key{component, name, canonLabels(labels)}
+	if c, ok := r.counters[k]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[k] = c
+	r.order = append(r.order, k)
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for
+// (component, name, labels). Nil registry returns nil.
+func (r *Registry) Gauge(component, name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := key{component, name, canonLabels(labels)}
+	if g, ok := r.gauges[k]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[k] = g
+	r.order = append(r.order, k)
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for
+// (component, name, labels), with the given bucket upper bounds
+// (DefaultLatencyBuckets if bounds is nil). Bounds are fixed on first
+// registration; later calls with different bounds get the original.
+func (r *Registry) Histogram(component, name string, bounds []time.Duration, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key{component, name, canonLabels(labels)}
+	if h, ok := r.histos[k]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	bs := append([]time.Duration(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	h := &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+	r.histos[k] = h
+	r.order = append(r.order, k)
+	return h
+}

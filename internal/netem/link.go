@@ -8,6 +8,7 @@ package netem
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -56,6 +57,11 @@ type Link struct {
 	Drops int64
 	// Delivered counts frames handed to endpoints.
 	Delivered int64
+
+	// Metric instruments, wired by SetMetrics; nil no-ops otherwise.
+	mFrames *metrics.Counter
+	mDrops  *metrics.Counter
+	mQueue  *metrics.Histogram
 }
 
 type linkSide struct {
@@ -74,6 +80,17 @@ func NewLink(s *sim.Simulator, cfg LinkConfig) *Link {
 func (l *Link) Attach(a, b Endpoint) {
 	l.a.peer = b
 	l.b.peer = a
+}
+
+// SetMetrics registers the link's instruments under component "netem"
+// with a link=name label: delivered frames, drops, and a queueing-delay
+// histogram (time a frame waits behind earlier frames before its first
+// bit hits the wire). reg may be nil.
+func (l *Link) SetMetrics(reg *metrics.Registry, name string) {
+	lb := metrics.Label{Key: "link", Value: name}
+	l.mFrames = reg.Counter("netem", "netem.link_frames", lb)
+	l.mDrops = reg.Counter("netem", "netem.link_drops", lb)
+	l.mQueue = reg.Histogram("netem", "netem.queue_delay", nil, lb)
 }
 
 // SetDown cuts or restores the cable; while down every frame in both
@@ -106,16 +123,19 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 	}
 	if l.down || l.sim.Now().Before(side.dropTill) {
 		l.Drops++
+		l.mDrops.Inc()
 		return
 	}
 	if l.cfg.LossRate > 0 && l.sim.Rand().Float64() < l.cfg.LossRate {
 		l.Drops++
+		l.mDrops.Inc()
 		return
 	}
 	start := l.sim.Now()
 	if start.Before(side.nextFree) {
 		start = side.nextFree
 	}
+	l.mQueue.Observe(start.Sub(l.sim.Now()))
 	var txTime time.Duration
 	if l.cfg.BitsPerSecond > 0 {
 		bits := int64(len(buf)) * 8
@@ -132,9 +152,11 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 	l.sim.At(arrival, func() {
 		if l.down {
 			l.Drops++
+			l.mDrops.Inc()
 			return
 		}
 		l.Delivered++
+		l.mFrames.Inc()
 		peer.DeliverFrame(frame)
 	})
 }

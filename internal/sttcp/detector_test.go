@@ -28,7 +28,7 @@ func newDetectorHarness(t *testing.T, mutate func(*Config)) *detectorHarness {
 	t.Helper()
 	s := sim.New(1)
 	tr := trace.NewRecorder(s.Now)
-	host := cluster.NewHost(s, "primary", 2, ip.MakeAddr(10, 0, 0, 2), tcp.Options{}, tr)
+	host := cluster.New(s, cluster.HostConfig{Name: "primary", EthNum: 2, Addr: ip.MakeAddr(10, 0, 0, 2), Tracer: tr})
 	sp, _ := serial.NewPair(s, "a/tty", "b/tty", 0)
 	host.AttachSerial(sp)
 	cfg := Config{

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hb"
 	"repro/internal/ip"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/trace"
@@ -144,6 +145,17 @@ type Node struct {
 
 	// FailoverReason records why the node left StateActive.
 	FailoverReason string
+
+	// Metric instruments, from the host's registry (nil no-ops without
+	// one). mTakeovers is incremented exactly where KindTakeover is
+	// traced, mSuspects where declarePeerFailed traces KindSuspect.
+	mTakeovers   *metrics.Counter
+	mSuspects    *metrics.Counter
+	mNonFT       *metrics.Counter
+	mTakeoverLat *metrics.Histogram
+	mHoldBytes   *metrics.Gauge
+	mHeldSegs    *metrics.Gauge
+	mRecovered   *metrics.Counter
 }
 
 // NewNode builds an ST-TCP node on host. peerPower is the out-of-band
@@ -167,6 +179,14 @@ func NewNode(host *cluster.Host, role Role, cfg Config, peerPower *cluster.Power
 		held:      make(map[tcp.ConnID][]heldSegment),
 		announced: make(map[tcp.ConnID]uint32),
 	}
+	reg := host.Metrics()
+	n.mTakeovers = reg.Counter(n.comp, "sttcp.takeovers")
+	n.mSuspects = reg.Counter(n.comp, "sttcp.suspects")
+	n.mNonFT = reg.Counter(n.comp, "sttcp.nonft_transitions")
+	n.mTakeoverLat = reg.Histogram(n.comp, "sttcp.takeover_latency", nil)
+	n.mHoldBytes = reg.Gauge(n.comp, "sttcp.holdbuf_bytes")
+	n.mHeldSegs = reg.Gauge(n.comp, "sttcp.held_segments")
+	n.mRecovered = reg.Counter(n.comp, "sttcp.recovered_bytes")
 	return n, nil
 }
 
@@ -232,7 +252,7 @@ func (n *Node) Start() error {
 	if err != nil {
 		return fmt.Errorf("sttcp: %s: %w", n.host.Name(), err)
 	}
-	n.ex = hb.NewExchanger(n.sim, n.comp, n.cfg.HB, n.tracer)
+	n.ex = hb.NewExchanger(n.sim, n.comp, n.cfg.HB, n.tracer, n.host.Metrics())
 	n.ex.Attach(udpCh)
 	if n.host.Serial() != nil {
 		n.ex.Attach(hb.NewSerialChannel(n.host.Serial()))
@@ -251,7 +271,7 @@ func (n *Node) Start() error {
 			return fmt.Errorf("sttcp: %s: witness channel: %w", n.host.Name(), err)
 		}
 		n.witnessView = make(map[tcp.ConnID]witnessState)
-		n.witnessEx = hb.NewExchanger(n.sim, n.comp+"/witness", n.cfg.HB, n.tracer)
+		n.witnessEx = hb.NewExchanger(n.sim, n.comp+"/witness", n.cfg.HB, n.tracer, n.host.Metrics())
 		n.witnessEx.Attach(wCh)
 		n.witnessEx.Compose = n.composeHB
 		n.witnessEx.OnMessage = n.handleWitnessHB
@@ -392,6 +412,22 @@ func (n *Node) tapDelivered(rc *repConn, off int64, data []byte) {
 			n.declarePeerFailed("hold buffer overflow: backup cannot catch up")
 		}
 	}
+	n.noteHoldOccupancy()
+}
+
+// noteHoldOccupancy samples the total bytes parked across every hold
+// buffer into the occupancy gauge (its Max is the high-water mark).
+func (n *Node) noteHoldOccupancy() {
+	if n.mHoldBytes == nil {
+		return
+	}
+	var total int64
+	for _, rc := range n.conns {
+		if rc.hold != nil {
+			total += int64(rc.hold.held())
+		}
+	}
+	n.mHoldBytes.Set(total)
 }
 
 // --- Backup segment holding ---
@@ -420,6 +456,7 @@ func (n *Node) filterSegment(pkt ip.Packet, seg *tcp.Segment) bool {
 	q := n.held[id]
 	if len(q) < maxHeldSegments {
 		n.held[id] = append(q, heldSegment{pkt: pkt, seg: *seg})
+		n.mHeldSegs.Add(1)
 	}
 	return false
 }
@@ -433,6 +470,7 @@ func (n *Node) adoptAnnouncement(id tcp.ConnID, iss uint32) {
 	n.announced[id] = iss
 	q := n.held[id]
 	delete(n.held, id)
+	n.mHeldSegs.Add(-int64(len(q)))
 	for _, h := range q {
 		n.tcpStack.HandleSegment(h.pkt, h.seg)
 	}
@@ -494,7 +532,10 @@ func (n *Node) dropConn(id tcp.ConnID) {
 		delete(n.conns, id)
 	}
 	delete(n.announced, id)
-	delete(n.held, id)
+	if q, ok := n.held[id]; ok {
+		n.mHeldSegs.Add(-int64(len(q)))
+		delete(n.held, id)
+	}
 }
 
 func (n *Node) handleHB(m hb.Message, link hb.LinkID) {
@@ -587,6 +628,7 @@ func (n *Node) primaryConsumeConnState(rc *repConn) {
 	// Release hold-buffer bytes the backup has confirmed.
 	if rc.hold != nil {
 		rc.hold.release(rc.peerLBR)
+		n.noteHoldOccupancy()
 	}
 	// FIN agreement: if we gated a FIN and the backup has also generated
 	// one, this is a normal close — send it (§4.2.2).
@@ -729,6 +771,7 @@ func (n *Node) applyRecovery(m recoveryDataMsg) {
 		return
 	}
 	accepted := rc.conn.InjectStreamBytes(m.Off, m.Data)
+	n.mRecovered.Add(int64(accepted))
 	if accepted > 0 && n.tracer != nil {
 		n.tracer.EmitValue(trace.KindByteRecovery, n.comp, int64(accepted),
 			"recovered %d bytes at %d for %v", accepted, m.Off, id)
@@ -1091,12 +1134,14 @@ func (n *Node) declarePeerFailed(reason string) {
 	}
 	if n.cfg.Witness {
 		// A witness observes but never acts: no STONITH, no takeover.
+		n.mSuspects.Inc()
 		if n.tracer != nil {
 			n.tracer.Emit(trace.KindSuspect, n.comp, "witness observed peer failure (no action): %s", reason)
 		}
 		return
 	}
 	n.FailoverReason = reason
+	n.mSuspects.Inc()
 	if n.tracer != nil {
 		n.tracer.Emit(trace.KindSuspect, n.comp, "peer declared failed: %s", reason)
 	}
@@ -1120,6 +1165,21 @@ func (n *Node) declarePeerFailed(reason string) {
 // client's) unless EagerTakeoverRetransmit is set.
 func (n *Node) takeover(reason string) {
 	n.setState(StateTakenOver)
+	// Detection latency: how long the dead peer was silent before we
+	// promoted ourselves — virtual time since the last heartbeat that
+	// arrived on any link.
+	if n.ex != nil {
+		var last time.Time
+		for _, l := range []hb.LinkID{hb.LinkIP, hb.LinkSerial} {
+			if t := n.ex.LastReceived(l); t.After(last) {
+				last = t
+			}
+		}
+		if !last.IsZero() {
+			n.mTakeoverLat.Observe(n.sim.Now().Sub(last))
+		}
+	}
+	n.mTakeovers.Inc()
 	n.shutdownTimers()
 	for _, k := range n.sortedKeys() {
 		rc := n.conns[k]
@@ -1167,6 +1227,11 @@ func (n *Node) EnableReplication(peerAddr ip.Addr, peerPower *cluster.PowerContr
 		rc.replicated = false
 		rc.peerValid = false
 	}
+	var stale int64
+	for _, q := range n.held {
+		stale += int64(len(q))
+	}
+	n.mHeldSegs.Add(-stale)
 	n.held = make(map[tcp.ConnID][]heldSegment)
 	n.announced = make(map[tcp.ConnID]uint32)
 
@@ -1182,7 +1247,7 @@ func (n *Node) EnableReplication(peerAddr ip.Addr, peerPower *cluster.PowerContr
 	if err != nil {
 		return fmt.Errorf("sttcp: %s: rebind heartbeat: %w", n.host.Name(), err)
 	}
-	n.ex = hb.NewExchanger(n.sim, n.comp, n.cfg.HB, n.tracer)
+	n.ex = hb.NewExchanger(n.sim, n.comp, n.cfg.HB, n.tracer, n.host.Metrics())
 	n.ex.Attach(udpCh)
 	if n.host.Serial() != nil {
 		n.ex.Attach(hb.NewSerialChannel(n.host.Serial()))
@@ -1219,12 +1284,14 @@ func (n *Node) EnableReplication(peerAddr ip.Addr, peerPower *cluster.PowerContr
 // open, replication stops, service continues.
 func (n *Node) enterNonFT(reason string) {
 	n.setState(StateNonFT)
+	n.mNonFT.Inc()
 	n.shutdownTimers()
 	for _, k := range n.sortedKeys() {
 		rc := n.conns[k]
 		n.releaseGatedFIN(rc, "entering non-fault-tolerant mode")
 		rc.hold = nil
 	}
+	n.noteHoldOccupancy()
 	if n.tracer != nil {
 		n.tracer.Emit(trace.KindNonFTMode, n.comp, "primary in non-fault-tolerant mode: %s", reason)
 	}

@@ -963,7 +963,9 @@ func (c *Conn) onRetransTimeout() {
 	c.rtPending = false // Karn's algorithm: no samples from retransmits
 	if c.backoff < 16 {
 		c.backoff++
+		c.stack.mBackoffs.Inc()
 	}
+	c.noteCwnd()
 	// Go back to the oldest unacked byte: everything in flight is
 	// presumed lost. Without this, segments that genuinely vanished
 	// (the backup's suppressed output, a crashed primary's in-flight
@@ -979,6 +981,7 @@ func (c *Conn) onRetransTimeout() {
 				c.finSent = false // resend the FIN after the data
 			}
 			c.Retransmits++
+			c.stack.mRetransmits.Inc()
 			c.trace(trace.KindRetransmit, "timeout: rewind to una=%d rto=%v", c.sndUna, c.RTO())
 			c.maybeSend()
 		} else if c.finSent && !c.finAcked {
@@ -991,6 +994,7 @@ func (c *Conn) onRetransTimeout() {
 // retransmit resends the oldest outstanding segment (or SYN/FIN).
 func (c *Conn) retransmit() {
 	c.Retransmits++
+	c.stack.mRetransmits.Inc()
 	c.trace(trace.KindRetransmit, "retransmit una=%d nxt=%d rto=%v", c.sndUna, c.sndNxt, c.RTO())
 	switch c.state {
 	case StateSynSent:
@@ -1023,6 +1027,7 @@ func (c *Conn) fastRetransmit() {
 	flight := int(c.sndNxt - c.sndUna)
 	c.ssthresh = maxInt(flight/2, 2*c.mss)
 	c.cwnd = c.ssthresh
+	c.noteCwnd()
 	c.retransmit()
 }
 
@@ -1155,6 +1160,14 @@ func (c *Conn) growCwnd(acked int) {
 	if limit := c.stack.opts.SendBufferSize; c.cwnd > limit {
 		c.cwnd = limit
 	}
+	c.noteCwnd()
+}
+
+// noteCwnd samples the congestion window into the stack-level gauge;
+// the gauge's high-water mark records the largest window any
+// connection on this stack ever opened.
+func (c *Conn) noteCwnd() {
+	c.stack.mCwnd.Set(int64(c.cwnd))
 }
 
 // notifyReadable and notifyWritable deliver application callbacks

@@ -45,8 +45,8 @@ func newPair(t *testing.T, seed int64, linkCfg netem.LinkConfig, opts Options) *
 		link:   link,
 		nicA:   nicA,
 		nicB:   nicB,
-		stackA: NewStack(s, nsA, "a", opts, tracer),
-		stackB: NewStack(s, nsB, "b", opts, tracer),
+		stackA: NewStack(s, nsA, "a", opts, tracer, nil),
+		stackB: NewStack(s, nsB, "b", opts, tracer, nil),
 		tracer: tracer,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ip"
+	"repro/internal/metrics"
 	"repro/internal/netstack"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -156,11 +157,23 @@ type Stack struct {
 	Emitted int64
 	// Received counts segments accepted by demux.
 	Received int64
+
+	// Metric instruments; nil (no-op) when the stack was built without a
+	// registry. mRetransmits is incremented exactly where the
+	// KindRetransmit trace event fires, so the counter and the trace
+	// stream always agree.
+	mSent        *metrics.Counter
+	mReceived    *metrics.Counter
+	mSuppressed  *metrics.Counter
+	mRetransmits *metrics.Counter
+	mBackoffs    *metrics.Counter
+	mCwnd        *metrics.Gauge
 }
 
 // NewStack creates a TCP layer on top of ns and registers itself as the
-// netstack's TCP handler.
-func NewStack(s *sim.Simulator, ns *netstack.Stack, name string, opts Options, tracer *trace.Recorder) *Stack {
+// netstack's TCP handler. reg may be nil, in which case the stack keeps
+// only its legacy public counters.
+func NewStack(s *sim.Simulator, ns *netstack.Stack, name string, opts Options, tracer *trace.Recorder, reg *metrics.Registry) *Stack {
 	opts.fillDefaults()
 	st := &Stack{
 		sim:       s,
@@ -172,6 +185,13 @@ func NewStack(s *sim.Simulator, ns *netstack.Stack, name string, opts Options, t
 		listeners: make(map[uint16]*Listener),
 		nextPort:  49152,
 	}
+	comp := name + "/tcp"
+	st.mSent = reg.Counter(comp, "tcp.segments_sent")
+	st.mReceived = reg.Counter(comp, "tcp.segments_received")
+	st.mSuppressed = reg.Counter(comp, "tcp.segments_suppressed")
+	st.mRetransmits = reg.Counter(comp, "tcp.retransmits")
+	st.mBackoffs = reg.Counter(comp, "tcp.rto_backoffs")
+	st.mCwnd = reg.Gauge(comp, "tcp.cwnd_bytes")
 	ns.RegisterTCP(st.handlePacket)
 	return st
 }
@@ -306,11 +326,13 @@ func (st *Stack) listenerFor(addr ip.Addr, port uint16) *Listener {
 // emit transmits a segment for conn through the IP layer.
 func (st *Stack) emit(c *Conn, seg *Segment) {
 	st.Emitted++
+	st.mSent.Inc()
 	raw := seg.Encode(c.id.LocalAddr, c.id.RemoteAddr)
 	_ = st.ns.SendIPFrom(c.id.LocalAddr, c.id.RemoteAddr, ip.ProtoTCP, raw)
 }
 
 func (st *Stack) noteSuppressed(seg *Segment, c *Conn) {
+	st.mSuppressed.Inc()
 	if st.OnSuppressed != nil {
 		st.OnSuppressed(c, seg)
 	}
@@ -332,6 +354,7 @@ func (st *Stack) HandleSegment(pkt ip.Packet, seg Segment) {
 		return
 	}
 	st.Received++
+	st.mReceived.Inc()
 	id := ConnID{
 		LocalAddr:  pkt.Dst,
 		LocalPort:  seg.DstPort,
@@ -389,6 +412,7 @@ func (st *Stack) sendRSTFor(pkt ip.Packet, seg *Segment) {
 		rst.Flags = FlagRST
 	}
 	st.Emitted++
+	st.mSent.Inc()
 	raw := rst.Encode(pkt.Dst, pkt.Src)
 	_ = st.ns.SendIPFrom(pkt.Dst, pkt.Src, ip.ProtoTCP, raw)
 }
