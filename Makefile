@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench clean
+.PHONY: all check vet build test race bench chaos chaos-smoke clean
 
 all: check
 
@@ -24,6 +24,15 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Randomized fault-injection campaign: 200 seeded schedules judged by the
+# system-wide invariant registry (see EXPERIMENTS.md "Chaos campaigns").
+chaos:
+	$(GO) run ./cmd/sttcp-chaos -runs 200
+
+# CI-sized campaign: as many schedules as fit in 30 seconds of wall time.
+chaos-smoke:
+	$(GO) run ./cmd/sttcp-chaos -runs 0 -wall 30s
 
 clean:
 	$(GO) clean ./...

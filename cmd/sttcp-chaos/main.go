@@ -1,0 +1,117 @@
+// Command sttcp-chaos runs long offline chaos campaigns against the
+// simulated ST-TCP testbed: seed-derived fault schedules, system-wide
+// invariant checking, and greedy schedule shrinking on failure. Every
+// failure prints a replay command; the same seed always reproduces the
+// same run bit for bit.
+//
+// Usage:
+//
+//	sttcp-chaos [-seed N] [-runs N] [-wall DUR] [-shrink-budget N]
+//	            [-metrics-out FILE] [-v]
+//
+// Examples:
+//
+//	sttcp-chaos -runs 200                # fixed-size campaign
+//	sttcp-chaos -wall 30s                # CI smoke: as many runs as fit
+//	sttcp-chaos -seed 468 -runs 1 -v     # replay one seed verbosely
+//	sttcp-chaos -runs 10 -metrics-out -  # dump the last run's metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	var (
+		seed         = flag.Int64("seed", 1, "base seed; run i uses seed+i")
+		runs         = flag.Int("runs", 100, "number of schedules to run (0 with -wall: unlimited)")
+		wall         = flag.Duration("wall", 0, "stop starting new runs after this much real time (0: no limit)")
+		shrinkBudget = flag.Int("shrink-budget", 50, "max re-executions the shrinker may spend on a failure")
+		metricsOut   = flag.String("metrics-out", "", "write the last run's metrics snapshot as JSON to this file (\"-\" for stdout)")
+		verbose      = flag.Bool("v", false, "print every schedule and its outcome")
+	)
+	flag.Parse()
+
+	if *runs == 0 && *wall == 0 {
+		fmt.Fprintln(os.Stderr, "sttcp-chaos: need -runs or -wall")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var (
+		executed  int
+		skipped   int
+		takeovers int64
+		nonft     int64
+		last      *chaos.RunResult
+	)
+	for i := 0; *runs == 0 || i < *runs; i++ {
+		if *wall > 0 && time.Since(start) >= *wall {
+			break
+		}
+		s := *seed + int64(i)
+		sc := chaos.Generate(s)
+		if *verbose {
+			fmt.Printf("--- run %d ---\n%v", i, sc)
+		}
+		res, err := chaos.Run(sc, chaos.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sttcp-chaos: seed %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		executed++
+		last = res
+		skipped += len(res.Skipped)
+		takeovers += res.Metrics.CounterTotal("sttcp.takeovers")
+		nonft += res.Metrics.CounterTotal("sttcp.nonft_transitions")
+		if *verbose {
+			for _, c := range res.Clients {
+				fmt.Printf("    client %s done=%v %s\n", c.Name, c.Done, c.Progress)
+			}
+			for _, sk := range res.Skipped {
+				fmt.Printf("    skipped %s\n", sk)
+			}
+		}
+		if res.Failed() {
+			fmt.Printf("%s", res.Report())
+			shr, serr := chaos.Shrink(sc, chaos.Options{}, res, *shrinkBudget)
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "sttcp-chaos: shrink: %v\n", serr)
+			} else {
+				fmt.Printf("--- minimized after %d extra runs ---\n%s", shr.Runs, shr.Result.Report())
+			}
+			writeMetrics(*metricsOut, res)
+			os.Exit(1)
+		}
+	}
+
+	writeMetrics(*metricsOut, last)
+	fmt.Printf("sttcp-chaos: %d runs in %v, all invariants held (%d takeovers, %d non-FT transitions, %d events skipped as unsurvivable)\n",
+		executed, time.Since(start).Round(time.Millisecond), takeovers, nonft, skipped)
+	fmt.Printf("invariants checked: %v\n", chaos.InvariantNames())
+}
+
+func writeMetrics(path string, res *chaos.RunResult) {
+	if path == "" || res == nil {
+		return
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sttcp-chaos: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := res.Metrics.WriteJSON(out); err != nil {
+		fmt.Fprintf(os.Stderr, "sttcp-chaos: write metrics: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -59,6 +59,9 @@ func run() error {
 		fmt.Println(line)
 	}
 	fmt.Println()
+	for _, e := range res.Errors {
+		fmt.Printf("ERROR injection failed: %s\n", e)
+	}
 	failed := 0
 	for _, c := range res.Checks {
 		status := "PASS"
@@ -76,8 +79,8 @@ func run() error {
 		fmt.Println()
 		fmt.Println(res.Tracer.Dump())
 	}
-	if failed > 0 {
-		return fmt.Errorf("%d expectation(s) failed", failed)
+	if failed > 0 || len(res.Errors) > 0 {
+		return fmt.Errorf("%d expectation(s) failed, %d injection error(s)", failed, len(res.Errors))
 	}
 	return nil
 }

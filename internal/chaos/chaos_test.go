@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var (
+	chaosRuns = flag.Int("chaos.runs", 50, "number of randomized chaos schedules TestChaos executes")
+	chaosSeed = flag.Int64("chaos.seed", 0, "when non-zero, TestChaos replays exactly this one seed, verbosely")
+)
+
+// TestChaos is the main campaign: N seed-derived schedules, every one of
+// which must satisfy the full invariant registry. On failure it shrinks the
+// schedule and reports the seed, so the exact run replays with
+//
+//	go test ./internal/chaos -run TestChaos -chaos.seed=<seed>
+func TestChaos(t *testing.T) {
+	if *chaosSeed != 0 {
+		runOne(t, *chaosSeed, true)
+		return
+	}
+	signatures := make(map[string]bool)
+	for i := 0; i < *chaosRuns; i++ {
+		seed := int64(1 + i)
+		sc := runOne(t, seed, false)
+		signatures[sc.Signature()] = true
+	}
+	// The generator must actually explore the fault space, not emit the
+	// same few schedules over and over.
+	if min := *chaosRuns * 9 / 10; len(signatures) < min {
+		t.Errorf("only %d distinct schedules out of %d runs (want ≥ %d)", len(signatures), *chaosRuns, min)
+	}
+}
+
+func runOne(t *testing.T, seed int64, verbose bool) Schedule {
+	t.Helper()
+	sc := Generate(seed)
+	if verbose {
+		t.Logf("schedule:\n%v", sc)
+	}
+	res, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatalf("seed %d: run: %v", seed, err)
+	}
+	if verbose {
+		t.Logf("clients: %+v", res.Clients)
+		for _, s := range res.Skipped {
+			t.Logf("skipped: %s", s)
+		}
+	}
+	if res.Failed() {
+		shr, serr := Shrink(sc, Options{}, res, 50)
+		if serr != nil {
+			t.Logf("shrink error: %v", serr)
+		}
+		t.Fatalf("seed %d violated invariants.\n--- original ---\n%s--- shrunk (%d runs) ---\n%s",
+			seed, res.Report(), shr.Runs, shr.Result.Report())
+	}
+	return sc
+}
+
+// TestChaosDeterministic replays a few seeds twice and demands
+// byte-identical traces and metrics: the whole harness — schedule
+// generation, injection guards, shrink candidates — must be a pure
+// function of the seed.
+func TestChaosDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 17, 40} {
+		run := func() (string, string) {
+			res, err := Run(Generate(seed), Options{})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res.Trace.Dump(), res.Metrics.String()
+		}
+		tr1, m1 := run()
+		tr2, m2 := run()
+		if tr1 != tr2 {
+			t.Errorf("seed %d: traces differ between identical runs", seed)
+		}
+		if m1 != m2 {
+			t.Errorf("seed %d: metrics snapshots differ between identical runs", seed)
+		}
+	}
+}
+
+// baseFailoverSchedule is a plain mid-transfer primary crash: the simplest
+// schedule on which the sabotage tests operate.
+func baseFailoverSchedule(seed int64) Schedule {
+	return Schedule{
+		Seed:     seed,
+		Workload: "download",
+		Bytes:    2 << 20,
+		Horizon:  30 * time.Second,
+		Events: []Event{
+			{At: 0, Kind: EvClientStart},
+			{At: 400 * time.Millisecond, Kind: EvCrashServing},
+		},
+	}
+}
+
+// TestChaosCatchesUnsuppressedBackup proves the invariant registry detects
+// a real protocol bug: with output suppression sabotaged the client still
+// sees a correct byte stream (the replica transmits identical data), so
+// only the backup-silence invariant can catch it — and it must, with a
+// schedule that shrinks to the bare workload.
+func TestChaosCatchesUnsuppressedBackup(t *testing.T) {
+	opts := Options{SabotageUnsuppressedBackup: true}
+	sc := baseFailoverSchedule(123)
+	res, err := Run(sc, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Failed() {
+		t.Fatalf("sabotaged suppression went undetected.\n%s", res.Report())
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Invariant == "backup-silence" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a backup-silence violation, got: %v", res.Violations)
+	}
+	shr, err := Shrink(sc, opts, res, 50)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	// The bug needs no fault at all — any accepted connection transmits
+	// from the backup — so the shrinker must drop the crash.
+	if got := len(shr.Schedule.Events); got > 1 {
+		t.Errorf("shrunk schedule still has %d events, want 1 (client start only):\n%v", got, shr.Schedule)
+	}
+	if !shr.Result.Failed() {
+		t.Error("shrunk schedule no longer fails")
+	}
+	t.Logf("shrunk in %d runs to:\n%v", shr.Runs, shr.Schedule)
+}
+
+// TestChaosShrinksBrokenDetection sabotages failure detection entirely (no
+// fault is ever declared) and checks that (a) a crash now strands the
+// client — caught by client-integrity — and (b) the shrinker strips the
+// decoy noise events down to the minimal client+crash pair.
+func TestChaosShrinksBrokenDetection(t *testing.T) {
+	opts := Options{SabotageBlindDetectors: true}
+	sc := Schedule{
+		Seed:     7,
+		Workload: "download",
+		Bytes:    32 << 20,
+		Horizon:  12 * time.Second,
+		Events: []Event{
+			{At: 0, Kind: EvClientStart},
+			{At: 100 * time.Millisecond, Kind: EvDelayClient, Delay: 2 * time.Millisecond, Dur: 300 * time.Millisecond},
+			{At: 150 * time.Millisecond, Kind: EvDropStandby, Dur: 80 * time.Millisecond},
+			{At: 200 * time.Millisecond, Kind: EvLossClient, Rate: 0.05, Dur: 200 * time.Millisecond},
+			// Past the standby-risk grace window the drop-standby decoy
+			// opens, and mid-transfer (32 MiB take ≈3 s on the wire).
+			{At: 1 * time.Second, Kind: EvCrashServing},
+		},
+	}
+	res, err := Run(sc, opts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Failed() {
+		t.Fatalf("blind detectors went undetected.\n%s", res.Report())
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Invariant == "client-integrity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a client-integrity violation, got: %v", res.Violations)
+	}
+	shr, err := Shrink(sc, opts, res, 50)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if got := len(shr.Schedule.Events); got > 2 {
+		t.Errorf("shrunk schedule still has %d events, want 2 (client + crash):\n%v", got, shr.Schedule)
+	}
+	if !shr.Result.Failed() {
+		t.Error("shrunk schedule no longer fails")
+	}
+	hasCrash := false
+	for _, e := range shr.Schedule.Events {
+		if e.Kind == EvCrashServing {
+			hasCrash = true
+		}
+	}
+	if !hasCrash {
+		t.Errorf("shrunk schedule lost the crash that causes the failure:\n%v", shr.Schedule)
+	}
+	t.Logf("shrunk in %d runs to:\n%v", shr.Runs, shr.Schedule)
+}
+
+// TestGenerateShapes sanity-checks the generator's structural guarantees
+// over many seeds: a client always starts at t=0, events are sorted, at
+// least one fault exists, and String/Signature round out stably.
+func TestGenerateShapes(t *testing.T) {
+	for seed := int64(1); seed <= 500; seed++ {
+		sc := Generate(seed)
+		if len(sc.Events) < 2 {
+			t.Fatalf("seed %d: schedule has no fault events:\n%v", seed, sc)
+		}
+		if sc.Events[0].Kind != EvClientStart || sc.Events[0].At != 0 {
+			t.Fatalf("seed %d: first event is %v, want client-start@0", seed, sc.Events[0])
+		}
+		for i := 1; i < len(sc.Events); i++ {
+			if sc.Events[i].At < sc.Events[i-1].At {
+				t.Fatalf("seed %d: events out of order:\n%v", seed, sc)
+			}
+		}
+		if sc.Workload != "download" && sc.Workload != "echo" {
+			t.Fatalf("seed %d: unknown workload %q", seed, sc.Workload)
+		}
+		if a, b := Generate(seed).Signature(), sc.Signature(); a != b {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+		if fmt.Sprint(sc) == "" {
+			t.Fatalf("seed %d: empty String", seed)
+		}
+	}
+}

@@ -1,0 +1,674 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/sttcp"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// Options tune a chaos run. The sabotage switches deliberately break a
+// protocol mechanism so tests can prove the invariant registry catches real
+// bugs — they are never used in campaigns.
+type Options struct {
+	// SabotageUnsuppressedBackup disables the backup's output
+	// suppression on accepted connections: the replica transmits its
+	// (identical) output alongside the primary. The client cannot tell,
+	// but the backup-silence invariant must.
+	SabotageUnsuppressedBackup bool
+	// SabotageBlindDetectors cranks every failure-detection timeout to
+	// roughly an hour, so no fault is ever detected within the run.
+	// Fatal faults then strand the clients, which the integrity
+	// invariant must report.
+	SabotageBlindDetectors bool
+}
+
+// appServer is the slice of the app-server API the harness injects faults
+// through; both app.DataServer and app.EchoServer satisfy it.
+type appServer interface {
+	Accept(*tcp.Conn)
+	CrashSilent()
+	CrashCleanup(abort bool)
+}
+
+// clientRec tracks one workload connection.
+type clientRec struct {
+	name    string
+	dl      *app.StreamClient
+	ec      *app.EchoClient
+	started time.Time
+}
+
+func (r *clientRec) done() bool {
+	if r.dl != nil {
+		return r.dl.Done
+	}
+	return r.ec.Done
+}
+
+// silenceEra is one interval during which a node held the backup role and
+// therefore must not have transmitted a single TCP segment. The counter is
+// the live instrument of the host's TCP stack (the registry dedupes, so it
+// survives a reboot); the era closes at the transition to taken-over —
+// which the node signals before it unsuppresses anything — or stopped, or
+// at the end of the run.
+type silenceEra struct {
+	node     *sttcp.Node
+	ctr      *metrics.Counter
+	baseline int64
+	openedAt time.Duration
+	open     bool
+}
+
+// harness owns one chaos run.
+type harness struct {
+	sc   Schedule
+	opts Options
+
+	tb *experiment.Testbed
+	lc *experiment.Lifecycle
+
+	// nodes lists every sttcp node ever started (stale post-crash nodes
+	// included; their state is Stopped).
+	nodes   []*sttcp.Node
+	servers map[*cluster.Host]appServer
+	clients []*clientRec
+	eras    []*silenceEra
+
+	// Fault bookkeeping: the harness injected these, so it knows them
+	// without peeking into the implementation.
+	nicFailed  map[*cluster.Host]bool
+	appCrashed map[*cluster.Host]bool
+	serialCut  bool
+	// lossUntil is when the latest loss window on a *server* link ends;
+	// serial cuts are deferred past it (see fire).
+	lossUntil time.Duration
+	// standbyRiskUntil is when the standby's link was last dropping
+	// inbound client bytes, plus a recovery grace period. Killing the
+	// serving machine inside that window is the paper's §4.3
+	// output-commit exposure: the standby may be missing bytes the
+	// primary already ACKed, and the hold buffer that could replay them
+	// dies with the primary (only the optional logger machine closes
+	// this), so the harness never stacks those two faults.
+	standbyRiskUntil time.Duration
+
+	haveRejoined bool
+	lastRejoin   time.Time
+	lastEventAt  time.Duration
+
+	// cfg is the primary's filled-in config, for invariant bounds.
+	cfg sttcp.Config
+
+	violations []Violation
+	skipped    []string
+}
+
+// Run executes one chaos schedule on a fresh testbed and returns the
+// invariant-checked result. The run is a pure function of (sc, opts): the
+// same inputs produce byte-identical traces and metrics.
+func Run(sc Schedule, opts Options) (*RunResult, error) {
+	h := &harness{
+		sc:         sc,
+		opts:       opts,
+		servers:    make(map[*cluster.Host]appServer),
+		nicFailed:  make(map[*cluster.Host]bool),
+		appCrashed: make(map[*cluster.Host]bool),
+	}
+	h.tb = experiment.Build(experiment.Options{Seed: sc.Seed})
+	mutate := func(c *sttcp.Config) {
+		// Detection must outrun the gated-FIN auto-release: a silent
+		// app crash is declared (AppMaxLagTime) long before a lone FIN
+		// would be released on trust (MaxDelayFIN).
+		c.MaxDelayFIN = 10 * time.Second
+		c.AppMaxLagTime = 3 * time.Second
+		if opts.SabotageBlindDetectors {
+			blindDetectors(c)
+		}
+	}
+	if err := h.tb.StartSTTCP(0, mutate); err != nil {
+		return nil, err
+	}
+	h.lc = experiment.NewLifecycle(h.tb)
+	h.cfg = h.tb.PrimaryNode.Config()
+
+	h.servers[h.tb.Primary] = h.newServer("primary/app")
+	h.servers[h.tb.Backup] = h.newServer("backup/app")
+	h.tb.PrimaryNode.OnAccept = h.servers[h.tb.Primary].Accept
+	h.tb.BackupNode.OnAccept = h.servers[h.tb.Backup].Accept
+	h.hookNode(h.tb.PrimaryNode)
+	h.hookNode(h.tb.BackupNode)
+
+	for _, ev := range sc.Events {
+		ev := ev
+		h.tb.Sim.Schedule(ev.At, func() { h.fire(ev) })
+		if ev.At > h.lastEventAt {
+			h.lastEventAt = ev.At
+		}
+	}
+
+	horizon := sc.Horizon
+	if horizon == 0 {
+		horizon = 60 * time.Second
+	}
+	// Advance in slices so the run can stop early once every client has
+	// finished and the schedule (plus a grace period for detectors to
+	// settle) is exhausted.
+	for h.tb.Sim.Elapsed() < horizon {
+		slice := 500 * time.Millisecond
+		if rem := horizon - h.tb.Sim.Elapsed(); rem < slice {
+			slice = rem
+		}
+		if err := h.tb.Run(slice); err != nil {
+			return nil, err
+		}
+		if h.allClientsDone() && h.tb.Sim.Elapsed() >= h.lastEventAt+2*time.Second {
+			break
+		}
+	}
+	h.closeAllEras()
+
+	res := &RunResult{
+		Schedule: sc,
+		Opts:     opts,
+		Trace:    h.tb.Tracer,
+		Metrics:  h.tb.Metrics.Snapshot(),
+		Skipped:  h.skipped,
+	}
+	for _, r := range h.clients {
+		res.Clients = append(res.Clients, summarize(r))
+	}
+	res.Violations = append(res.Violations, h.violations...)
+	res.Violations = append(res.Violations, h.endInvariants(res.Metrics)...)
+	return res, nil
+}
+
+func (h *harness) newServer(name string) appServer {
+	if h.sc.Workload == "echo" {
+		return app.NewEchoServer(name, h.tb.Tracer)
+	}
+	return app.NewDataServer(name, h.tb.Tracer)
+}
+
+// mkApp is the Lifecycle.Reintegrate callback: it builds the application
+// replica for a rejoined machine and records it for later fault injection.
+func (h *harness) mkApp(name string) func(*tcp.Conn) {
+	hostName := strings.TrimSuffix(name, "/app")
+	host := h.tb.Backup
+	if hostName == h.tb.Primary.Name() {
+		host = h.tb.Primary
+	}
+	srv := h.newServer(name)
+	h.servers[host] = srv
+	return srv.Accept
+}
+
+// hookNode installs the harness's observation (and sabotage) hooks on a
+// newly started node.
+func (h *harness) hookNode(n *sttcp.Node) {
+	h.nodes = append(h.nodes, n)
+	if h.opts.SabotageUnsuppressedBackup {
+		inner := n.OnAccept
+		n.OnAccept = func(c *tcp.Conn) {
+			if n.Role() == sttcp.RoleBackup && n.State() == sttcp.StateActive {
+				c.SetSuppressed(false)
+			}
+			if inner != nil {
+				inner(c)
+			}
+		}
+	}
+	if n.Role() == sttcp.RoleBackup && n.State() == sttcp.StateActive {
+		h.openEra(n)
+	}
+	n.OnStateChange = func(s sttcp.NodeState) { h.onStateChange(n, s) }
+}
+
+func (h *harness) onStateChange(n *sttcp.Node, s sttcp.NodeState) {
+	// A node leaving the backup role — to take over (it will unsuppress
+	// and retransmit right after this hook) or because it died — ends
+	// its silence obligation; check it now.
+	if s == sttcp.StateTakenOver || s == sttcp.StateStopped {
+		h.closeEra(n)
+	}
+	if who := h.transmitters(); len(who) > 1 {
+		h.violate("single-transmitter",
+			fmt.Sprintf("at %v (after %v became %v): %s all believe they own client output",
+				h.tb.Sim.Elapsed(), n.Host().Name(), s, strings.Join(who, " and ")))
+	}
+}
+
+// transmitters lists the nodes currently entitled to transmit to clients: a
+// primary that is active or in non-FT mode, or a backup that has taken
+// over. STONITH-before-takeover must keep this set at ≤1 at all times.
+func (h *harness) transmitters() []string {
+	var who []string
+	for _, n := range h.nodes {
+		if n.Host().Crashed() {
+			continue
+		}
+		s := n.State()
+		if s == sttcp.StateTakenOver || (n.Role() == sttcp.RolePrimary && (s == sttcp.StateActive || s == sttcp.StateNonFT)) {
+			who = append(who, fmt.Sprintf("%s(%v/%v)", n.Host().Name(), n.Role(), s))
+		}
+	}
+	return who
+}
+
+func (h *harness) openEra(n *sttcp.Node) {
+	ctr := h.tb.Metrics.Counter(n.Host().Name()+"/tcp", "tcp.segments_sent")
+	h.eras = append(h.eras, &silenceEra{
+		node: n, ctr: ctr, baseline: ctr.Value(),
+		openedAt: h.tb.Sim.Elapsed(), open: true,
+	})
+}
+
+func (h *harness) closeEra(n *sttcp.Node) {
+	for _, e := range h.eras {
+		if e.node == n && e.open {
+			e.open = false
+			if d := e.ctr.Value() - e.baseline; d > 0 {
+				h.violate("backup-silence",
+					fmt.Sprintf("%s sent %d TCP segments while holding the backup role (era %v–%v)",
+						n.Host().Name(), d, e.openedAt, h.tb.Sim.Elapsed()))
+			}
+		}
+	}
+}
+
+func (h *harness) closeAllEras() {
+	for _, e := range h.eras {
+		if e.open {
+			h.closeEra(e.node)
+		}
+	}
+}
+
+func (h *harness) violate(inv, detail string) {
+	h.violations = append(h.violations, Violation{Invariant: inv, Detail: detail})
+}
+
+// servingNode is whichever node currently owns the client connections.
+func (h *harness) servingNode() *sttcp.Node {
+	if b := h.lc.BackupNode(); b.State() == sttcp.StateTakenOver {
+		return b
+	}
+	return h.lc.PrimaryNode()
+}
+
+// standbyNode is the active backup, or nil when fault tolerance is
+// currently lost.
+func (h *harness) standbyNode() *sttcp.Node {
+	b := h.lc.BackupNode()
+	if b.State() == sttcp.StateActive && h.lc.PrimaryNode().State() == sttcp.StateActive {
+		return b
+	}
+	return nil
+}
+
+func (h *harness) linkFor(host *cluster.Host) *netem.Link {
+	switch host {
+	case h.tb.Primary:
+		return h.tb.PrimaryLink
+	case h.tb.Backup:
+		return h.tb.BackupLink
+	default:
+		return h.tb.ClientLink
+	}
+}
+
+func (h *harness) healthy(host *cluster.Host) bool {
+	return !host.Crashed() && !h.nicFailed[host] && !h.appCrashed[host]
+}
+
+func (h *harness) allClientsDone() bool {
+	for _, r := range h.clients {
+		if !r.done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *harness) note(ev Event, target string) {
+	h.tb.Tracer.Emit(trace.KindGeneric, "chaos", "inject %v → %s", ev, target)
+}
+
+func (h *harness) skip(ev Event, reason string) {
+	h.skipped = append(h.skipped, fmt.Sprintf("%v: %s", ev, reason))
+	h.tb.Tracer.Emit(trace.KindGeneric, "chaos", "skip %v (%s)", ev, reason)
+}
+
+// noteStandbyRisk records that the standby's inbound link is unreliable
+// for d, plus a grace period for any in-flight missed-byte recovery.
+func (h *harness) noteStandbyRisk(d time.Duration) {
+	if until := h.tb.Sim.Elapsed() + d + 500*time.Millisecond; until > h.standbyRiskUntil {
+		h.standbyRiskUntil = until
+	}
+}
+
+func (h *harness) standbyAtRisk() bool {
+	return h.tb.Sim.Elapsed() < h.standbyRiskUntil
+}
+
+// clientsSurviveServingLoss reports whether killing the serving machine is
+// survivable for every unfinished client. Connections opened before the
+// last rejoin are local-only on the survivor (reintegration does not
+// replicate pre-existing connections), so they die with it.
+func (h *harness) clientsSurviveServingLoss() bool {
+	if !h.haveRejoined {
+		return true
+	}
+	for _, r := range h.clients {
+		if !r.done() && r.started.Before(h.lastRejoin) {
+			return false
+		}
+	}
+	return true
+}
+
+// fire injects one scheduled event, or records why it was skipped. Guards
+// are deterministic functions of the harness's own bookkeeping, so a
+// replayed seed skips exactly the same events. They exist to keep every
+// generated schedule *survivable*: the invariants demand that all clients
+// finish, so the harness never stacks a second fatal fault onto a cluster
+// that has not regained redundancy.
+func (h *harness) fire(ev Event) {
+	switch ev.Kind {
+	case EvClientStart, EvSecondClient:
+		h.startClient(ev)
+
+	case EvCrashServing:
+		n := h.servingNode()
+		if n.Host().Crashed() {
+			h.skip(ev, "serving host already down")
+			return
+		}
+		sb := h.standbyNode()
+		if sb == nil || !h.healthy(sb.Host()) {
+			h.skip(ev, "no healthy standby to take over")
+			return
+		}
+		if !h.clientsSurviveServingLoss() {
+			h.skip(ev, "unfinished pre-rejoin connection is local-only on the serving host")
+			return
+		}
+		if h.standbyAtRisk() {
+			h.skip(ev, "standby link was recently lossy; ACKed-byte recovery may be in flight (§4.3 output-commit window)")
+			return
+		}
+		h.note(ev, n.Host().Name())
+		n.Host().CrashHW()
+
+	case EvCrashStandby:
+		sb := h.standbyNode()
+		if sb == nil {
+			h.skip(ev, "no active standby")
+			return
+		}
+		if serving := h.servingNode(); !h.healthy(serving.Host()) {
+			h.skip(ev, "serving side unhealthy; killing the standby would lose service")
+			return
+		}
+		h.note(ev, sb.Host().Name())
+		sb.Host().CrashHW()
+
+	case EvAppCrashServing:
+		n := h.servingNode()
+		host := n.Host()
+		if host.Crashed() || h.appCrashed[host] {
+			h.skip(ev, "serving application already gone")
+			return
+		}
+		sb := h.standbyNode()
+		if sb == nil || !h.healthy(sb.Host()) {
+			h.skip(ev, "no healthy standby to take over")
+			return
+		}
+		if !h.clientsSurviveServingLoss() {
+			h.skip(ev, "unfinished pre-rejoin connection is local-only on the serving host")
+			return
+		}
+		h.note(ev, host.Name())
+		h.appCrashed[host] = true
+		if ev.Cleanup {
+			h.servers[host].CrashCleanup(false)
+		} else {
+			h.servers[host].CrashSilent()
+		}
+
+	case EvAppCrashStandby:
+		sb := h.standbyNode()
+		if sb == nil {
+			h.skip(ev, "no active standby")
+			return
+		}
+		host := sb.Host()
+		if h.appCrashed[host] {
+			h.skip(ev, "standby application already crashed")
+			return
+		}
+		if serving := h.servingNode(); !h.healthy(serving.Host()) {
+			h.skip(ev, "serving side unhealthy")
+			return
+		}
+		h.note(ev, host.Name())
+		h.appCrashed[host] = true
+		if ev.Cleanup {
+			h.servers[host].CrashCleanup(false)
+		} else {
+			h.servers[host].CrashSilent()
+		}
+
+	case EvNICFailServing, EvNICFailStandby:
+		if h.serialCut {
+			// With the serial line gone a NIC failure is
+			// indistinguishable from a full crash from BOTH sides:
+			// whichever server detects total silence first STONITHs
+			// the other, and if the healthy one loses that race the
+			// service dies. The real testbed has the same exposure;
+			// the harness only injects survivable combinations.
+			h.skip(ev, "serial already cut; NIC failure would be an unsurvivable double fault")
+			return
+		}
+		var n *sttcp.Node
+		if ev.Kind == EvNICFailServing {
+			n = h.servingNode()
+			sb := h.standbyNode()
+			if sb == nil || !h.healthy(sb.Host()) {
+				h.skip(ev, "no healthy standby to take over")
+				return
+			}
+			if !h.clientsSurviveServingLoss() {
+				h.skip(ev, "unfinished pre-rejoin connection is local-only on the serving host")
+				return
+			}
+			if h.standbyAtRisk() {
+				h.skip(ev, "standby link was recently lossy; ACKed-byte recovery may be in flight (§4.3 output-commit window)")
+				return
+			}
+		} else {
+			n = h.standbyNode()
+			if n == nil {
+				h.skip(ev, "no active standby")
+				return
+			}
+			if serving := h.servingNode(); !h.healthy(serving.Host()) {
+				h.skip(ev, "serving side unhealthy")
+				return
+			}
+		}
+		host := n.Host()
+		if host.Crashed() || h.nicFailed[host] {
+			h.skip(ev, "target NIC already dead")
+			return
+		}
+		h.note(ev, host.Name())
+		h.nicFailed[host] = true
+		host.FailNIC()
+
+	case EvSerialCut:
+		if h.serialCut {
+			h.skip(ev, "serial already cut")
+			return
+		}
+		if h.nicFailed[h.tb.Primary] || h.nicFailed[h.tb.Backup] {
+			h.skip(ev, "a server NIC is down; cutting serial too would be an unsurvivable double fault")
+			return
+		}
+		if h.tb.Sim.Elapsed() < h.lossUntil {
+			// A loss burst can silence enough IP heartbeats that,
+			// with serial also gone, a healthy peer gets STONITHed.
+			h.skip(ev, "loss window active on a server link")
+			return
+		}
+		h.note(ev, "serial cable")
+		h.serialCut = true
+		h.tb.SerialPrimary.SetDown(true)
+		h.tb.SerialBackup.SetDown(true)
+
+	case EvDropServing, EvDropStandby, EvDropClient:
+		link, name, ok := h.linkTarget(ev)
+		if !ok {
+			h.skip(ev, "no live target link")
+			return
+		}
+		h.note(ev, name)
+		if ev.Kind == EvDropStandby {
+			h.noteStandbyRisk(ev.Dur)
+		}
+		link.DropFromBFor(ev.Dur) // B side = switch port: drop inbound
+
+	case EvLossServing, EvLossStandby, EvLossClient:
+		link, name, ok := h.linkTarget(ev)
+		if !ok {
+			h.skip(ev, "no live target link")
+			return
+		}
+		if ev.Kind != EvLossClient && h.serialCut {
+			h.skip(ev, "serial is cut; heartbeat loss could STONITH a healthy peer")
+			return
+		}
+		h.note(ev, name)
+		link.SetLossRate(ev.Rate)
+		if ev.Kind != EvLossClient {
+			if until := h.tb.Sim.Elapsed() + ev.Dur; until > h.lossUntil {
+				h.lossUntil = until
+			}
+		}
+		if ev.Kind == EvLossStandby {
+			h.noteStandbyRisk(ev.Dur)
+		}
+		h.tb.Sim.Schedule(ev.Dur, func() { link.SetLossRate(0) })
+
+	case EvDelayServing, EvDelayStandby, EvDelayClient:
+		link, name, ok := h.linkTarget(ev)
+		if !ok {
+			h.skip(ev, "no live target link")
+			return
+		}
+		h.note(ev, name)
+		link.SetExtraDelay(ev.Delay)
+		h.tb.Sim.Schedule(ev.Dur, func() { link.SetExtraDelay(0) })
+
+	case EvRejoin:
+		survivor := h.lc.BackupNode()
+		if survivor.State() != sttcp.StateTakenOver {
+			h.skip(ev, fmt.Sprintf("survivor is %v, not taken-over", survivor.State()))
+			return
+		}
+		dead := h.lc.PrimaryHost()
+		if err := h.lc.Reintegrate(h.mkApp); err != nil {
+			h.skip(ev, fmt.Sprintf("reintegrate: %v", err))
+			return
+		}
+		h.note(ev, dead.Name())
+		// The repair also replaces any cut serial cable (Reboot resets
+		// only the dead side's port).
+		if h.serialCut {
+			h.tb.SerialPrimary.SetDown(false)
+			h.tb.SerialBackup.SetDown(false)
+			h.serialCut = false
+		}
+		h.nicFailed[dead] = false
+		h.appCrashed[dead] = false
+		h.haveRejoined = true
+		h.lastRejoin = h.tb.Sim.Now()
+		h.hookNode(h.lc.BackupNode())
+	}
+}
+
+// linkTarget resolves a drop/loss/delay event to its ethernet link.
+func (h *harness) linkTarget(ev Event) (*netem.Link, string, bool) {
+	switch ev.Kind {
+	case EvDropClient, EvLossClient, EvDelayClient:
+		return h.tb.ClientLink, "client link", true
+	case EvDropServing, EvLossServing, EvDelayServing:
+		n := h.servingNode()
+		if n.Host().Crashed() {
+			return nil, "", false
+		}
+		return h.linkFor(n.Host()), n.Host().Name() + " link", true
+	default:
+		n := h.standbyNode()
+		if n == nil {
+			return nil, "", false
+		}
+		return h.linkFor(n.Host()), n.Host().Name() + " link", true
+	}
+}
+
+func (h *harness) startClient(ev Event) {
+	serving := h.servingNode()
+	host := serving.Host()
+	if host.Crashed() || h.appCrashed[host] || h.nicFailed[host] {
+		h.skip(ev, "service is not reachable right now")
+		return
+	}
+	name := "client/app"
+	if len(h.clients) > 0 {
+		name = fmt.Sprintf("client%d/app", len(h.clients)+1)
+	}
+	rec := &clientRec{name: name, started: h.tb.Sim.Now()}
+	if h.sc.Workload == "echo" {
+		ec := app.NewEchoClient(name, h.tb.Client.TCP(), experiment.ServiceAddr, experiment.ServicePort,
+			h.sc.Rounds, h.sc.MsgSize, h.tb.Tracer)
+		ec.Gap = 3 * time.Millisecond
+		if err := ec.Start(); err != nil {
+			h.skip(ev, err.Error())
+			return
+		}
+		rec.ec = ec
+	} else {
+		dl := app.NewStreamClient(name, h.tb.Client.TCP(), experiment.ServiceAddr, experiment.ServicePort,
+			h.sc.Bytes, h.tb.Tracer)
+		if err := dl.Start(); err != nil {
+			h.skip(ev, err.Error())
+			return
+		}
+		rec.dl = dl
+	}
+	h.clients = append(h.clients, rec)
+	h.note(ev, name)
+}
+
+// blindDetectors is the SabotageBlindDetectors mutation: every failure
+// detector sleeps for about an hour, far past any run horizon.
+func blindDetectors(c *sttcp.Config) {
+	const never = time.Hour
+	c.HB.Period = 200 * time.Millisecond
+	c.HB.Timeout = never
+	c.AppMaxLagTime = never
+	c.AppLagByteHold = never
+	c.MaxDelayFIN = never
+	c.NICLagTime = never
+	c.NICLagGrace = never
+	c.PingFailsForVerdict = 1 << 30
+}

@@ -1,0 +1,190 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Invariant is the registry name (see InvariantNames).
+	Invariant string
+	// Detail says what was observed.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// InvariantNames lists the system-wide invariants every chaos run is
+// checked against, in evaluation order.
+//
+//   - single-transmitter: at every node state change, at most one
+//     non-crashed node believes it owns client output (an active or non-FT
+//     primary, or a taken-over backup). STONITH-before-takeover is what
+//     makes this hold.
+//   - backup-silence: a node holding the backup role sends zero TCP
+//     segments (output suppression), measured per role era from the host's
+//     live tcp.segments_sent counter.
+//   - client-integrity: every client finishes its workload with no error
+//     and no pattern-verification failure — the paper's client-transparent
+//     failover claim.
+//   - takeover-latency: every recorded takeover latency is bounded by
+//     HB.Timeout + HB.Period + 600 ms (detection timeout, plus liveness-
+//     check quantisation, plus the worst benign inbound-drop window a
+//     schedule may stack on top).
+//   - hold-buffer-bound: the hold-buffer occupancy high-water mark never
+//     exceeds the configured capacity.
+//   - counter-trace: metric counters and trace events that record the same
+//     incidents agree exactly (takeovers, non-FT transitions, suspects,
+//     retransmits, heartbeats).
+func InvariantNames() []string {
+	return []string{
+		"single-transmitter",
+		"backup-silence",
+		"client-integrity",
+		"takeover-latency",
+		"hold-buffer-bound",
+		"counter-trace",
+	}
+}
+
+// ClientSummary reports one workload connection's outcome.
+type ClientSummary struct {
+	Name     string
+	Done     bool
+	Err      string
+	Progress string
+}
+
+func summarize(r *clientRec) ClientSummary {
+	s := ClientSummary{Name: r.name}
+	if r.dl != nil {
+		s.Done = r.dl.Done
+		if r.dl.Err != nil {
+			s.Err = r.dl.Err.Error()
+		}
+		s.Progress = fmt.Sprintf("%d/%d bytes", r.dl.Received, r.dl.Request)
+	} else {
+		s.Done = r.ec.Done
+		if r.ec.Err != nil {
+			s.Err = r.ec.Err.Error()
+		}
+		s.Progress = fmt.Sprintf("%d/%d rounds", r.ec.RoundsDone, r.ec.Rounds)
+	}
+	return s
+}
+
+// RunResult is everything a chaos run produced.
+type RunResult struct {
+	Schedule Schedule
+	Opts     Options
+	Trace    *trace.Recorder
+	Metrics  *metrics.Snapshot
+	Clients  []ClientSummary
+	// Violations is empty iff every invariant held.
+	Violations []Violation
+	// Skipped lists scheduled events the harness refused to inject (with
+	// reasons): unsurvivable combinations or faults whose target was
+	// already gone.
+	Skipped []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *RunResult) Failed() bool { return len(r.Violations) > 0 }
+
+// Report renders a failure report with the seed, the schedule, and every
+// violation — everything needed to replay the run.
+func (r *RunResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos run failed: %d invariant violation(s)\n", len(r.Violations))
+	fmt.Fprintf(&b, "schedule: %v", r.Schedule)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION %v\n", v)
+	}
+	for _, c := range r.Clients {
+		fmt.Fprintf(&b, "  client %s: done=%v %s", c.Name, c.Done, c.Progress)
+		if c.Err != "" {
+			fmt.Fprintf(&b, " err=%q", c.Err)
+		}
+		b.WriteString("\n")
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&b, "  skipped %s\n", s)
+	}
+	fmt.Fprintf(&b, "replay: go test ./internal/chaos -run TestChaos -chaos.seed=%d\n", r.Schedule.Seed)
+	return b.String()
+}
+
+// endInvariants evaluates the invariants that are checked once, after the
+// run (the live ones — single-transmitter, backup-silence — accumulate in
+// h.violations as the run progresses).
+func (h *harness) endInvariants(snap *metrics.Snapshot) []Violation {
+	var out []Violation
+	bad := func(inv, format string, args ...any) {
+		out = append(out, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// client-integrity: the paper's claim — every client finishes, with
+	// every byte verified against the deterministic pattern.
+	for _, r := range h.clients {
+		s := summarize(r)
+		switch {
+		case !s.Done:
+			bad("client-integrity", "%s never finished (%s)", s.Name, s.Progress)
+		case s.Err != "":
+			bad("client-integrity", "%s failed: %s", s.Name, s.Err)
+		}
+		var verr int64
+		if r.dl != nil {
+			verr = r.dl.VerifyFailures
+		} else {
+			verr = r.ec.VerifyFailures
+		}
+		if verr > 0 {
+			bad("client-integrity", "%s observed %d byte-pattern mismatches", s.Name, verr)
+		}
+	}
+
+	// takeover-latency: detection must act within the heartbeat budget.
+	bound := h.cfg.HB.Timeout + h.cfg.HB.Period + 600*time.Millisecond
+	for _, sm := range snap.Find("sttcp.takeover_latency") {
+		if sm.Type == "histogram" && sm.Count > 0 && sm.MaxDur > bound {
+			bad("takeover-latency", "%s recorded takeover latency %v > bound %v",
+				sm.Component, sm.MaxDur, bound)
+		}
+	}
+
+	// hold-buffer-bound: occupancy may never exceed capacity.
+	for _, sm := range snap.Find("sttcp.holdbuf_bytes") {
+		if sm.Type == "gauge" && sm.Max > int64(h.cfg.HoldBufferSize) {
+			bad("hold-buffer-bound", "%s hold buffer peaked at %d bytes > capacity %d",
+				sm.Component, sm.Max, h.cfg.HoldBufferSize)
+		}
+	}
+
+	// counter-trace: the two observability channels record the same
+	// incidents at the same call sites, so totals must agree exactly.
+	pairs := []struct {
+		counter string
+		kind    trace.Kind
+	}{
+		{"sttcp.takeovers", trace.KindTakeover},
+		{"sttcp.nonft_transitions", trace.KindNonFTMode},
+		{"sttcp.suspects", trace.KindSuspect},
+		{"tcp.retransmits", trace.KindRetransmit},
+		{"hb.sent", trace.KindHBSent},
+	}
+	for _, p := range pairs {
+		got := snap.CounterTotal(p.counter)
+		want := int64(h.tb.Tracer.Count(p.kind))
+		if got != want {
+			bad("counter-trace", "counter %s total %d != %d %v trace events",
+				p.counter, got, want, p.kind)
+		}
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+// Package chaos is a deterministic chaos-testing harness for the simulated
+// ST-TCP testbed: from a single int64 seed it generates a randomized fault
+// schedule (machine crashes, silent application crashes, NIC failures,
+// serial cuts, loss/latency bursts, double failovers), injects it into a
+// fresh testbed run through the sim clock, the netem fault hooks, and the
+// cluster API, and afterwards checks a registry of system-wide invariants
+// against the trace stream and the metrics snapshot. Everything is driven
+// by the simulator's seeded randomness, so any failure replays exactly from
+// its seed, and a greedy shrinker minimises the failing schedule.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EventKind identifies one fault (or workload) injection.
+type EventKind int
+
+// Event kinds. "Serving" and "Standby" are resolved live at injection time:
+// the serving side is whichever node currently transmits to the client
+// (primary, or the backup after a takeover), the standby side is the backup
+// while both nodes are active. Resolving by role rather than by machine
+// keeps double-failover schedules meaningful after a rejoin swaps the
+// machines' roles.
+const (
+	// EvClientStart opens the workload connection (always present at t=0).
+	EvClientStart EventKind = iota
+	// EvSecondClient opens one more client connection mid-run.
+	EvSecondClient
+
+	// EvCrashServing / EvCrashStandby power the machine off abruptly
+	// (Table 1 row 1: hardware failure — NIC, OS, and serial all die).
+	EvCrashServing
+	EvCrashStandby
+
+	// EvAppCrashServing / EvAppCrashStandby crash only the application
+	// process (Table 1 row 3). Cleanup selects the §4.2.2 variant in
+	// which the OS closes the sockets (FIN); otherwise the crash is
+	// silent (§4.2.1, no FIN).
+	EvAppCrashServing
+	EvAppCrashStandby
+
+	// EvNICFailServing / EvNICFailStandby kill only the Ethernet NIC
+	// (Table 1 row 2); heartbeats continue over the serial line and the
+	// ping arbitration of §4.3 assigns blame.
+	EvNICFailServing
+	EvNICFailStandby
+
+	// EvSerialCut unplugs the null-modem cable (Table 1 row 4).
+	EvSerialCut
+
+	// EvDrop* silence one ethernet link's inbound direction for Dur
+	// (Table 1 row 5: transient fault shorter than the HB timeout).
+	EvDropServing
+	EvDropStandby
+	EvDropClient
+
+	// EvLoss* impose a random loss rate on one link for Dur.
+	EvLossServing
+	EvLossStandby
+	EvLossClient
+
+	// EvDelay* add Delay of one-way latency on one link for Dur.
+	EvDelayServing
+	EvDelayStandby
+	EvDelayClient
+
+	// EvRejoin reboots the dead machine and reintegrates it as the new
+	// backup (the repair loop), restoring fault tolerance so a second
+	// failover becomes possible.
+	EvRejoin
+)
+
+var eventKindNames = map[EventKind]string{
+	EvClientStart:     "client-start",
+	EvSecondClient:    "second-client",
+	EvCrashServing:    "crash-serving",
+	EvCrashStandby:    "crash-standby",
+	EvAppCrashServing: "appcrash-serving",
+	EvAppCrashStandby: "appcrash-standby",
+	EvNICFailServing:  "nicfail-serving",
+	EvNICFailStandby:  "nicfail-standby",
+	EvSerialCut:       "serial-cut",
+	EvDropServing:     "drop-serving",
+	EvDropStandby:     "drop-standby",
+	EvDropClient:      "drop-client",
+	EvLossServing:     "loss-serving",
+	EvLossStandby:     "loss-standby",
+	EvLossClient:      "loss-client",
+	EvDelayServing:    "delay-serving",
+	EvDelayStandby:    "delay-standby",
+	EvDelayClient:     "delay-client",
+	EvRejoin:          "rejoin",
+}
+
+// String names the kind.
+func (k EventKind) String() string {
+	if n, ok := eventKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one scheduled injection.
+type Event struct {
+	// At is the injection time relative to run start.
+	At time.Duration
+	// Kind selects the fault.
+	Kind EventKind
+	// Dur is the window length for drop/loss/delay events.
+	Dur time.Duration
+	// Rate is the loss probability for loss events.
+	Rate float64
+	// Delay is the extra one-way latency for delay events.
+	Delay time.Duration
+	// Cleanup selects the with-OS-cleanup (FIN) application crash.
+	Cleanup bool
+}
+
+// String renders the event compactly, e.g. "@480ms loss-standby rate=0.18 dur=1.2s".
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "@%v %v", e.At, e.Kind)
+	if e.Rate != 0 {
+		fmt.Fprintf(&b, " rate=%.2f", e.Rate)
+	}
+	if e.Delay != 0 {
+		fmt.Fprintf(&b, " delay=%v", e.Delay)
+	}
+	if e.Dur != 0 {
+		fmt.Fprintf(&b, " dur=%v", e.Dur)
+	}
+	if e.Cleanup {
+		b.WriteString(" cleanup")
+	}
+	return b.String()
+}
+
+// Schedule is a complete chaos run description: the workload plus the fault
+// events, all derived from Seed. A Schedule can also be built by hand (the
+// ported failover fuzz test does) — the harness does not care where the
+// events came from.
+type Schedule struct {
+	// Seed drives the testbed simulation AND generated this schedule.
+	Seed int64
+	// Workload is "download" (StreamClient against the data server) or
+	// "echo" (EchoClient against the echo server).
+	Workload string
+	// Bytes is the download size (download workload).
+	Bytes int64
+	// Rounds and MsgSize parameterise the echo workload.
+	Rounds  int
+	MsgSize int
+	// Horizon bounds the run; the harness may stop earlier once every
+	// client finished and the schedule is exhausted.
+	Horizon time.Duration
+	// Events are sorted by At.
+	Events []Event
+}
+
+// Signature identifies the fault structure of the schedule independent of
+// the seed, so a campaign can count how many *distinct* schedules it
+// explored.
+func (sc Schedule) Signature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", sc.Workload)
+	if sc.Workload == "download" {
+		fmt.Fprintf(&b, " %dB", sc.Bytes)
+	} else {
+		fmt.Fprintf(&b, " %dx%dB", sc.Rounds, sc.MsgSize)
+	}
+	for _, e := range sc.Events {
+		fmt.Fprintf(&b, "; %v", e)
+	}
+	return b.String()
+}
+
+// String renders the schedule for failure reports.
+func (sc Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d workload=%s", sc.Seed, sc.Workload)
+	if sc.Workload == "download" {
+		fmt.Fprintf(&b, " bytes=%d", sc.Bytes)
+	} else {
+		fmt.Fprintf(&b, " rounds=%d msgsize=%d", sc.Rounds, sc.MsgSize)
+	}
+	fmt.Fprintf(&b, " horizon=%v\n", sc.Horizon)
+	for _, e := range sc.Events {
+		fmt.Fprintf(&b, "  %v\n", e)
+	}
+	return b.String()
+}
+
+// WithoutEvent returns a copy of the schedule with event i removed — the
+// shrinker's step. EvClientStart at index 0 is kept (removing the workload
+// makes every run vacuously pass).
+func (sc Schedule) WithoutEvent(i int) Schedule {
+	out := sc
+	out.Events = make([]Event, 0, len(sc.Events)-1)
+	out.Events = append(out.Events, sc.Events[:i]...)
+	out.Events = append(out.Events, sc.Events[i+1:]...)
+	return out
+}
+
+func dur(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+}
+
+// Generate derives a randomized schedule from seed. The generator biases
+// toward interesting structure: every schedule starts a client at t=0 and
+// injects at least one fault; fatal faults land early (30% inside the first
+// 300 ms, the connection-establishment window) so handshake races are
+// exercised; a fatal fault on the serving side may chain into a rejoin, a
+// second client, and a second fatal fault — the double-failover path.
+func Generate(seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Schedule{Seed: seed, Horizon: 60 * time.Second}
+
+	if rng.Intn(2) == 0 {
+		sc.Workload = "download"
+		sc.Bytes = int64(1+rng.Intn(4)) << 20
+	} else {
+		sc.Workload = "echo"
+		sc.Rounds = 150 + rng.Intn(250)
+		sc.MsgSize = 256 + rng.Intn(1280)
+	}
+	sc.Events = append(sc.Events, Event{At: 0, Kind: EvClientStart})
+
+	// Benign background noise: drop windows, loss windows, latency bursts,
+	// and serial cuts, anywhere in the first three seconds.
+	benignKinds := []EventKind{
+		EvDropServing, EvDropStandby, EvDropClient,
+		EvLossServing, EvLossStandby, EvLossClient,
+		EvDelayServing, EvDelayStandby, EvDelayClient,
+		EvSerialCut,
+	}
+	nBenign := rng.Intn(4)
+	for i := 0; i < nBenign; i++ {
+		ev := Event{At: dur(rng, 0, 3*time.Second), Kind: benignKinds[rng.Intn(len(benignKinds))]}
+		switch ev.Kind {
+		case EvDropServing, EvDropStandby, EvDropClient:
+			// Shorter than the 600 ms HB timeout: must never cause
+			// a spurious failover on a server link.
+			ev.Dur = dur(rng, 50*time.Millisecond, 400*time.Millisecond)
+		case EvLossServing, EvLossStandby, EvLossClient:
+			ev.Rate = 0.05 + 0.20*rng.Float64()
+			ev.Dur = dur(rng, 200*time.Millisecond, 2*time.Second)
+		case EvDelayServing, EvDelayStandby, EvDelayClient:
+			ev.Delay = dur(rng, time.Millisecond, 20*time.Millisecond)
+			ev.Dur = dur(rng, 100*time.Millisecond, 2*time.Second)
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+
+	// The fatal fault, biased toward the handshake window.
+	fatalKinds := []EventKind{
+		EvCrashServing, EvCrashServing, EvCrashServing,
+		EvCrashStandby, EvCrashStandby,
+		EvAppCrashServing, EvAppCrashServing,
+		EvAppCrashStandby,
+		EvNICFailServing, EvNICFailStandby,
+	}
+	haveFatal := nBenign == 0 || rng.Float64() < 0.75
+	if haveFatal {
+		fatal := Event{Kind: fatalKinds[rng.Intn(len(fatalKinds))]}
+		if rng.Float64() < 0.30 {
+			fatal.At = dur(rng, 0, 300*time.Millisecond)
+		} else {
+			fatal.At = dur(rng, 0, 1200*time.Millisecond)
+		}
+		if fatal.Kind == EvAppCrashServing || fatal.Kind == EvAppCrashStandby {
+			fatal.Cleanup = rng.Float64() < 0.33
+		}
+		sc.Events = append(sc.Events, fatal)
+
+		// A serving-side fatal fault can chain into the repair loop and
+		// a second failover generation.
+		servingFatal := fatal.Kind == EvCrashServing ||
+			(fatal.Kind == EvAppCrashServing && !fatal.Cleanup) ||
+			fatal.Kind == EvNICFailServing
+		if servingFatal && rng.Float64() < 0.5 {
+			rejoinAt := fatal.At + 4*time.Second + dur(rng, 0, 2*time.Second)
+			sc.Events = append(sc.Events, Event{At: rejoinAt, Kind: EvRejoin})
+			if rng.Float64() < 0.6 {
+				clientAt := rejoinAt + dur(rng, 0, time.Second)
+				sc.Events = append(sc.Events, Event{At: clientAt, Kind: EvSecondClient})
+				if rng.Float64() < 0.6 {
+					second := EvCrashServing
+					if rng.Intn(2) == 0 {
+						second = EvCrashStandby
+					}
+					sc.Events = append(sc.Events, Event{
+						At:   clientAt + dur(rng, 200*time.Millisecond, 1500*time.Millisecond),
+						Kind: second,
+					})
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(sc.Events, func(i, j int) bool { return sc.Events[i].At < sc.Events[j].At })
+	return sc
+}

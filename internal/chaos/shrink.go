@@ -1,0 +1,55 @@
+package chaos
+
+// ShrinkResult is the outcome of minimising a failing schedule.
+type ShrinkResult struct {
+	// Schedule is the smallest schedule found that still fails.
+	Schedule Schedule
+	// Result is the failing run of that schedule.
+	Result *RunResult
+	// Runs is how many re-executions the shrink spent.
+	Runs int
+}
+
+// Shrink greedily minimises a failing schedule: it repeatedly tries to
+// drop one event at a time, re-runs the schedule, and keeps any removal
+// after which the run still violates an invariant, until a fixpoint (no
+// single removal reproduces the failure) or the run budget is exhausted.
+// Every candidate run is fully deterministic, so the shrink itself is too.
+//
+// failing must be the result of Run(sc, opts) and must have Failed();
+// Shrink returns it unchanged (zero extra runs) if the schedule is already
+// minimal.
+func Shrink(sc Schedule, opts Options, failing *RunResult, budget int) (ShrinkResult, error) {
+	best := ShrinkResult{Schedule: sc, Result: failing}
+	if budget <= 0 {
+		budget = 50
+	}
+	for {
+		shrunk := false
+		// Try removals from the back first: late events (second
+		// failovers, rejoins) are the most likely to be irrelevant
+		// to an early violation.
+		for i := len(best.Schedule.Events) - 1; i >= 0; i-- {
+			if best.Schedule.Events[i].Kind == EvClientStart {
+				continue // no workload, nothing to check
+			}
+			if best.Runs >= budget {
+				return best, nil
+			}
+			cand := best.Schedule.WithoutEvent(i)
+			res, err := Run(cand, opts)
+			if err != nil {
+				return best, err
+			}
+			best.Runs++
+			if res.Failed() {
+				best.Schedule, best.Result = cand, res
+				shrunk = true
+				break // indices moved; restart the scan
+			}
+		}
+		if !shrunk {
+			return best, nil
+		}
+	}
+}

@@ -48,10 +48,11 @@ func DefaultLANConfig() LinkConfig {
 // transmission when the previous one has left the wire, and arrives one
 // propagation delay after its last bit is sent.
 type Link struct {
-	sim  *sim.Simulator
-	cfg  LinkConfig
-	a, b *linkSide
-	down bool
+	sim        *sim.Simulator
+	cfg        LinkConfig
+	a, b       *linkSide
+	down       bool
+	extraDelay time.Duration
 
 	// Drops counts frames lost to loss-rate, drop windows, or link-down.
 	Drops int64
@@ -103,6 +104,15 @@ func (l *Link) Down() bool { return l.down }
 // SetLossRate changes the random loss probability.
 func (l *Link) SetLossRate(p float64) { l.cfg.LossRate = p }
 
+// SetExtraDelay adds d of one-way propagation delay on top of the
+// configured Delay, in both directions, until called again (0 restores the
+// configured latency). It models a transient latency burst — congestion
+// elsewhere on the path — without touching the link's serialization rate.
+func (l *Link) SetExtraDelay(d time.Duration) { l.extraDelay = d }
+
+// ExtraDelay returns the current extra one-way delay.
+func (l *Link) ExtraDelay() time.Duration { return l.extraDelay }
+
 // DropFromAFor drops all frames transmitted by endpoint A for d, modelling a
 // temporary local failure (paper Table 1 row 5: buffer overflow, transient
 // NIC trouble).
@@ -142,7 +152,7 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 		txTime = time.Duration(bits * int64(time.Second) / l.cfg.BitsPerSecond)
 	}
 	side.nextFree = start.Add(txTime)
-	arrival := side.nextFree.Add(l.cfg.Delay)
+	arrival := side.nextFree.Add(l.cfg.Delay + l.extraDelay)
 	if l.cfg.Jitter > 0 {
 		arrival = arrival.Add(time.Duration(l.sim.Rand().Int63n(int64(l.cfg.Jitter))))
 	}

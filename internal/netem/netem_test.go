@@ -235,6 +235,42 @@ func TestBandwidthSerialization(t *testing.T) {
 	}
 }
 
+// TestExtraDelayBurst checks the latency-burst hook: frames sent during a
+// SetExtraDelay window arrive later by exactly the extra one-way delay, and
+// clearing it restores the configured latency.
+func TestExtraDelayBurst(t *testing.T) {
+	s := sim.New(1)
+	cfg := LinkConfig{Delay: time.Millisecond} // infinite rate: arrival = send + delay
+	a, b, _, _, _ := twoNICs(s, cfg)
+	var arrivals []time.Duration
+	b.SetHandler(func(eth.Frame) { arrivals = append(arrivals, s.Elapsed()) })
+
+	send(t, a, b.Addr(), "base")
+	s.Schedule(10*time.Millisecond, func() {
+		a.link.SetExtraDelay(5 * time.Millisecond)
+		send(t, a, b.Addr(), "slow")
+	})
+	s.Schedule(20*time.Millisecond, func() {
+		a.link.SetExtraDelay(0)
+		send(t, a, b.Addr(), "restored")
+	})
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("got %d frames, want 3", len(arrivals))
+	}
+	// Each hop crosses two links (NIC↔switch, switch↔NIC) plus the switch's
+	// forwarding latency, but only a's link carries the burst.
+	base := arrivals[0]
+	if got := arrivals[1] - 10*time.Millisecond; got != base+5*time.Millisecond {
+		t.Errorf("burst frame latency %v, want %v", got, base+5*time.Millisecond)
+	}
+	if got := arrivals[2] - 20*time.Millisecond; got != base {
+		t.Errorf("post-burst latency %v, want %v", got, base)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	s := sim.New(1)
 	a, b, _, _, sw := twoNICs(s, DefaultLANConfig())

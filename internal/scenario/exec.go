@@ -25,11 +25,16 @@ type Check struct {
 type Result struct {
 	Checks  []Check
 	Clients []string // one status line per workload
+	Errors  []string // fault injections that failed at run time (e.g. rejoin with no takeover)
 	Tracer  *trace.Recorder
 }
 
-// OK reports whether every expectation passed.
+// OK reports whether every expectation passed and every scheduled fault
+// actually took effect.
 func (r *Result) OK() bool {
+	if len(r.Errors) > 0 {
+		return false
+	}
 	for _, c := range r.Checks {
 		if !c.Passed {
 			return false
@@ -211,6 +216,29 @@ func (ex *executor) schedule(st Statement) error {
 	}
 	action := st.Action
 	arg := st.Arg
+
+	// Validate the injection up front: a fault that silently does nothing
+	// makes every later expectation meaningless, so refuse to schedule it.
+	var dropFor time.Duration
+	switch action {
+	case "appcrash":
+		if _, ok := ex.apps[st.Target]; !ok {
+			return fmt.Errorf("appcrash: host %q runs no server application", st.Target)
+		}
+	case "drop":
+		if link == nil {
+			return fmt.Errorf("drop: host %q has no ethernet link in this topology", st.Target)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return fmt.Errorf("drop: bad duration %q: %w", arg, err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("drop: duration must be positive, got %v", d)
+		}
+		dropFor = d
+	}
+
 	ex.tb.Sim.At(when, func() {
 		switch action {
 		case "crash":
@@ -220,26 +248,23 @@ func (ex *executor) schedule(st Statement) error {
 		case "reboot":
 			host.Reboot()
 		case "appcrash":
-			srv, ok := ex.apps[st.Target]
-			if !ok {
-				return
-			}
+			srv := ex.apps[st.Target]
 			if arg == "silent" {
 				srv.CrashSilent()
 			} else {
 				srv.CrashCleanup(false)
 			}
 		case "drop":
-			if link != nil {
-				d, _ := time.ParseDuration(arg)
-				ex.tb.Tracer.Emit(trace.KindLinkDrop, st.Target+"/eth0", "dropping inbound frames for %v", d)
-				link.DropFromBFor(d)
-			}
+			ex.tb.Tracer.Emit(trace.KindLinkDrop, st.Target+"/eth0", "dropping inbound frames for %v", dropFor)
+			link.DropFromBFor(dropFor)
 		case "serialcut":
 			ex.tb.SerialPrimary.SetDown(true)
 			ex.tb.SerialBackup.SetDown(true)
 		case "rejoin":
-			_ = ex.lc.Reintegrate(ex.mkApp)
+			if err := ex.lc.Reintegrate(ex.mkApp); err != nil {
+				ex.res.Errors = append(ex.res.Errors,
+					fmt.Sprintf("line %d: rejoin at %v: %v", st.Line, st.When, err))
+			}
 		}
 	})
 	return nil

@@ -1,0 +1,115 @@
+package sttcp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzPat is the deterministic content byte for absolute stream offset off;
+// with it the model need only track the window [base, end) — content checks
+// fall out of the offsets.
+func fuzzPat(off int64) byte { return byte(off*31 + 7) }
+
+// FuzzHoldBuf drives the primary's hold buffer through arbitrary
+// append/release/slice sequences against an offset-window model and checks
+// the conservation invariants the recovery protocol depends on: held bytes
+// always equal end-base and never exceed capacity, appends are
+// gap-and-overflow checked without partial effects, release clamps to the
+// held window, and slice serves exactly the bytes that were appended — or
+// ErrHoldEvicted once they are gone.
+func FuzzHoldBuf(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 32, 0, 32, 2, 16, 3, 8, 0, 200, 1, 1, 2, 255})
+	f.Add(uint8(100), []byte{0, 255, 0, 255, 0, 255, 2, 255, 3, 0})
+	f.Add(uint8(255), []byte{1, 10, 0, 1, 2, 0, 3, 255})
+
+	f.Fuzz(func(t *testing.T, capSel uint8, ops []byte) {
+		capacity := 16 + int(capSel)%241 // 16..256
+		hb := newHoldBuffer(capacity)
+		base, end := int64(0), int64(0) // model: bytes [base, end) are held
+
+		check := func(when string) {
+			t.Helper()
+			if hb.held() != int(end-base) {
+				t.Fatalf("%s: held()=%d, model holds %d", when, hb.held(), end-base)
+			}
+			if hb.end() != end {
+				t.Fatalf("%s: end()=%d, model end %d", when, hb.end(), end)
+			}
+			if hb.held() > capacity {
+				t.Fatalf("%s: held()=%d exceeds capacity %d", when, hb.held(), capacity)
+			}
+			if hb.free()+hb.held() != capacity {
+				t.Fatalf("%s: free()+held() = %d+%d != cap %d", when, hb.free(), hb.held(), capacity)
+			}
+		}
+		check("fresh")
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%4, int64(ops[i+1])
+			switch op {
+			case 0: // in-order append of arg bytes
+				p := make([]byte, arg)
+				for j := range p {
+					p[j] = fuzzPat(end + int64(j))
+				}
+				err := hb.append(end, p)
+				if int64(capacity)-(end-base) >= arg {
+					if err != nil {
+						t.Fatalf("in-order append of %d rejected: %v", arg, err)
+					}
+					end += arg
+				} else if !errors.Is(err, ErrHoldOverflow) {
+					t.Fatalf("overflowing append of %d returned %v, want ErrHoldOverflow", arg, err)
+				}
+			case 1: // append with a gap: must be rejected without effect
+				err := hb.append(end+1+arg, []byte{0xaa})
+				if !errors.Is(err, ErrHoldGap) {
+					t.Fatalf("gapped append returned %v, want ErrHoldGap", err)
+				}
+			case 2: // release up to base+arg (may exceed end: clamps)
+				upTo := base + arg
+				hb.release(upTo)
+				if upTo > end {
+					base = end
+				} else if upTo > base {
+					base = upTo
+				}
+			case 3: // slice
+				if arg%2 == 1 && base > 0 {
+					if _, err := hb.slice(base-1, base+1); !errors.Is(err, ErrHoldEvicted) {
+						t.Fatalf("slice before base returned %v, want ErrHoldEvicted", err)
+					}
+					break
+				}
+				from := base + arg/2%16
+				to := from + arg
+				got, err := hb.slice(from, to)
+				if from > end || from >= to {
+					// Fully outside or empty: any nil-content
+					// success is fine, but never an eviction
+					// error (from >= base here).
+					if err != nil {
+						t.Fatalf("slice(%d,%d) with base %d end %d: %v", from, to, base, end, err)
+					}
+					break
+				}
+				if err != nil {
+					t.Fatalf("slice(%d,%d) failed: %v", from, to, err)
+				}
+				wantLen := to
+				if wantLen > end {
+					wantLen = end
+				}
+				want := make([]byte, 0, wantLen-from)
+				for off := from; off < wantLen; off++ {
+					want = append(want, fuzzPat(off))
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("slice(%d,%d) returned wrong bytes (%d vs %d expected)", from, to, len(got), len(want))
+				}
+			}
+			check("after op")
+		}
+	})
+}

@@ -323,8 +323,15 @@ func (st *Stack) listenerFor(addr ip.Addr, port uint16) *Listener {
 	return l
 }
 
-// emit transmits a segment for conn through the IP layer.
+// emit transmits a segment for conn through the IP layer. A stack whose
+// netstack is down (OS crash) transmits — and counts — nothing: timers
+// armed before the crash may still fire, and a dead machine putting
+// segments on its own books would corrupt per-host accounting across a
+// reboot (the registry deduplicates instruments by name).
 func (st *Stack) emit(c *Conn, seg *Segment) {
+	if st.ns.IsDown() {
+		return
+	}
 	st.Emitted++
 	st.mSent.Inc()
 	raw := seg.Encode(c.id.LocalAddr, c.id.RemoteAddr)
