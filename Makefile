@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench chaos chaos-smoke clean
+.PHONY: all check vet build test race bench timeline chaos chaos-smoke clean
 
 all: check
 
@@ -24,6 +24,14 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Render the Demo 1 failover anatomy: phase report plus ASCII span timeline.
+# The same view ships as a golden (internal/scenario/testdata/golden); after
+# an intentional protocol change regenerate with
+#   go test ./internal/scenario -run Golden -update
+#   go test ./internal/scenario -run TimelineGolden -update
+timeline:
+	$(GO) run ./cmd/sttcp-demo -demo demo1 -timeline
 
 # Randomized fault-injection campaign: 200 seeded schedules judged by the
 # system-wide invariant registry (see EXPERIMENTS.md "Chaos campaigns").

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	sttcp-chaos [-seed N] [-runs N] [-wall DUR] [-shrink-budget N]
-//	            [-metrics-out FILE] [-v]
+//	            [-metrics-out FILE] [-trace-out FILE] [-trace-detail]
+//	            [-flight-recorder N] [-v]
 //
 // Examples:
 //
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -33,9 +35,13 @@ func main() {
 		wall         = flag.Duration("wall", 0, "stop starting new runs after this much real time (0: no limit)")
 		shrinkBudget = flag.Int("shrink-budget", 50, "max re-executions the shrinker may spend on a failure")
 		metricsOut   = flag.String("metrics-out", "", "write the last run's metrics snapshot as JSON to this file (\"-\" for stdout)")
+		traceOut     = flag.String("trace-out", "", "write the last (or first failing) run's span trace as Chrome trace-event JSON to this file")
+		traceDetail  = flag.Bool("trace-detail", false, "record per-segment trace events and spans (heavier; pairs well with -trace-out)")
+		flightRec    = flag.Int("flight-recorder", 0, "bound trace memory to roughly N spans, keeping pinned failure windows (0: unbounded)")
 		verbose      = flag.Bool("v", false, "print every schedule and its outcome")
 	)
 	flag.Parse()
+	opts := chaos.Options{TraceDetail: *traceDetail, FlightRecorder: *flightRec}
 
 	if *runs == 0 && *wall == 0 {
 		fmt.Fprintln(os.Stderr, "sttcp-chaos: need -runs or -wall")
@@ -59,7 +65,7 @@ func main() {
 		if *verbose {
 			fmt.Printf("--- run %d ---\n%v", i, sc)
 		}
-		res, err := chaos.Run(sc, chaos.Options{})
+		res, err := chaos.Run(sc, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sttcp-chaos: seed %d: %v\n", s, err)
 			os.Exit(1)
@@ -79,21 +85,42 @@ func main() {
 		}
 		if res.Failed() {
 			fmt.Printf("%s", res.Report())
-			shr, serr := chaos.Shrink(sc, chaos.Options{}, res, *shrinkBudget)
+			shr, serr := chaos.Shrink(sc, opts, res, *shrinkBudget)
 			if serr != nil {
 				fmt.Fprintf(os.Stderr, "sttcp-chaos: shrink: %v\n", serr)
 			} else {
 				fmt.Printf("--- minimized after %d extra runs ---\n%s", shr.Runs, shr.Result.Report())
 			}
 			writeMetrics(*metricsOut, res)
+			writeTrace(*traceOut, res)
 			os.Exit(1)
 		}
 	}
 
 	writeMetrics(*metricsOut, last)
+	writeTrace(*traceOut, last)
 	fmt.Printf("sttcp-chaos: %d runs in %v, all invariants held (%d takeovers, %d non-FT transitions, %d events skipped as unsurvivable)\n",
 		executed, time.Since(start).Round(time.Millisecond), takeovers, nonft, skipped)
 	fmt.Printf("invariants checked: %v\n", chaos.InvariantNames())
+}
+
+// writeTrace exports a run's span trace as Chrome trace-event JSON —
+// on failure the failing run's, otherwise the campaign's last run (the
+// artifact CI uploads from the chaos smoke).
+func writeTrace(path string, res *chaos.RunResult) {
+	if path == "" || res == nil || res.Trace == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sttcp-chaos: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := res.Trace.WriteChromeTrace(f, sim.Epoch); err != nil {
+		fmt.Fprintf(os.Stderr, "sttcp-chaos: write trace: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func writeMetrics(path string, res *chaos.RunResult) {

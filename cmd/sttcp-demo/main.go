@@ -11,6 +11,8 @@
 //
 //	sttcp-demo -demo demo1 [-seed 42] [-trace]
 //	sttcp-demo -demo all [-metrics-out metrics.json]
+//	sttcp-demo -demo demo2 -timeline                # failover anatomy + ASCII timeline
+//	sttcp-demo -demo demo1 -trace-out demo1.json    # Perfetto-loadable span trace
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -39,6 +42,8 @@ func run() error {
 	showTrace := flag.Bool("trace", false, "dump the event trace after each demo")
 	jsonPath := flag.String("json", "", "write demo1's ST-TCP event trace as JSON to this file")
 	metricsOut := flag.String("metrics-out", "", "write the final demo's metric snapshot as JSON to this file ('-' for stdout)")
+	traceOut := flag.String("trace-out", "", "write the final demo's causal span trace as Chrome trace-event JSON (load in ui.perfetto.dev)")
+	timeline := flag.Bool("timeline", false, "render each failover's span timeline and phase anatomy")
 	flag.Parse()
 
 	var selected []experiment.Demo
@@ -60,13 +65,18 @@ func run() error {
 		selected = []experiment.Demo{d}
 	}
 
+	// Exporting or rendering the span timeline wants the per-segment
+	// detail spans that are otherwise switched off.
+	detail := *traceOut != "" || *timeline
+
 	var lastSnapshot *metrics.Snapshot
+	var lastTracer *trace.Recorder
 	for _, d := range selected {
-		res, err := d.Run(experiment.Params{Seed: *seed, Eager: *eager})
+		res, err := d.Run(experiment.Params{Seed: *seed, Eager: *eager, TraceDetail: detail})
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.Name, err)
 		}
-		printResult(d, res, *showTrace)
+		printResult(d, res, *showTrace, *timeline)
 		if d.Name == "demo1" && *jsonPath != "" {
 			if err := writeTraceJSON(*jsonPath, res); err != nil {
 				return err
@@ -75,21 +85,81 @@ func run() error {
 		if res.Metrics != nil {
 			lastSnapshot = res.Metrics
 		}
+		if t := resultTracer(res); t != nil {
+			lastTracer = t
+		}
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, lastSnapshot); err != nil {
 			return err
 		}
 	}
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut, lastTracer); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
+// resultTracer picks the run whose trace -trace-out exports: the last
+// testbed run of the demo.
+func resultTracer(res experiment.Result) *trace.Recorder {
+	if n := len(res.NIC); n > 0 {
+		return res.NIC[n-1].Tracer
+	}
+	if n := len(res.Failovers); n > 0 {
+		return res.Failovers[n-1].Tracer
+	}
+	return nil
+}
+
+func writeChromeTrace(path string, tracer *trace.Recorder) error {
+	if tracer == nil {
+		return fmt.Errorf("-trace-out: the selected demo produced no trace (demo3 records none)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := tracer.WriteChromeTrace(f, sim.Epoch); err != nil {
+		return err
+	}
+	fmt.Printf("\n(span trace written to %s — load it in ui.perfetto.dev or chrome://tracing)\n", path)
+	return nil
+}
+
+// printAnatomy renders the failover's phase decomposition and an ASCII
+// timeline zoomed to the window around it.
+func printAnatomy(r experiment.FailoverResult) {
+	if r.Tracer == nil {
+		return
+	}
+	o := trace.TimelineOptions{Width: 100, Epoch: sim.Epoch}
+	if a := r.Anatomy; a != nil {
+		fmt.Println()
+		fmt.Println(a.String())
+		o.Start = a.FaultAt.Add(-150 * time.Millisecond)
+		end := a.ResumeTxAt
+		if a.StallEnd.After(end) {
+			end = a.StallEnd
+		}
+		o.End = end.Add(250 * time.Millisecond)
+	}
+	fmt.Println()
+	fmt.Print(r.Tracer.RenderSpanTimeline(o))
+}
+
 // printResult renders whichever result shape the demo produced.
-func printResult(d experiment.Demo, res experiment.Result, showTrace bool) {
+func printResult(d experiment.Demo, res experiment.Result, showTrace, timeline bool) {
 	fmt.Printf("\n=== %s: %s ===\n\n", d.Name, d.Title)
 	switch {
 	case res.Baseline != nil:
 		printFailoverVsBaseline(res)
+		if timeline {
+			printAnatomy(res.Failovers[0])
+		}
 	case res.Overhead != nil:
 		o := res.Overhead
 		fmt.Printf("workload: %d MiB failure-free download over 100 Mbit/s\n\n", o.Size>>20)
@@ -107,6 +177,10 @@ func printResult(d experiment.Demo, res experiment.Result, showTrace bool) {
 			if showTrace && r.Tracer != nil {
 				fmt.Println(r.Tracer.Dump())
 			}
+			if timeline && r.Tracer != nil {
+				fmt.Println()
+				fmt.Print(r.Tracer.RenderSpanTimeline(trace.TimelineOptions{Width: 100, Epoch: sim.Epoch}))
+			}
 		}
 	default:
 		fmt.Printf("%-14s %-14s %-12s %-12s %s\n", "scenario", "HB period", "detection", "failover", "completed")
@@ -119,6 +193,9 @@ func printResult(d experiment.Demo, res experiment.Result, showTrace bool) {
 				r.DetectionTime.Round(time.Millisecond), r.FailoverTime.Round(time.Millisecond), r.Completed)
 			if showTrace && r.Tracer != nil {
 				fmt.Println(r.Tracer.Dump())
+			}
+			if timeline {
+				printAnatomy(r)
 			}
 		}
 	}

@@ -22,6 +22,8 @@ import (
 	"os"
 
 	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,9 +35,11 @@ func main() {
 
 func run() error {
 	showTrace := flag.Bool("trace", false, "dump the full event trace after the run")
+	timeline := flag.Bool("timeline", false, "render the run's causal span timeline")
+	traceOut := flag.String("trace-out", "", "write the run's span trace as Chrome trace-event JSON (load in ui.perfetto.dev)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: sttcp-lab [-trace] <script.sttcp | ->")
+		return fmt.Errorf("usage: sttcp-lab [-trace] [-timeline] [-trace-out FILE] <script.sttcp | ->")
 	}
 	var text []byte
 	var err error
@@ -51,7 +55,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.Run(sc)
+	// Exports want the per-segment detail spans that are off by default.
+	res, err := scenario.RunWith(sc, scenario.RunOptions{TraceDetail: *timeline || *traceOut != ""})
 	if err != nil {
 		return err
 	}
@@ -78,6 +83,24 @@ func run() error {
 	if *showTrace {
 		fmt.Println()
 		fmt.Println(res.Tracer.Dump())
+	}
+	if *timeline {
+		fmt.Println()
+		fmt.Print(res.Tracer.RenderSpanTimeline(trace.TimelineOptions{Width: 100, Epoch: sim.Epoch}))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Tracer.WriteChromeTrace(f, sim.Epoch); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\n(span trace written to %s — load it in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
 	if failed > 0 || len(res.Errors) > 0 {
 		return fmt.Errorf("%d expectation(s) failed, %d injection error(s)", failed, len(res.Errors))

@@ -116,6 +116,9 @@ func (cl *StreamClient) readable() {
 			}
 			cl.Received += int64(n)
 			cl.Samples = append(cl.Samples, ProgressSample{Time: cl.sim.Now(), Bytes: cl.Received})
+			if cl.tracer != nil {
+				cl.tracer.EmitValue(trace.KindAppProgress, cl.name, cl.Received, "received %d bytes", cl.Received)
+			}
 			if cl.Received >= cl.Request {
 				_ = cl.conn.Close()
 				cl.finish(nil)

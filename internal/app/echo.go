@@ -240,6 +240,9 @@ func (cl *EchoClient) readable() {
 		if cl.echoed >= int64(cl.RoundsDone+1)*int64(cl.MsgSize) {
 			cl.RoundsDone++
 			cl.Samples = append(cl.Samples, ProgressSample{Time: cl.sim.Now(), Bytes: cl.echoed})
+			if cl.tracer != nil {
+				cl.tracer.EmitValue(trace.KindAppProgress, cl.name, cl.echoed, "round %d echoed (%d bytes)", cl.RoundsDone, cl.echoed)
+			}
 			if cl.RoundsDone >= cl.Rounds {
 				_ = cl.conn.Close()
 				cl.finish(nil)

@@ -29,6 +29,15 @@ type Options struct {
 	// Fatal faults then strand the clients, which the integrity
 	// invariant must report.
 	SabotageBlindDetectors bool
+	// FlightRecorder, when > 0, caps trace memory to roughly this many
+	// spans (8× as many events) for long campaigns; windows around
+	// violations are pinned so the post-mortem survives eviction. The
+	// counter-trace and span-ancestry checks are skipped once events
+	// have actually been evicted — they need the full log.
+	FlightRecorder int
+	// TraceDetail enables per-segment/per-frame detail events and spans
+	// on the run's recorder.
+	TraceDetail bool
 }
 
 // appServer is the slice of the app-server API the harness injects faults
@@ -122,7 +131,11 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 		nicFailed:  make(map[*cluster.Host]bool),
 		appCrashed: make(map[*cluster.Host]bool),
 	}
-	h.tb = experiment.Build(experiment.Options{Seed: sc.Seed})
+	h.tb = experiment.Build(experiment.Options{
+		Seed:           sc.Seed,
+		FlightRecorder: opts.FlightRecorder,
+		TraceDetail:    opts.TraceDetail,
+	})
 	mutate := func(c *sttcp.Config) {
 		// Detection must outrun the gated-FIN auto-release: a silent
 		// app crash is declared (AppMaxLagTime) long before a lone FIN
@@ -174,6 +187,14 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 		}
 	}
 	h.closeAllEras()
+	// Resolve the causal-span layer before judging it: nodes close a
+	// legitimately still-pending retransmission wait, fan-out spans are
+	// finalized at their last activity. Anything still open after this
+	// is leaked instrumentation.
+	for _, n := range h.nodes {
+		n.FinishTrace()
+	}
+	h.tb.Tracer.FinalizeAutoSpans()
 
 	res := &RunResult{
 		Schedule: sc,
@@ -292,6 +313,10 @@ func (h *harness) closeAllEras() {
 }
 
 func (h *harness) violate(inv, detail string) {
+	// Protect the evidence: the flight recorder must not evict the spans
+	// and events around a violation.
+	now := h.tb.Sim.Now()
+	h.tb.Tracer.PinWindow(now.Add(-2*time.Second), now.Add(2*time.Second))
 	h.violations = append(h.violations, Violation{Invariant: inv, Detail: detail})
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,10 @@ func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 //   - counter-trace: metric counters and trace events that record the same
 //     incidents agree exactly (takeovers, non-FT transitions, suspects,
 //     retransmits, heartbeats).
+//   - span-integrity: the causal span tree is well-formed at end of run —
+//     every takeover span has a suspect event on itself or an ancestor
+//     (a takeover must be caused by a declared suspicion), no non-auto
+//     span is left open, and the recorder saw no open/close errors.
 func InvariantNames() []string {
 	return []string{
 		"single-transmitter",
@@ -49,6 +54,7 @@ func InvariantNames() []string {
 		"takeover-latency",
 		"hold-buffer-bound",
 		"counter-trace",
+		"span-integrity",
 	}
 }
 
@@ -115,6 +121,13 @@ func (r *RunResult) Report() string {
 	for _, s := range r.Skipped {
 		fmt.Fprintf(&b, "  skipped %s\n", s)
 	}
+	// The failing run's anatomy, right next to the seed: the span
+	// timeline shows where detection, takeover, and the retransmission
+	// wait actually sat when the invariant broke.
+	if r.Trace != nil && r.Trace.Len() > 0 {
+		b.WriteString("timeline:\n")
+		b.WriteString(r.Trace.RenderSpanTimeline(trace.TimelineOptions{Width: 100, Epoch: sim.Epoch}))
+	}
 	fmt.Fprintf(&b, "replay: go test ./internal/chaos -run TestChaos -chaos.seed=%d\n", r.Schedule.Seed)
 	return b.String()
 }
@@ -178,13 +191,38 @@ func (h *harness) endInvariants(snap *metrics.Snapshot) []Violation {
 		{"tcp.retransmits", trace.KindRetransmit},
 		{"hb.sent", trace.KindHBSent},
 	}
-	for _, p := range pairs {
-		got := snap.CounterTotal(p.counter)
-		want := int64(h.tb.Tracer.Count(p.kind))
-		if got != want {
-			bad("counter-trace", "counter %s total %d != %d %v trace events",
-				p.counter, got, want, p.kind)
+	// With the flight recorder actively evicting, the event log is no
+	// longer complete, so checks that need full history step aside.
+	evicted := h.tb.Tracer.DroppedEvents() > 0 || h.tb.Tracer.DroppedSpans() > 0
+	if !evicted {
+		for _, p := range pairs {
+			got := snap.CounterTotal(p.counter)
+			want := int64(h.tb.Tracer.Count(p.kind))
+			if got != want {
+				bad("counter-trace", "counter %s total %d != %d %v trace events",
+					p.counter, got, want, p.kind)
+			}
 		}
+	}
+
+	// span-integrity: the causal tree must be coherent. A takeover with
+	// no suspect in its ancestry means the backup promoted itself
+	// without a declared suspicion; an open non-auto span or a recorded
+	// open/close error means leaked instrumentation.
+	if !evicted {
+		for _, sp := range h.tb.Tracer.FilterSpans(trace.KindTakeover) {
+			if !h.tb.Tracer.CausallyLinked(sp.ID, trace.KindSuspect) {
+				bad("span-integrity", "takeover span #%d (%s) has no causally-linked suspect ancestor",
+					sp.ID, sp.Component)
+			}
+		}
+	}
+	for _, sp := range h.tb.Tracer.OpenSpans() {
+		bad("span-integrity", "span #%d (%v %s %q) left open at end of run",
+			sp.ID, sp.Kind, sp.Component, sp.Message)
+	}
+	for _, e := range h.tb.Tracer.SpanErrors() {
+		bad("span-integrity", "recorder error: %s", e)
 	}
 	return out
 }

@@ -53,6 +53,11 @@ type FailoverResult struct {
 
 	Tracer *trace.Recorder
 
+	// Anatomy is the span-derived phase decomposition of the failover
+	// (detection / takeover / retransmission wait), nil when the run had
+	// no takeover (baselines, clean runs, non-FT fallbacks).
+	Anatomy *trace.FailoverAnatomy
+
 	// Metrics is the testbed's metric snapshot at the end of the run.
 	Metrics *metrics.Snapshot
 }
@@ -78,21 +83,32 @@ func attachDataServers(tb *Testbed) serviceApps {
 	return apps
 }
 
-// fillFailoverTimes extracts detection/takeover/gap metrics from the trace
-// and the client's progress series. The failover time is the largest stall
-// in the client's delivery series — frames already in flight at the crash
-// instant still arrive, so the stall begins when the pipeline drains, and
-// ends at the first post-takeover delivery.
+// fillFailoverTimes derives detection/takeover/gap metrics from the span
+// tree: the trace.Anatomy analyzer decomposes each takeover into phases
+// that provably reconcile with the client-observed stall (frames already
+// in flight at the crash instant still arrive, so the stall begins when
+// the pipeline drains, and ends at the first post-takeover delivery).
+// Runs without a takeover — the baseline, non-FT fallbacks — keep the old
+// client-side arithmetic: the largest stall in the progress series.
 func fillFailoverTimes(r *FailoverResult, tb *Testbed, maxGap func() (time.Duration, time.Time)) {
 	if e, ok := tb.Tracer.First(trace.KindSuspect); ok {
 		r.SuspectAt = e.Time
 		r.DetectionTime = e.Time.Sub(r.CrashAt)
 	}
-	if e, ok := tb.Tracer.First(trace.KindTakeover); ok {
-		r.TakeoverAt = e.Time
+	if anatomies := tb.Tracer.Anatomy(); len(anatomies) > 0 {
+		a := anatomies[0]
+		r.Anatomy = &a
+		r.SuspectAt = a.SuspectAt
+		r.TakeoverAt = a.TakeoverAt
+		r.DetectionTime = a.SuspectAt.Sub(r.CrashAt)
+		if a.ClientStall > 0 {
+			r.FailoverTime = a.ClientStall
+		}
 	}
-	if gap, around := maxGap(); !around.IsZero() && around.After(r.CrashAt.Add(-gap)) {
-		r.FailoverTime = gap
+	if r.FailoverTime == 0 {
+		if gap, around := maxGap(); !around.IsZero() && around.After(r.CrashAt.Add(-gap)) {
+			r.FailoverTime = gap
+		}
 	}
 	r.Tracer = tb.Tracer
 	r.Metrics = tb.Metrics.Snapshot()
@@ -109,11 +125,11 @@ type Demo1Result struct {
 // the primary is crashed mid-transfer. Under ST-TCP the transfer survives
 // with at worst a brief stall; under the baseline the client must detect
 // the stall itself, reconnect to the backup server, and resume.
-func runDemo1(seed int64, transferSize int64, crashAfter time.Duration) (Demo1Result, error) {
+func runDemo1(seed int64, transferSize int64, crashAfter time.Duration, detail bool) (Demo1Result, error) {
 	var out Demo1Result
 
 	// --- ST-TCP run ---
-	tb := Build(Options{Seed: seed})
+	tb := Build(Options{Seed: seed, TraceDetail: detail})
 	if err := tb.StartSTTCP(0, nil); err != nil {
 		return out, err
 	}
@@ -144,7 +160,7 @@ func runDemo1(seed int64, transferSize int64, crashAfter time.Duration) (Demo1Re
 	// --- Baseline run: same workload, same crash schedule, no ST-TCP.
 	// Each server listens on its own address; the client carries the
 	// failover logic.
-	tb2 := Build(Options{Seed: seed})
+	tb2 := Build(Options{Seed: seed, TraceDetail: detail})
 	pSrv := app.NewDataServer("primary/app", tb2.Tracer)
 	bSrv := app.NewDataServer("backup/app", tb2.Tracer)
 	pl, err := tb2.Primary.TCP().Listen(PrimaryAddr, ServicePort)
@@ -190,10 +206,10 @@ func runDemo1(seed int64, transferSize int64, crashAfter time.Duration) (Demo1Re
 // and the client-observed gap is measured. eager enables the
 // retransmit-at-takeover extension (the paper's design waits for the next
 // retransmission).
-func runDemo2(seed int64, periods []time.Duration, eager bool) ([]FailoverResult, error) {
+func runDemo2(seed int64, periods []time.Duration, eager, detail bool) ([]FailoverResult, error) {
 	results := make([]FailoverResult, 0, len(periods))
 	for i, p := range periods {
-		tb := Build(Options{Seed: seed + int64(i)})
+		tb := Build(Options{Seed: seed + int64(i), TraceDetail: detail})
 		err := tb.StartSTTCP(p, func(c *sttcp.Config) {
 			c.EagerTakeoverRetransmit = eager
 		})
@@ -219,6 +235,9 @@ func runDemo2(seed int64, periods []time.Duration, eager bool) ([]FailoverResult
 			BytesReceived:  cl.Received,
 			VerifyFailures: cl.VerifyFailures,
 			TransferTime:   cl.Elapsed(),
+			Progress:       cl.Samples,
+			StartAt:        crashAt.Add(-700 * time.Millisecond),
+			TotalBytes:     transferSize,
 		}
 		fillFailoverTimes(&r, tb, cl.MaxGap)
 		results = append(results, r)
@@ -231,10 +250,10 @@ func runDemo2(seed int64, periods []time.Duration, eager bool) ([]FailoverResult
 // the crash it is the *client's* TCP that retransmits with exponential
 // backoff, and the post-detection gap is governed by the client's RTO
 // schedule rather than the backup's.
-func runDemo2Upload(seed int64, periods []time.Duration) ([]FailoverResult, error) {
+func runDemo2Upload(seed int64, periods []time.Duration, detail bool) ([]FailoverResult, error) {
 	results := make([]FailoverResult, 0, len(periods))
 	for i, p := range periods {
-		tb := Build(Options{Seed: seed + int64(i)})
+		tb := Build(Options{Seed: seed + int64(i), TraceDetail: detail})
 		if err := tb.StartSTTCP(p, nil); err != nil {
 			return nil, err
 		}
@@ -362,8 +381,8 @@ func (m AppCrashMode) String() string {
 // mid-transfer (in either of the two modes) while the OS and TCP layer stay
 // up; ST-TCP detects it via the application-lag criteria and migrates the
 // connection to the backup.
-func runDemo4(seed int64, mode AppCrashMode) (FailoverResult, error) {
-	tb := Build(Options{Seed: seed})
+func runDemo4(seed int64, mode AppCrashMode, detail bool) (FailoverResult, error) {
+	tb := Build(Options{Seed: seed, TraceDetail: detail})
 	// Shrink MaxDelayFIN so the gated-FIN path is visible inside the
 	// run; detection is still expected to come from the lag criteria
 	// first.
@@ -426,9 +445,9 @@ type Demo5Result struct {
 // serial link stays up; the servers diagnose which side lost its NIC using
 // the client-stream positions and gateway pings exchanged over the serial
 // heartbeat.
-func runDemo5(seed int64, failPrimary bool) (Demo5Result, error) {
+func runDemo5(seed int64, failPrimary bool, detail bool) (Demo5Result, error) {
 	out := Demo5Result{FailedAtPrimary: failPrimary}
-	tb := Build(Options{Seed: seed})
+	tb := Build(Options{Seed: seed, TraceDetail: detail})
 	if err := tb.StartSTTCP(0, nil); err != nil {
 		return out, err
 	}

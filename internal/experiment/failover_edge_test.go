@@ -15,7 +15,7 @@ import (
 // the client's retransmission backoff.
 func TestDemo2Upload(t *testing.T) {
 	periods := []time.Duration{200 * time.Millisecond, time.Second}
-	results, err := runDemo2Upload(71, periods)
+	results, err := runDemo2Upload(71, periods, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -27,6 +27,10 @@ type Params struct {
 	Eager bool
 	// Mode selects Demo 4's application-crash scenario; zero runs both.
 	Mode AppCrashMode
+	// TraceDetail turns on per-segment trace events and segment-journey
+	// spans in the failover demos (the -trace-out/-timeline CLI flags set
+	// it); Demo 3's overhead benchmark ignores it.
+	TraceDetail bool
 }
 
 // Result is the common result shape. Which fields are populated depends
@@ -76,7 +80,7 @@ func Demos() []Demo {
 				if crashAfter == 0 {
 					crashAfter = 500 * time.Millisecond
 				}
-				d, err := runDemo1(p.Seed, size, crashAfter)
+				d, err := runDemo1(p.Seed, size, crashAfter, p.TraceDetail)
 				if err != nil {
 					return Result{Demo: "demo1"}, err
 				}
@@ -92,7 +96,7 @@ func Demos() []Demo {
 			Name:  "demo2",
 			Title: "failover time vs. heartbeat period",
 			Run: func(p Params) (Result, error) {
-				rs, err := runDemo2(p.Seed, defaultPeriods(p.Periods), p.Eager)
+				rs, err := runDemo2(p.Seed, defaultPeriods(p.Periods), p.Eager, p.TraceDetail)
 				if err != nil {
 					return Result{Demo: "demo2"}, err
 				}
@@ -103,7 +107,7 @@ func Demos() []Demo {
 			Name:  "demo2-upload",
 			Title: "failover time vs. heartbeat period, client as sender",
 			Run: func(p Params) (Result, error) {
-				rs, err := runDemo2Upload(p.Seed, defaultPeriods(p.Periods))
+				rs, err := runDemo2Upload(p.Seed, defaultPeriods(p.Periods), p.TraceDetail)
 				if err != nil {
 					return Result{Demo: "demo2-upload"}, err
 				}
@@ -135,7 +139,7 @@ func Demos() []Demo {
 				}
 				out := Result{Demo: "demo4"}
 				for _, mode := range modes {
-					r, err := runDemo4(p.Seed, mode)
+					r, err := runDemo4(p.Seed, mode, p.TraceDetail)
 					if err != nil {
 						return out, fmt.Errorf("mode %v: %w", mode, err)
 					}
@@ -152,7 +156,7 @@ func Demos() []Demo {
 			Run: func(p Params) (Result, error) {
 				out := Result{Demo: "demo5"}
 				for _, atPrimary := range []bool{true, false} {
-					r, err := runDemo5(p.Seed, atPrimary)
+					r, err := runDemo5(p.Seed, atPrimary, p.TraceDetail)
 					if err != nil {
 						return out, err
 					}

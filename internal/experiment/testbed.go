@@ -68,6 +68,14 @@ type Options struct {
 	// server"): it shadows the application like the backup and gives the
 	// primary a majority vote for FIN disagreements.
 	WithWitness bool
+	// TraceDetail enables per-segment and per-frame trace events plus
+	// segment-journey/hb-round spans (trace.Recorder.SetDetail). Off by
+	// default: soaks and benches pay nothing for them.
+	TraceDetail bool
+	// FlightRecorder, when > 0, bounds trace memory to roughly this many
+	// spans (and 8× as many events); the oldest closed spans are evicted
+	// first, pinned failure windows survive.
+	FlightRecorder int
 }
 
 // Testbed is the assembled Figure 2 network.
@@ -110,6 +118,11 @@ type Testbed struct {
 func Build(opts Options) *Testbed {
 	s := sim.New(opts.Seed)
 	tracer := trace.NewRecorder(s.Now)
+	// The recorder rides the simulator's ambient context, so spans follow
+	// causality across every scheduled hop (links, switch forwarding,
+	// retransmission timers) without per-component plumbing.
+	tracer.BindContext(s.Context, s.SetContext)
+	tracer.SetDetail(opts.TraceDetail)
 	sw := netem.NewSwitch(s, "switch", 5*time.Microsecond)
 
 	lan := netem.DefaultLANConfig()
@@ -134,9 +147,13 @@ func Build(opts Options) *Testbed {
 	tb.Backup = host("backup", 3, BackupAddr)
 	tb.Gateway = host("gateway", 254, GatewayAddr)
 
+	if opts.FlightRecorder > 0 {
+		tracer.SetFlightRecorder(opts.FlightRecorder)
+	}
 	connect := func(h *cluster.Host) (*netem.Link, *netem.SwitchPort) {
 		l, p := netem.Connect(s, sw, h.NIC(), lan)
 		l.SetMetrics(reg, h.Name()+"-switch")
+		l.SetTrace(tracer, h.Name()+"-switch")
 		return l, p
 	}
 	var clientPort, primaryPort, backupPort *netem.SwitchPort

@@ -261,6 +261,17 @@ func (e *Exchanger) AllLinksDown() bool {
 	return true
 }
 
+// AnyLinkDown reports whether at least one attached link is down — while
+// true, some peer-silence suspicion is still live.
+func (e *Exchanger) AnyLinkDown() bool {
+	for _, c := range e.channels {
+		if e.down[c.ID()] {
+			return true
+		}
+	}
+	return false
+}
+
 // LastReceived returns when a heartbeat last arrived on the link.
 func (e *Exchanger) LastReceived(id LinkID) time.Time { return e.lastRx[id] }
 
@@ -271,6 +282,13 @@ func (e *Exchanger) tick() {
 	m := e.Compose()
 	m.Seq = e.seq
 	e.seq++
+	// One hb-round span per tick; sends (and, via the simulator's causal
+	// context, the peer's deliveries) attach to it. Fan-in has no single
+	// close point, so the span is finalized at its last activity.
+	if e.tracer.Detail() {
+		sp := e.tracer.OpenAutoSpan(trace.KindHBRound, 0, e.name, "hb round seq=%d", m.Seq)
+		defer e.tracer.Activate(sp)()
+	}
 	for _, c := range e.channels {
 		chunks, err := m.Split(c.MaxMessageBytes())
 		if err != nil {
@@ -305,6 +323,9 @@ func (e *Exchanger) receive(link LinkID, raw []byte) {
 	e.Received[link]++
 	e.mReceived[link].Inc()
 	e.lastRx[link] = e.sim.Now()
+	if e.tracer.Detail() {
+		e.tracer.EmitValue(trace.KindHBReceived, e.name, int64(m.Seq), "hb seq=%d on %v", m.Seq, link)
+	}
 	if e.down[link] {
 		e.down[link] = false
 		if e.tracer != nil {

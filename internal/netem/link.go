@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Endpoint receives raw Ethernet frames from a link. Both NICs and switch
@@ -63,6 +64,11 @@ type Link struct {
 	mFrames *metrics.Counter
 	mDrops  *metrics.Counter
 	mQueue  *metrics.Histogram
+
+	// Trace hookup, wired by SetTrace; detail events only fire when the
+	// recorder's detail mode is on.
+	tracer *trace.Recorder
+	name   string
 }
 
 type linkSide struct {
@@ -92,6 +98,15 @@ func (l *Link) SetMetrics(reg *metrics.Registry, name string) {
 	l.mFrames = reg.Counter("netem", "netem.link_frames", lb)
 	l.mDrops = reg.Counter("netem", "netem.link_drops", lb)
 	l.mQueue = reg.Histogram("netem", "netem.queue_delay", nil, lb)
+}
+
+// SetTrace attaches a recorder under component "link/<name>". Frame
+// enqueue/deliver/drop events are emitted only in detail mode; because the
+// simulator carries the ambient causal context across the delivery
+// callback, they attach to the segment-journey span of the frame's sender.
+func (l *Link) SetTrace(tracer *trace.Recorder, name string) {
+	l.tracer = tracer
+	l.name = "link/" + name
 }
 
 // SetDown cuts or restores the cable; while down every frame in both
@@ -134,11 +149,13 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 	if l.down || l.sim.Now().Before(side.dropTill) {
 		l.Drops++
 		l.mDrops.Inc()
+		l.traceDrop(len(buf), "down/drop-window")
 		return
 	}
 	if l.cfg.LossRate > 0 && l.sim.Rand().Float64() < l.cfg.LossRate {
 		l.Drops++
 		l.mDrops.Inc()
+		l.traceDrop(len(buf), "random loss")
 		return
 	}
 	start := l.sim.Now()
@@ -146,6 +163,10 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 		start = side.nextFree
 	}
 	l.mQueue.Observe(start.Sub(l.sim.Now()))
+	if l.tracer.Detail() {
+		l.tracer.EmitValue(trace.KindNetEnqueue, l.name, int64(len(buf)),
+			"enqueue %dB, wire free in %v", len(buf), start.Sub(l.sim.Now()))
+	}
 	var txTime time.Duration
 	if l.cfg.BitsPerSecond > 0 {
 		bits := int64(len(buf)) * 8
@@ -163,10 +184,20 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 		if l.down {
 			l.Drops++
 			l.mDrops.Inc()
+			l.traceDrop(len(frame), "went down in flight")
 			return
 		}
 		l.Delivered++
 		l.mFrames.Inc()
+		if l.tracer.Detail() {
+			l.tracer.EmitValue(trace.KindNetDeliver, l.name, int64(len(frame)), "deliver %dB", len(frame))
+		}
 		peer.DeliverFrame(frame)
 	})
+}
+
+func (l *Link) traceDrop(size int, why string) {
+	if l.tracer.Detail() {
+		l.tracer.EmitValue(trace.KindNetDrop, l.name, int64(size), "drop %dB: %s", size, why)
+	}
 }

@@ -56,10 +56,21 @@ type executor struct {
 	res       *Result
 }
 
+// RunOptions adjusts execution beyond what the script itself specifies.
+type RunOptions struct {
+	// TraceDetail enables per-segment trace events and segment-journey
+	// spans, for runs whose trace will be exported (sttcp-lab's
+	// -trace-out/-timeline flags set it).
+	TraceDetail bool
+}
+
 // Run executes a parsed script on a fresh simulated testbed.
-func Run(sc *Script) (*Result, error) {
+func Run(sc *Script) (*Result, error) { return RunWith(sc, RunOptions{}) }
+
+// RunWith is Run with execution options.
+func RunWith(sc *Script, ro RunOptions) (*Result, error) {
 	// Pass 1: options and workload-kind validation.
-	opts := experiment.Options{Seed: 42}
+	opts := experiment.Options{Seed: 42, TraceDetail: ro.TraceDetail}
 	hb := time.Duration(0)
 	maxDelayFIN := time.Duration(0)
 	kind := ""

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runShipped executes one scenario from the shipped scenarios/ directory.
+func runShipped(t *testing.T, name string, ro RunOptions) *Result {
+	t.Helper()
+	text, err := os.ReadFile(filepath.Join("..", "..", "scenarios", name))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	sc, err := Parse(string(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := RunWith(sc, ro)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// TestChromeTraceRoundTrip exports the demo1-failover scenario's span trace
+// as Chrome trace-event JSON and feeds it back through the validator — the
+// same check a Perfetto load would make, runnable in CI.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	res := runShipped(t, "demo1-failover.sttcp", RunOptions{TraceDetail: true})
+	var buf bytes.Buffer
+	if err := res.Tracer.WriteChromeTrace(&buf, sim.Epoch); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	n, err := trace.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace does not validate: %v", err)
+	}
+	if n < 100 {
+		t.Fatalf("suspiciously small trace: %d entries", n)
+	}
+	// A failover run must carry the anatomy spans.
+	for _, want := range []string{"detection", "takeover", "retransmit-wait", "segment-journey"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("export lacks %q slices", want)
+		}
+	}
+}
+
+// TestTimelineGolden renders the demo1-failover scenario's span timeline at
+// a fixed width and compares it against a checked-in golden, so the
+// human-facing failover anatomy view cannot drift unreviewed. Regenerate
+// after an intentional change with:
+//
+//	go test ./internal/scenario -run TimelineGolden -update
+func TestTimelineGolden(t *testing.T) {
+	res := runShipped(t, "demo1-failover.sttcp", RunOptions{})
+	anatomies := res.Tracer.Anatomy()
+	if len(anatomies) == 0 {
+		t.Fatal("scenario produced no failover anatomy")
+	}
+	a := anatomies[0]
+	got := res.Tracer.RenderSpanTimeline(trace.TimelineOptions{
+		Start: a.FaultAt.Add(-150 * time.Millisecond),
+		End:   a.ResumeTxAt.Add(250 * time.Millisecond),
+		Width: 100,
+		Epoch: sim.Epoch,
+	})
+	golden := filepath.Join("testdata", "golden", "demo1-failover.timeline")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("timeline drifted from %s.\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}

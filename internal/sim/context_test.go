@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestContextPropagation checks the ambient causal context rides along with
+// scheduled events: an event captures the context active when it was
+// scheduled, sees it restored while firing (including across further
+// asynchronous hops), and does not leak it to unrelated events.
+func TestContextPropagation(t *testing.T) {
+	s := New(1)
+	if s.Context() != 0 {
+		t.Fatalf("fresh simulator has context %d", s.Context())
+	}
+
+	var got []uint64
+	record := func() { got = append(got, s.Context()) }
+
+	s.At(s.Now().Add(time.Millisecond), record) // scheduled with no context
+
+	s.SetContext(7)
+	// Chain: the hop scheduled *while firing* inherits the firing context.
+	s.At(s.Now().Add(2*time.Millisecond), func() {
+		record()
+		s.At(s.Now().Add(2*time.Millisecond), record)
+	})
+	s.SetContext(0)
+
+	s.At(s.Now().Add(3*time.Millisecond), record) // after the scope closed
+
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 7, 0, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if s.Context() != 0 {
+		t.Fatalf("context leaked after run: %d", s.Context())
+	}
+}

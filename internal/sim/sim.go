@@ -30,7 +30,8 @@ type Event struct {
 	when time.Time
 	seq  uint64
 	fn   func()
-	idx  int // heap index; -1 once fired or cancelled
+	ctx  uint64 // causal context captured at schedule time
+	idx  int    // heap index; -1 once fired or cancelled
 }
 
 // When reports the virtual time at which the event will fire.
@@ -82,6 +83,7 @@ type Simulator struct {
 	stopped bool
 	running bool
 	fired   uint64
+	ctx     uint64
 }
 
 // New returns a simulator whose clock reads Epoch and whose random source is
@@ -104,6 +106,21 @@ func (s *Simulator) Elapsed() time.Duration { return s.now.Sub(Epoch) }
 
 // Rand returns the simulation's deterministic random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Context returns the ambient causal context (an opaque token, typically a
+// trace span ID). Every event scheduled while a context is set inherits it,
+// and the context is restored when the event later fires — so causality
+// follows work across asynchronous hops (link delivery, switch forwarding,
+// retransmission timers) without explicit plumbing. Zero means "no context".
+func (s *Simulator) Context() uint64 { return s.ctx }
+
+// SetContext installs the ambient causal context. Callers normally save the
+// previous value and restore it when their causal scope ends:
+//
+//	prev := s.Context()
+//	s.SetContext(id)
+//	defer s.SetContext(prev)
+func (s *Simulator) SetContext(ctx uint64) { s.ctx = ctx }
 
 // Fired reports how many events have fired so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
@@ -130,7 +147,7 @@ func (s *Simulator) At(t time.Time, fn func()) *Event {
 	if t.Before(s.now) {
 		t = s.now
 	}
-	e := &Event{when: t, seq: s.seq, fn: fn}
+	e := &Event{when: t, seq: s.seq, fn: fn, ctx: s.ctx}
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
@@ -174,7 +191,7 @@ func (s *Simulator) RunUntil(deadline time.Time) error {
 		heap.Pop(&s.queue)
 		s.now = next.when
 		s.fired++
-		next.fn()
+		s.fire(next)
 		if s.stopped {
 			return ErrStopped
 		}
@@ -204,7 +221,7 @@ func (s *Simulator) RunUntilIdle(maxEvents uint64) error {
 		s.now = next.when
 		s.fired++
 		fired++
-		next.fn()
+		s.fire(next)
 		if s.stopped {
 			return ErrStopped
 		}
@@ -220,6 +237,15 @@ func (s *Simulator) Step() bool {
 	next := heap.Pop(&s.queue).(*Event)
 	s.now = next.when
 	s.fired++
-	next.fn()
+	s.fire(next)
 	return true
+}
+
+// fire runs an event's callback with the event's captured causal context as
+// the ambient one, and restores the previous ambient context afterwards.
+func (s *Simulator) fire(e *Event) {
+	prev := s.ctx
+	s.ctx = e.ctx
+	e.fn()
+	s.ctx = prev
 }

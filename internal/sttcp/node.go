@@ -105,6 +105,14 @@ type Node struct {
 	tracer *trace.Recorder
 	comp   string
 
+	// detSpan is the detection span, opened lazily at the first evidence
+	// of peer trouble (link loss, app lag, NIC lag, FIN disagreement) and
+	// closed when the peer is declared failed; rwSpan is the
+	// retransmit-wait span between takeover and the first post-takeover
+	// transmission on a service connection.
+	detSpan trace.SpanID
+	rwSpan  trace.SpanID
+
 	tcpStack  *tcp.Stack
 	listener  *tcp.Listener
 	ex        *hb.Exchanger
@@ -298,6 +306,11 @@ func (n *Node) Stop() {
 	}
 	n.setState(StateStopped)
 	n.shutdownTimers()
+	if n.rwSpan != 0 {
+		n.tracer.EmitIn(n.rwSpan, trace.KindGeneric, n.comp, 0, "node stopped while waiting for retransmission")
+		n.tracer.CloseSpan(n.rwSpan)
+		n.rwSpan = 0
+	}
 }
 
 func (n *Node) shutdownTimers() {
@@ -705,6 +718,12 @@ func (n *Node) maybeRequestRecovery(rc *repConn) {
 		From:       rc.conn.LastByteReceived(),
 		To:         rc.peerLBR,
 	}
+	// One auto span per recovery round trip; the request datagram, the
+	// peer's serve, and applyRecovery all attach through the ambient
+	// context.
+	sp := n.tracer.OpenAutoSpan(trace.KindByteRecovery, n.tracer.Ambient(), n.comp,
+		"recover missed bytes [%d,%d) for %v", req.From, req.To, id)
+	defer n.tracer.Activate(sp)()
 	if n.tracer != nil {
 		n.tracer.EmitValue(trace.KindByteRecovery, n.comp, req.To-req.From,
 			"requesting missed bytes [%d,%d) for %v", req.From, req.To, id)
@@ -723,6 +742,9 @@ func (n *Node) requestLoggerRecovery(rc *repConn) {
 		From:       rc.conn.LastByteReceived(),
 		To:         -1,
 	}
+	sp := n.tracer.OpenAutoSpan(trace.KindByteRecovery, n.tracer.Ambient(), n.comp,
+		"recover logged bytes from %d for %v", req.From, id)
+	defer n.tracer.Activate(sp)()
 	if n.tracer != nil {
 		n.tracer.Emit(trace.KindByteRecovery, n.comp,
 			"takeover: requesting logged bytes from %d for %v from logger", req.From, id)
@@ -835,6 +857,7 @@ func (n *Node) armFINDisagreeTimer(rc *repConn) {
 	if rc.finDisagreeTimer != nil {
 		return
 	}
+	n.noteEvidence("backup FIN without local FIN on %v", rc.conn.ID())
 	if n.tracer != nil {
 		n.tracer.Emit(trace.KindFINSuppressed, n.comp,
 			"backup FIN without local FIN on %v; watching for %v", rc.conn.ID(), n.cfg.MaxDelayFIN)
@@ -955,6 +978,9 @@ func (n *Node) onLinkDown(link hb.LinkID) {
 	if n.state != StateActive {
 		return
 	}
+	// The symptom — peer silence on this link — began at the last
+	// heartbeat heard, not at the timeout that noticed it.
+	n.noteEvidenceSince(n.ex.LastReceived(link), "heartbeat link %v down", link)
 	if n.ex.AllLinksDown() {
 		n.declarePeerFailed("heartbeat lost on both links: peer crashed")
 		return
@@ -968,6 +994,9 @@ func (n *Node) onLinkDown(link hb.LinkID) {
 }
 
 func (n *Node) onLinkUp(link hb.LinkID) {
+	if n.state == StateActive && !n.ex.AnyLinkDown() {
+		n.dissolveEvidence("heartbeat link %v back up", link)
+	}
 	if link == hb.LinkIP {
 		n.ipDown = false
 		n.stopPinging()
@@ -1050,11 +1079,13 @@ func (n *Node) detectAppLag(rc *repConn, now time.Time) bool {
 		return now.Sub(*since) > n.cfg.AppMaxLagTime
 	}
 	if check(rc.peerAppW, localW, &rc.wWatermark, &rc.wLagSince) {
+		n.noteEvidenceSince(rc.wLagSince, "peer app write progress stalled at %d", rc.peerAppW)
 		n.declarePeerFailed(fmt.Sprintf("peer app write position stuck at %d for >%v (local %d)",
 			rc.peerAppW, n.cfg.AppMaxLagTime, localW))
 		return true
 	}
 	if check(rc.peerAppR, localR, &rc.rWatermark, &rc.rLagSince) {
+		n.noteEvidenceSince(rc.rLagSince, "peer app read progress stalled at %d", rc.peerAppR)
 		n.declarePeerFailed(fmt.Sprintf("peer app read position stuck at %d for >%v (local %d)",
 			rc.peerAppR, n.cfg.AppMaxLagTime, localR))
 		return true
@@ -1067,10 +1098,14 @@ func (n *Node) detectAppLag(rc *repConn, now time.Time) bool {
 		lag = r
 	}
 	if lag > n.cfg.AppMaxLagBytes {
+		// The flag alone is not span-opening evidence: at full transfer
+		// rate the heartbeat-stale peer positions make a healthy peer
+		// appear this far behind, so only the *held* lag counts.
 		if !rc.bytesLagging {
 			rc.bytesLagging = true
 			rc.bytesLagSince = now
 		} else if now.Sub(rc.bytesLagSince) > n.cfg.AppLagByteHold {
+			n.noteEvidenceSince(rc.bytesLagSince, "peer app lagging by %d bytes", lag)
 			n.declarePeerFailed(fmt.Sprintf("peer app lags by %d bytes (> %d) for >%v",
 				lag, n.cfg.AppMaxLagBytes, n.cfg.AppLagByteHold))
 			return true
@@ -1142,20 +1177,56 @@ func (n *Node) declarePeerFailed(reason string) {
 	}
 	n.FailoverReason = reason
 	n.mSuspects.Inc()
-	if n.tracer != nil {
-		n.tracer.Emit(trace.KindSuspect, n.comp, "peer declared failed: %s", reason)
-	}
+	// Detection is declared over: the suspect verdict and the STONITH
+	// action both belong to the detection span, which ends here. When the
+	// declaration came without prior evidence (e.g. the peer's own
+	// watchdog flagged it over a live heartbeat link), the span is
+	// zero-length by construction.
+	n.noteEvidence("%s", reason)
+	n.tracer.EmitIn(n.detSpan, trace.KindSuspect, n.comp, 0, "peer declared failed: %s", reason)
 	if n.peerPower != nil {
-		if n.tracer != nil {
-			n.tracer.Emit(trace.KindShutdownPeer, n.comp, "powering peer down")
-		}
+		n.tracer.EmitIn(n.detSpan, trace.KindShutdownPeer, n.comp, 0, "powering peer down")
 		n.peerPower.Off()
 	}
+	n.tracer.CloseSpan(n.detSpan)
 	if n.role == RoleBackup {
 		n.takeover(reason)
 	} else {
 		n.enterNonFT(reason)
 	}
+}
+
+// noteEvidence opens the detection span at the first sign of peer trouble.
+// It is an auto span: if the suspicion dissolves (the link comes back, the
+// lag clears) it is simply finalized at its last recorded activity instead
+// of being a leak.
+func (n *Node) noteEvidence(format string, args ...any) {
+	n.noteEvidenceSince(time.Time{}, format, args...)
+}
+
+// noteEvidenceSince opens the detection span backdated to when the symptom
+// actually began: a detector that fires only after a lag has persisted, or
+// after heartbeats have been silent for the timeout, knows its phase
+// started at the recorded watermark, and the span should cover it all.
+func (n *Node) noteEvidenceSince(start time.Time, format string, args ...any) {
+	if n.detSpan != 0 || n.tracer == nil {
+		return
+	}
+	n.detSpan = n.tracer.OpenAutoSpanAt(start, trace.KindDetection, 0, n.comp, format, args...)
+}
+
+// dissolveEvidence closes the detection span without a verdict: the
+// suspicion that opened it resolved itself (a transient lag cleared). The
+// next piece of evidence opens a fresh span, so a real failure's detection
+// phase starts at its own first symptom rather than at some earlier
+// false alarm.
+func (n *Node) dissolveEvidence(format string, args ...any) {
+	if n.detSpan == 0 || n.tracer == nil {
+		return
+	}
+	n.tracer.EmitIn(n.detSpan, trace.KindGeneric, n.comp, 0, "suspicion dissolved: "+format, args...)
+	n.tracer.CloseSpan(n.detSpan)
+	n.detSpan = 0
 }
 
 // takeover promotes the backup: output suppression ends and the node
@@ -1164,6 +1235,19 @@ func (n *Node) declarePeerFailed(reason string) {
 // takeover: the stream restarts at the next retransmission (ours or the
 // client's) unless EagerTakeoverRetransmit is set.
 func (n *Node) takeover(reason string) {
+	// The takeover span hangs off the detection span; activating it makes
+	// everything below — unsuppression, eager retransmits, logger
+	// recovery requests and their asynchronous continuations — part of
+	// the failover's causal tree.
+	takeSpan := n.tracer.OpenSpan(trace.KindTakeover, n.detSpan, n.comp, "takeover: %s", reason)
+	defer n.tracer.Activate(takeSpan)()
+	defer n.tracer.CloseSpan(takeSpan)
+	// The paper's third phase starts now: nothing flows until the next
+	// retransmission, ours or the client's. The span is closed by the
+	// transmit hook at the first segment actually emitted for a service
+	// connection.
+	n.rwSpan = n.tracer.OpenSpan(trace.KindRetransmitWait, takeSpan, n.comp, "waiting for first retransmission")
+	n.watchResume()
 	n.setState(StateTakenOver)
 	// Detection latency: how long the dead peer was silent before we
 	// promoted ourselves — virtual time since the last heartbeat that
@@ -1201,6 +1285,42 @@ func (n *Node) takeover(reason string) {
 	}
 }
 
+// watchResume installs a transmit hook that pins the end of the
+// retransmit-wait span to the first segment emitted for a service
+// connection after takeover — data, ACK of a client retransmission, or the
+// eager-takeover ACK — then uninstalls itself.
+func (n *Node) watchResume() {
+	if n.rwSpan == 0 || n.tcpStack == nil {
+		return
+	}
+	prev := n.tcpStack.OnTransmit
+	n.tcpStack.OnTransmit = func(c *tcp.Conn, seg *tcp.Segment) {
+		if prev != nil {
+			prev(c, seg)
+		}
+		if n.rwSpan == 0 {
+			return
+		}
+		n.tracer.EmitIn(n.rwSpan, trace.KindGeneric, n.comp, int64(seg.Seq),
+			"transmission resumed: %v seq=%d len=%d on %v", seg.Flags, seg.Seq, seg.SegLen(), c.ID())
+		n.tracer.CloseSpan(n.rwSpan)
+		n.rwSpan = 0
+		n.tcpStack.OnTransmit = prev
+	}
+}
+
+// FinishTrace closes the node's still-open causal spans at end of run so a
+// run that legitimately ends mid-wait (nothing ever retransmitted) is not
+// reported as leaked instrumentation. Harnesses call it before checking
+// span invariants; it is idempotent.
+func (n *Node) FinishTrace() {
+	if n.rwSpan != 0 {
+		n.tracer.EmitIn(n.rwSpan, trace.KindGeneric, n.comp, 0, "run ended while waiting for retransmission")
+		n.tracer.CloseSpan(n.rwSpan)
+		n.rwSpan = 0
+	}
+}
+
 // EnableReplication restores fault tolerance after a failover: a node that
 // is serving alone (taken-over backup or non-FT primary) becomes the
 // primary of a fresh pair with a repaired peer (typically the rebooted
@@ -1220,6 +1340,14 @@ func (n *Node) EnableReplication(peerAddr ip.Addr, peerPower *cluster.PowerContr
 	n.role = RolePrimary
 	n.localAppFailed = false
 	n.FailoverReason = ""
+	// A fresh pair means a fresh failover clock: drop the old detection
+	// span and resolve a still-pending retransmission wait.
+	n.detSpan = 0
+	if n.rwSpan != 0 {
+		n.tracer.EmitIn(n.rwSpan, trace.KindGeneric, n.comp, 0, "replication re-enabled while waiting for retransmission")
+		n.tracer.CloseSpan(n.rwSpan)
+		n.rwSpan = 0
+	}
 
 	// Existing connections continue unreplicated; only their bookkeeping
 	// is reset so stale peer views cannot trigger detectors.

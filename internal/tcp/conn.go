@@ -422,8 +422,12 @@ func (c *Conn) setState(s State) {
 }
 
 func (c *Conn) trace(kind trace.Kind, format string, args ...any) {
+	c.traceValue(kind, 0, format, args...)
+}
+
+func (c *Conn) traceValue(kind trace.Kind, value int64, format string, args ...any) {
 	if c.stack.tracer != nil {
-		c.stack.tracer.Emit(kind, c.stack.name+"/tcp", format, args...)
+		c.stack.tracer.EmitValue(kind, c.stack.name+"/tcp", value, format, args...)
 	}
 }
 
@@ -982,7 +986,7 @@ func (c *Conn) onRetransTimeout() {
 			}
 			c.Retransmits++
 			c.stack.mRetransmits.Inc()
-			c.trace(trace.KindRetransmit, "timeout: rewind to una=%d rto=%v", c.sndUna, c.RTO())
+			c.traceValue(trace.KindRetransmit, int64(c.sendWireSeq(c.sndUna)), "timeout: rewind to una=%d rto=%v", c.sndUna, c.RTO())
 			c.maybeSend()
 		} else if c.finSent && !c.finAcked {
 			c.retransmit() // lone FIN outstanding
@@ -995,7 +999,7 @@ func (c *Conn) onRetransTimeout() {
 func (c *Conn) retransmit() {
 	c.Retransmits++
 	c.stack.mRetransmits.Inc()
-	c.trace(trace.KindRetransmit, "retransmit una=%d nxt=%d rto=%v", c.sndUna, c.sndNxt, c.RTO())
+	c.traceValue(trace.KindRetransmit, int64(c.sendWireSeq(c.sndUna)), "retransmit una=%d nxt=%d rto=%v", c.sndUna, c.sndNxt, c.RTO())
 	switch c.state {
 	case StateSynSent:
 		c.sendSegmentRaw(FlagSYN, -1, nil, true)

@@ -147,6 +147,11 @@ type Stack struct {
 	// connection generated but did not emit.
 	OnSuppressed func(c *Conn, seg *Segment)
 
+	// OnTransmit, when non-nil, observes every segment actually emitted.
+	// The ST-TCP takeover logic uses it to pin down the instant service
+	// transmission resumes after a takeover.
+	OnTransmit func(c *Conn, seg *Segment)
+
 	// SegmentFilter, when non-nil, sees every inbound segment before
 	// demux and may consume it by returning false. The ST-TCP backup
 	// uses it to hold segments for connections whose ISN announcement
@@ -334,12 +339,29 @@ func (st *Stack) emit(c *Conn, seg *Segment) {
 	}
 	st.Emitted++
 	st.mSent.Inc()
+	if st.OnTransmit != nil {
+		st.OnTransmit(c, seg)
+	}
+	if st.tracer.Detail() {
+		// Every transmission starts a segment-journey span; activating it
+		// makes the link/switch hops and the remote receive — scheduled
+		// asynchronously — attach to it as one causal tree.
+		sp := st.tracer.OpenAutoSpan(trace.KindSegmentJourney, st.tracer.Ambient(),
+			st.name+"/tcp", "%v seq=%d len=%d", seg.Flags, seg.Seq, seg.SegLen())
+		st.tracer.EmitIn(sp, trace.KindSegmentTX, st.name+"/tcp", int64(seg.Seq),
+			"tx %v seq=%d ack=%d len=%d", seg.Flags, seg.Seq, seg.Ack, seg.SegLen())
+		defer st.tracer.Activate(sp)()
+	}
 	raw := seg.Encode(c.id.LocalAddr, c.id.RemoteAddr)
 	_ = st.ns.SendIPFrom(c.id.LocalAddr, c.id.RemoteAddr, ip.ProtoTCP, raw)
 }
 
 func (st *Stack) noteSuppressed(seg *Segment, c *Conn) {
 	st.mSuppressed.Inc()
+	if st.tracer.Detail() {
+		st.tracer.EmitValue(trace.KindSegmentSuppressed, st.name+"/tcp", int64(seg.Seq),
+			"suppressed %v seq=%d len=%d", seg.Flags, seg.Seq, seg.SegLen())
+	}
 	if st.OnSuppressed != nil {
 		st.OnSuppressed(c, seg)
 	}
@@ -362,6 +384,10 @@ func (st *Stack) HandleSegment(pkt ip.Packet, seg Segment) {
 	}
 	st.Received++
 	st.mReceived.Inc()
+	if st.tracer.Detail() {
+		st.tracer.EmitValue(trace.KindSegmentRX, st.name+"/tcp", int64(seg.Seq),
+			"rx %v seq=%d ack=%d len=%d", seg.Flags, seg.Seq, seg.Ack, seg.SegLen())
+	}
 	id := ConnID{
 		LocalAddr:  pkt.Dst,
 		LocalPort:  seg.DstPort,

@@ -17,6 +17,7 @@ type jsonEvent struct {
 	Component string    `json:"component"`
 	Message   string    `json:"message"`
 	Value     int64     `json:"value,omitempty"`
+	Span      uint64    `json:"span,omitempty"`
 }
 
 // WriteJSON streams the recorded events as a JSON array to w, with
@@ -33,6 +34,7 @@ func (r *Recorder) WriteJSON(w io.Writer, epoch time.Time) error {
 			Component: e.Component,
 			Message:   e.Message,
 			Value:     e.Value,
+			Span:      uint64(e.Span),
 		}
 	}
 	enc := json.NewEncoder(w)

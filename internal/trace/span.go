@@ -1,0 +1,422 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SpanID identifies a causal span. IDs are assigned sequentially per
+// recorder starting at 1; 0 means "no span".
+type SpanID uint64
+
+// Span is one node of the causal tree: an interval of virtual time opened
+// by an emitter, optionally parented on the span that caused it. Events
+// recorded while a span is ambient reference it via Event.Span, so a
+// segment can be followed client → switch tap → primary stack and backup
+// tap as one linked tree.
+type Span struct {
+	ID        SpanID
+	Parent    SpanID
+	Kind      Kind
+	Component string
+	Message   string
+	Value     int64
+	Start     time.Time
+	End       time.Time // zero while open
+	// Auto marks fan-out spans (segment journeys, heartbeat rounds) that
+	// have no single natural close point; FinalizeAutoSpans ends them at
+	// their last attached activity.
+	Auto bool
+
+	lastTouch time.Time
+}
+
+// Open reports whether the span has not been closed yet.
+func (s Span) Open() bool { return s.End.IsZero() }
+
+// Duration is End-Start for closed spans and zero for open ones.
+func (s Span) Duration() time.Duration {
+	if s.Open() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+func (s Span) String() string {
+	state := fmt.Sprintf("%v", s.Duration())
+	if s.Open() {
+		state = "open"
+	}
+	out := fmt.Sprintf("%12s %-18s %-20s span#%d %s (%s)",
+		s.Start.Format("15:04:05.000"), s.Kind, s.Component, s.ID, s.Message, state)
+	if s.Parent != 0 {
+		out += fmt.Sprintf(" parent#%d", s.Parent)
+	}
+	return out
+}
+
+// OpenSpan starts a span of the given kind under parent (0 for a root) and
+// returns its ID. The span does not become ambient; use Activate for that.
+func (r *Recorder) OpenSpan(kind Kind, parent SpanID, component, format string, args ...any) SpanID {
+	return r.open(kind, parent, component, false, format, args...)
+}
+
+// OpenAutoSpan starts a fan-out span that is closed administratively by
+// FinalizeAutoSpans at its last attached activity rather than by an
+// explicit CloseSpan.
+func (r *Recorder) OpenAutoSpan(kind Kind, parent SpanID, component, format string, args ...any) SpanID {
+	return r.open(kind, parent, component, true, format, args...)
+}
+
+// OpenAutoSpanAt is OpenAutoSpan with an explicit (earlier) start time, for
+// phases that are recognised retroactively: a detector that fires now knows
+// the symptom began at some recorded watermark in the past, and the span
+// should cover the whole phase, not just the verdict instant. A start in
+// the future (or zero) is clamped to now.
+func (r *Recorder) OpenAutoSpanAt(start time.Time, kind Kind, parent SpanID, component, format string, args ...any) SpanID {
+	id := r.open(kind, parent, component, true, format, args...)
+	if r == nil || id == 0 {
+		return id
+	}
+	if i, ok := r.spanIdx[id]; ok && !start.IsZero() && start.Before(r.spans[i].Start) {
+		r.spans[i].Start = start
+	}
+	return id
+}
+
+func (r *Recorder) open(kind Kind, parent SpanID, component string, auto bool, format string, args ...any) SpanID {
+	if r == nil {
+		return 0
+	}
+	r.nextSpan++
+	id := r.nextSpan
+	now := r.nowFn()
+	r.spans = append(r.spans, Span{
+		ID:        id,
+		Parent:    parent,
+		Kind:      kind,
+		Component: component,
+		Message:   fmt.Sprintf(format, args...),
+		Start:     now,
+		Auto:      auto,
+		lastTouch: now,
+	})
+	r.spanIdx[id] = len(r.spans) - 1
+	if r.maxSpans > 0 && len(r.spans) > r.maxSpans {
+		r.compactSpans()
+	}
+	return id
+}
+
+// CloseSpan ends the span at the current virtual time. Closing an unknown
+// or already-closed span is tolerated but recorded as a span error —
+// interleaved (non-nested) open/close orders are legal, double closes and
+// stray closes are instrumentation bugs.
+func (r *Recorder) CloseSpan(id SpanID) {
+	if r == nil || id == 0 {
+		return
+	}
+	i, ok := r.spanIdx[id]
+	if !ok {
+		r.spanErrs = append(r.spanErrs, fmt.Sprintf("close of unknown span #%d", id))
+		return
+	}
+	if !r.spans[i].Open() {
+		r.spanErrs = append(r.spanErrs, fmt.Sprintf("double close of span #%d (%s %s)", id, r.spans[i].Kind, r.spans[i].Component))
+		return
+	}
+	now := r.nowFn()
+	r.spans[i].End = now
+	r.spans[i].lastTouch = now
+}
+
+// SetSpanValue attaches a numeric payload (bytes recovered, sequence
+// number, ...) to an open or closed span.
+func (r *Recorder) SetSpanValue(id SpanID, v int64) {
+	if r == nil || id == 0 {
+		return
+	}
+	if i, ok := r.spanIdx[id]; ok {
+		r.spans[i].Value = v
+	}
+}
+
+// Ambient returns the span ID currently propagated as the causal context
+// (via the bound simulator when BindContext was called).
+func (r *Recorder) Ambient() SpanID {
+	if r == nil {
+		return 0
+	}
+	if r.ctxGet != nil {
+		return SpanID(r.ctxGet())
+	}
+	return SpanID(r.ambient)
+}
+
+// Activate makes id the ambient causal span and returns a restore function
+// for the previous one. Typical use:
+//
+//	sp := tracer.OpenSpan(...)
+//	defer tracer.Activate(sp)()
+//
+// Everything emitted — and every sim event scheduled — until the restore
+// runs is attributed to sp.
+func (r *Recorder) Activate(id SpanID) func() {
+	if r == nil {
+		return func() {}
+	}
+	prev := uint64(r.Ambient())
+	r.setAmbient(uint64(id))
+	return func() { r.setAmbient(prev) }
+}
+
+func (r *Recorder) setAmbient(v uint64) {
+	if r.ctxSet != nil {
+		r.ctxSet(v)
+		return
+	}
+	r.ambient = v
+}
+
+// Spans returns a copy of all recorded spans in open order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// SpanByID looks a span up by ID.
+func (r *Recorder) SpanByID(id SpanID) (Span, bool) {
+	if r == nil {
+		return Span{}, false
+	}
+	if i, ok := r.spanIdx[id]; ok {
+		return r.spans[i], true
+	}
+	return Span{}, false
+}
+
+// FilterSpans returns the spans of the given kind, in open order.
+func (r *Recorder) FilterSpans(kind Kind) []Span {
+	if r == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range r.spans {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// OpenSpans returns the spans still open, auto spans excluded — those are
+// closed administratively and are not leaks.
+func (r *Recorder) OpenSpans() []Span {
+	if r == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range r.spans {
+		if s.Open() && !s.Auto {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Ancestry returns the chain of span IDs from id's parent up to the root,
+// nearest first. Broken links (evicted ancestors) end the walk.
+func (r *Recorder) Ancestry(id SpanID) []SpanID {
+	if r == nil {
+		return nil
+	}
+	var out []SpanID
+	for {
+		s, ok := r.SpanByID(id)
+		if !ok || s.Parent == 0 {
+			return out
+		}
+		// Guard against cycles from corrupted instrumentation.
+		if len(out) > len(r.spans) {
+			return out
+		}
+		out = append(out, s.Parent)
+		id = s.Parent
+	}
+}
+
+// CausallyLinked reports whether span id or any of its ancestors has an
+// attached event of the given kind.
+func (r *Recorder) CausallyLinked(id SpanID, kind Kind) bool {
+	if r == nil {
+		return false
+	}
+	set := map[SpanID]bool{id: true}
+	for _, a := range r.Ancestry(id) {
+		set[a] = true
+	}
+	for _, j := range r.byKind[kind] {
+		if set[r.events[j].Span] {
+			return true
+		}
+	}
+	return false
+}
+
+// SpanErrors returns the instrumentation errors seen so far (double closes,
+// closes of unknown spans).
+func (r *Recorder) SpanErrors() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.spanErrs))
+	copy(out, r.spanErrs)
+	return out
+}
+
+// FinalizeAutoSpans ends every still-open auto span at its last attached
+// activity (or its start, if nothing ever attached). Exporters and
+// analyzers call it at end of run; it is idempotent.
+func (r *Recorder) FinalizeAutoSpans() {
+	if r == nil {
+		return
+	}
+	for i := range r.spans {
+		if r.spans[i].Auto && r.spans[i].Open() {
+			r.spans[i].End = r.spans[i].lastTouch
+		}
+	}
+}
+
+// SetFlightRecorder bounds memory for long campaigns: at most maxSpans
+// spans and 8×maxSpans events are retained; when the cap is exceeded the
+// oldest closed, unpinned entries are evicted (down to 3/4 of the cap) and
+// counted in DroppedSpans/DroppedEvents. Open spans and anything inside a
+// pinned window survive. Zero disables the cap.
+func (r *Recorder) SetFlightRecorder(maxSpans int) {
+	if r == nil {
+		return
+	}
+	r.maxSpans = maxSpans
+	r.maxEvents = 8 * maxSpans
+}
+
+// PinWindow protects [start, end] from flight-recorder eviction, so the
+// spans and events around a failure stay available for the post-mortem.
+func (r *Recorder) PinWindow(start, end time.Time) {
+	if r == nil {
+		return
+	}
+	r.pins = append(r.pins, pinWindow{start: start, end: end})
+}
+
+// DroppedSpans reports how many spans the flight recorder evicted.
+func (r *Recorder) DroppedSpans() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.droppedSpans
+}
+
+// DroppedEvents reports how many events the flight recorder evicted.
+func (r *Recorder) DroppedEvents() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.droppedEvents
+}
+
+func (r *Recorder) pinned(start, end time.Time) bool {
+	for _, p := range r.pins {
+		if !end.Before(p.start) && !start.After(p.end) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Recorder) compactSpans() {
+	toDrop := len(r.spans) - r.maxSpans*3/4
+	kept := r.spans[:0]
+	for _, s := range r.spans {
+		if toDrop > 0 && !s.Open() && !r.pinned(s.Start, s.End) {
+			toDrop--
+			r.droppedSpans++
+			delete(r.spanIdx, s.ID)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	r.spans = kept
+	for i, s := range r.spans {
+		r.spanIdx[s.ID] = i
+	}
+}
+
+func (r *Recorder) compactEvents() {
+	target := r.maxEvents * 3 / 4
+	toDrop := len(r.events) - target
+	kept := r.events[:0]
+	for _, e := range r.events {
+		if toDrop > 0 && !r.pinned(e.Time, e.Time) && !r.spanOpen(e.Span) {
+			toDrop--
+			r.droppedEvents++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	r.events = kept
+	r.byKind = map[Kind][]int{}
+	for i, e := range r.events {
+		r.byKind[e.Kind] = append(r.byKind[e.Kind], i)
+	}
+}
+
+func (r *Recorder) spanOpen(id SpanID) bool {
+	if id == 0 {
+		return false
+	}
+	i, ok := r.spanIdx[id]
+	return ok && r.spans[i].Open()
+}
+
+// DumpSpans renders the span tree as an indented multi-line string, roots
+// first, children nested under their parents in open order.
+func (r *Recorder) DumpSpans() string {
+	if r == nil {
+		return ""
+	}
+	children := map[SpanID][]SpanID{}
+	var roots []SpanID
+	for _, s := range r.spans {
+		if _, ok := r.spanIdx[s.Parent]; s.Parent != 0 && ok {
+			children[s.Parent] = append(children[s.Parent], s.ID)
+		} else {
+			roots = append(roots, s.ID)
+		}
+	}
+	var b []byte
+	var walk func(id SpanID, depth int)
+	walk = func(id SpanID, depth int) {
+		s, _ := r.SpanByID(id)
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		b = append(b, s.String()...)
+		b = append(b, '\n')
+		kids := children[id]
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, id := range roots {
+		walk(id, 0)
+	}
+	return string(b)
+}

@@ -54,34 +54,58 @@ const (
 	// Application milestones.
 	KindAppProgress
 	KindAppDone
+
+	// Causal span kinds and high-volume detail events (gated behind
+	// Recorder.SetDetail). Span kinds double as event kinds where a span's
+	// open/close is itself a milestone.
+	KindSegmentJourney
+	KindHBRound
+	KindDetection
+	KindRetransmitWait
+	KindSegmentTX
+	KindSegmentRX
+	KindSegmentSuppressed
+	KindNetEnqueue
+	KindNetDeliver
+	KindNetDrop
 )
 
 var kindNames = map[Kind]string{
-	KindGeneric:         "generic",
-	KindHostCrash:       "host-crash",
-	KindOSCrash:         "os-crash",
-	KindAppCrash:        "app-crash",
-	KindNICFail:         "nic-fail",
-	KindLinkDrop:        "link-drop",
-	KindPowerOff:        "power-off",
-	KindHBSent:          "hb-sent",
-	KindHBReceived:      "hb-received",
-	KindHBLinkDown:      "hb-link-down",
-	KindHBLinkUp:        "hb-link-up",
-	KindSuspect:         "suspect",
-	KindTakeover:        "takeover",
-	KindNonFTMode:       "non-ft-mode",
-	KindShutdownPeer:    "shutdown-peer",
-	KindFINDelayed:      "fin-delayed",
-	KindFINSuppressed:   "fin-suppressed",
-	KindFINReleased:     "fin-released",
-	KindByteRecovery:    "byte-recovery",
-	KindConnEstablished: "conn-established",
-	KindConnClosed:      "conn-closed",
-	KindConnReset:       "conn-reset",
-	KindRetransmit:      "retransmit",
-	KindAppProgress:     "app-progress",
-	KindAppDone:         "app-done",
+	KindGeneric:           "generic",
+	KindHostCrash:         "host-crash",
+	KindOSCrash:           "os-crash",
+	KindAppCrash:          "app-crash",
+	KindNICFail:           "nic-fail",
+	KindLinkDrop:          "link-drop",
+	KindPowerOff:          "power-off",
+	KindHBSent:            "hb-sent",
+	KindHBReceived:        "hb-received",
+	KindHBLinkDown:        "hb-link-down",
+	KindHBLinkUp:          "hb-link-up",
+	KindSuspect:           "suspect",
+	KindTakeover:          "takeover",
+	KindNonFTMode:         "non-ft-mode",
+	KindShutdownPeer:      "shutdown-peer",
+	KindFINDelayed:        "fin-delayed",
+	KindFINSuppressed:     "fin-suppressed",
+	KindFINReleased:       "fin-released",
+	KindByteRecovery:      "byte-recovery",
+	KindConnEstablished:   "conn-established",
+	KindConnClosed:        "conn-closed",
+	KindConnReset:         "conn-reset",
+	KindRetransmit:        "retransmit",
+	KindAppProgress:       "app-progress",
+	KindAppDone:           "app-done",
+	KindSegmentJourney:    "segment-journey",
+	KindHBRound:           "hb-round",
+	KindDetection:         "detection",
+	KindRetransmitWait:    "retransmit-wait",
+	KindSegmentTX:         "segment-tx",
+	KindSegmentRX:         "segment-rx",
+	KindSegmentSuppressed: "segment-suppressed",
+	KindNetEnqueue:        "net-enqueue",
+	KindNetDeliver:        "net-deliver",
+	KindNetDrop:           "net-drop",
 }
 
 // String returns the canonical lowercase name of the kind.
@@ -98,24 +122,85 @@ type Event struct {
 	Kind      Kind
 	Component string // e.g. "primary/sttcp", "client/tcp"
 	Message   string
-	Value     int64 // optional numeric payload (bytes, sequence number, ...)
+	Value     int64  // optional numeric payload (bytes, sequence number, ...)
+	Span      SpanID // enclosing causal span, 0 if none
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("%12s %-18s %-20s %s", e.Time.Format("15:04:05.000"), e.Kind, e.Component, e.Message)
+	s := fmt.Sprintf("%12s %-18s %-20s %s", e.Time.Format("15:04:05.000"), e.Kind, e.Component, e.Message)
+	if e.Value != 0 {
+		s += fmt.Sprintf(" [value=%d]", e.Value)
+	}
+	return s
 }
 
 // Recorder accumulates events in timestamp order (events arrive in order
-// because the simulation is single-threaded).
+// because the simulation is single-threaded) and the causal span tree they
+// hang off. A per-kind index keeps Filter/Count/First/Has from rescanning
+// the whole log on every analyzer or invariant query.
 type Recorder struct {
 	events []Event
+	byKind map[Kind][]int // event indices per kind, in order
 	nowFn  func() time.Time
+
+	spans    []Span
+	spanIdx  map[SpanID]int // span index by ID
+	nextSpan SpanID
+	spanErrs []string
+
+	// ctxGet/ctxSet bind the recorder to the simulator's ambient causal
+	// context without importing sim (see BindContext).
+	ctxGet func() uint64
+	ctxSet func(uint64)
+	// ambient is the fallback context store when no simulator is bound.
+	ambient uint64
+
+	detail bool
+
+	// Flight-recorder state (see SetFlightRecorder).
+	maxSpans      int
+	maxEvents     int
+	pins          []pinWindow
+	droppedSpans  int64
+	droppedEvents int64
+}
+
+type pinWindow struct {
+	start, end time.Time
 }
 
 // NewRecorder returns a recorder that stamps events using now, typically
 // (*sim.Simulator).Now.
 func NewRecorder(now func() time.Time) *Recorder {
-	return &Recorder{nowFn: now}
+	return &Recorder{nowFn: now, byKind: map[Kind][]int{}, spanIdx: map[SpanID]int{}}
+}
+
+// BindContext connects the recorder to an external ambient-context store —
+// in practice (*sim.Simulator).Context/SetContext — so spans activated here
+// propagate through the simulator's event queue to asynchronous
+// continuations. Without a binding the recorder keeps a local ambient value,
+// which is enough for single-scope tests.
+func (r *Recorder) BindContext(get func() uint64, set func(uint64)) {
+	if r == nil {
+		return
+	}
+	r.ctxGet = get
+	r.ctxSet = set
+}
+
+// SetDetail toggles high-volume instrumentation (per-segment tx/rx, link
+// enqueue/deliver/drop). Off by default so long campaigns and benchmarks pay
+// nothing for it.
+func (r *Recorder) SetDetail(on bool) {
+	if r == nil {
+		return
+	}
+	r.detail = on
+}
+
+// Detail reports whether high-volume instrumentation is enabled.
+func (r *Recorder) Detail() bool {
+	return r != nil && r.detail
 }
 
 // Emit records an event with a formatted message.
@@ -123,18 +208,47 @@ func (r *Recorder) Emit(kind Kind, component, format string, args ...any) {
 	r.EmitValue(kind, component, 0, format, args...)
 }
 
-// EmitValue records an event carrying a numeric payload.
+// EmitValue records an event carrying a numeric payload. The event is
+// attached to the ambient causal span, if one is active.
 func (r *Recorder) EmitValue(kind Kind, component string, value int64, format string, args ...any) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.append(Event{
 		Time:      r.nowFn(),
 		Kind:      kind,
 		Component: component,
 		Message:   fmt.Sprintf(format, args...),
 		Value:     value,
+		Span:      r.Ambient(),
 	})
+}
+
+// EmitIn records an event attached to a specific span rather than the
+// ambient one.
+func (r *Recorder) EmitIn(span SpanID, kind Kind, component string, value int64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.append(Event{
+		Time:      r.nowFn(),
+		Kind:      kind,
+		Component: component,
+		Message:   fmt.Sprintf(format, args...),
+		Value:     value,
+		Span:      span,
+	})
+}
+
+func (r *Recorder) append(e Event) {
+	if i, ok := r.spanIdx[e.Span]; e.Span != 0 && ok {
+		r.spans[i].lastTouch = e.Time
+	}
+	r.events = append(r.events, e)
+	r.byKind[e.Kind] = append(r.byKind[e.Kind], len(r.events)-1)
+	if r.maxEvents > 0 && len(r.events) > r.maxEvents {
+		r.compactEvents()
+	}
 }
 
 // Events returns a copy of all recorded events.
@@ -160,11 +274,13 @@ func (r *Recorder) Filter(kind Kind) []Event {
 	if r == nil {
 		return nil
 	}
-	var out []Event
-	for _, e := range r.events {
-		if e.Kind == kind {
-			out = append(out, e)
-		}
+	idx := r.byKind[kind]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Event, len(idx))
+	for i, j := range idx {
+		out[i] = r.events[j]
 	}
 	return out
 }
@@ -188,12 +304,11 @@ func (r *Recorder) First(kind Kind) (Event, bool) {
 	if r == nil {
 		return Event{}, false
 	}
-	for _, e := range r.events {
-		if e.Kind == kind {
-			return e, true
-		}
+	idx := r.byKind[kind]
+	if len(idx) == 0 {
+		return Event{}, false
 	}
-	return Event{}, false
+	return r.events[idx[0]], true
 }
 
 // Last returns the latest event of the given kind, or false if none.
@@ -201,12 +316,11 @@ func (r *Recorder) Last(kind Kind) (Event, bool) {
 	if r == nil {
 		return Event{}, false
 	}
-	for i := len(r.events) - 1; i >= 0; i-- {
-		if r.events[i].Kind == kind {
-			return r.events[i], true
-		}
+	idx := r.byKind[kind]
+	if len(idx) == 0 {
+		return Event{}, false
 	}
-	return Event{}, false
+	return r.events[idx[len(idx)-1]], true
 }
 
 // Count reports the number of events of the given kind.
@@ -214,19 +328,12 @@ func (r *Recorder) Count(kind Kind) int {
 	if r == nil {
 		return 0
 	}
-	n := 0
-	for _, e := range r.events {
-		if e.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return len(r.byKind[kind])
 }
 
 // Has reports whether any event of the given kind was recorded.
 func (r *Recorder) Has(kind Kind) bool {
-	_, ok := r.First(kind)
-	return ok
+	return r != nil && len(r.byKind[kind]) > 0
 }
 
 // Dump renders all events as a multi-line string, for debugging and the demo
@@ -250,12 +357,10 @@ func (r *Recorder) Kinds() []Kind {
 	if r == nil {
 		return nil
 	}
-	seen := map[Kind]bool{}
 	var out []Kind
-	for _, e := range r.events {
-		if !seen[e.Kind] {
-			seen[e.Kind] = true
-			out = append(out, e.Kind)
+	for k, idx := range r.byKind {
+		if len(idx) > 0 {
+			out = append(out, k)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
