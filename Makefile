@@ -1,15 +1,20 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench timeline chaos chaos-smoke clean
+.PHONY: all check vet lint build test race bench timeline chaos chaos-smoke clean
 
 all: check
 
 # The full gate: static analysis, compile everything, then the test suite
 # under the race detector.
-check: vet build race
+check: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis: determinism, span hygiene, hot-path
+# allocation discipline (see README "Correctness tooling").
+lint:
+	$(GO) run ./cmd/sttcp-vet ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,118 @@
+// Command sttcp-vet runs the testbed's domain static-analysis suite
+// (internal/analysis) over the repository: simdeterminism, maporder,
+// spanpairing, hotpathalloc, and resulterrors — the compile-time guards
+// behind replay-by-seed chaos campaigns, golden traces, the span-anatomy
+// identity, and the zero-alloc hot path.
+//
+// Usage:
+//
+//	sttcp-vet [-run a,b] [-format text|github] [-list] [patterns...]
+//
+// Patterns default to ./... relative to the module root (found by
+// walking up from the working directory to go.mod). Exit status is 0
+// when the tree is clean, 1 when there are diagnostics, 2 on load or
+// usage errors. -format github emits GitHub Actions workflow
+// annotations so CI findings land on the offending lines.
+//
+// Suppressions are audited in source, never on the command line:
+//
+//	t := time.Now() //sttcp:allow simdeterminism wall budget for the campaign loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		format = flag.String("format", "text", "diagnostic format: text or github")
+		list   = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *run != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "sttcp-vet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttcp-vet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(moduleDir, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttcp-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sttcp-vet:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		switch *format {
+		case "github":
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(moduleDir, rel); err == nil {
+				rel = filepath.ToSlash(r)
+			}
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=sttcp-vet %s::%s\n",
+				rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		default:
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sttcp-vet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,153 @@
+// Package analysis is a stdlib-only static-analysis framework for the
+// ST-TCP testbed, plus the domain analyzers that make the repository's
+// determinism and observability conventions structural instead of
+// aspirational.
+//
+// Everything this reproduction claims — replay-by-seed chaos campaigns,
+// greedy schedule shrinking, golden milestone traces, the span-anatomy
+// identity of Demo 2 — rests on conventions that are invisible to the
+// compiler: no wall clock or global randomness inside sim-driven code, no
+// observable work ordered by map iteration, every non-auto trace span
+// closed or handed off on all paths, zero allocation on the per-segment
+// hot path, no discarded harness errors. The analyzers in this package
+// check those conventions at compile time; cmd/sttcp-vet runs them from
+// the command line and lint_test.go runs them under plain `go test ./...`
+// so a violation fails the tier-1 gate.
+//
+// The framework is deliberately small: a Package loader built on
+// go/parser and go/types (the "source" importer resolves the standard
+// library, so there are no dependencies outside the standard library), an
+// Analyzer/Pass pair modeled loosely on golang.org/x/tools/go/analysis,
+// and a driver that applies the //sttcp:allow suppression directive:
+//
+//	foo := time.Now() //sttcp:allow simdeterminism wall budget for the campaign loop
+//
+// An allow names the analyzer it silences and must carry a reason; it
+// applies to diagnostics on its own line or, for a comment standing alone
+// on a line, to the line below. Malformed directives (unknown analyzer,
+// missing reason) are themselves diagnostics, so a suppression is always
+// an audited decision rather than a typo.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects a single package through its
+// Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (package, analyzer) execution: the parsed and
+// type-checked package plus the report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files (tests excluded).
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checker fact tables.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypeOf returns the static type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SimDeterminism,
+		MapOrder,
+		SpanPairing,
+		HotPathAlloc,
+		ResultErrors,
+	}
+}
+
+// ByName resolves an analyzer from the suite, nil if unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over the packages, applies //sttcp:allow
+// suppression, validates the directives themselves, and returns the
+// surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{allowAnalyzerName: true}
+	for _, a := range Analyzers() { // directives may name any suite analyzer,
+		known[a.Name] = true // even one this run does not execute
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows, dirDiags := collectAllows(pkg, known)
+		diags = append(diags, dirDiags...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report: func(d Diagnostic) {
+					if !allows.suppresses(d) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// runCorpus checks one testdata corpus package against its // want
+// expectation comments using the given analyzers.
+func runCorpus(t *testing.T, pattern string, analyzers ...*Analyzer) {
+	t.Helper()
+	problems, err := CheckExpectations(filepath.Join("testdata", "src"), "example.com/vet", []string{pattern}, analyzers...)
+	if err != nil {
+		t.Fatalf("corpus %s: %v", pattern, err)
+	}
+	for _, p := range problems {
+		t.Errorf("%s", p)
+	}
+}
+
+func TestSimDeterminismCorpus(t *testing.T) {
+	runCorpus(t, "./simdeterminism/...", SimDeterminism)
+}
+
+func TestMapOrderCorpus(t *testing.T) {
+	runCorpus(t, "./maporder", MapOrder)
+}
+
+func TestSpanPairingCorpus(t *testing.T) {
+	runCorpus(t, "./spanpairing", SpanPairing)
+}
+
+func TestHotPathAllocCorpus(t *testing.T) {
+	runCorpus(t, "./hotpathalloc", HotPathAlloc)
+}
+
+func TestResultErrorsCorpus(t *testing.T) {
+	runCorpus(t, "./resulterrors", ResultErrors)
+}
+
+func TestAllowDirectiveCorpus(t *testing.T) {
+	runCorpus(t, "./allowdir", SimDeterminism)
+}

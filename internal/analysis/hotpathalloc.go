@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc enforces allocation discipline in functions annotated
+//
+//	//sttcp:hotpath
+//
+// in their doc comment — the per-segment TCP bookkeeping and the metrics
+// instruments, which run once per simulated segment and are asserted
+// zero-alloc by testing.AllocsPerRun benchmarks. Inside a hotpath
+// function the analyzer forbids:
+//
+//   - any call into package fmt (Sprintf and friends allocate, always)
+//   - interface boxing: passing a concrete value where a parameter is an
+//     interface (including variadic ...any), or converting to one
+//   - append to a slice with no visible preallocated capacity (allowed:
+//     appending to a slice made in the same function with an explicit
+//     capacity, or to a re-sliced backing array x[:0])
+//   - non-constant string concatenation, closures, and defers
+//
+// The static check and the AllocsPerRun assertion back each other: the
+// benchmark proves the property today, the analyzer names the exact
+// expression that breaks it tomorrow.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in //sttcp:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, fn := range funcDecls(pass.Pkg) {
+		if hasDirective(fn, "hotpath") {
+			checkHotPath(pass, fn)
+		}
+	}
+}
+
+func checkHotPath(pass *Pass, fn *ast.FuncDecl) {
+	preallocated := preallocatedSlices(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hotpath function %s allocates; lift it out or pass a method value from cold code", fn.Name.Name)
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hotpath function %s allocates a defer record on older runtimes and hides work; call directly", fn.Name.Name)
+		case *ast.BinaryExpr:
+			checkStringConcat(pass, fn, n)
+		case *ast.CallExpr:
+			checkHotPathCall(pass, fn, n, preallocated)
+		}
+		return true
+	})
+}
+
+func checkStringConcat(pass *Pass, fn *ast.FuncDecl, n *ast.BinaryExpr) {
+	if n.Op.String() != "+" {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[n]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		pass.Reportf(n.Pos(), "string concatenation in hotpath function %s allocates", fn.Name.Name)
+	}
+}
+
+func checkHotPathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, preallocated map[types.Object]bool) {
+	// conversions to an interface type box their operand
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pass.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) {
+				pass.Reportf(call.Pos(), "conversion to interface in hotpath function %s boxes its operand", fn.Name.Name)
+			}
+		}
+		return
+	}
+	if isBuiltinCall(pass, call, "append") {
+		checkHotPathAppend(pass, fn, call, preallocated)
+		return
+	}
+	callee := calleeFunc(pass.Pkg.Info, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hotpath function %s allocates on every call", callee.Name(), fn.Name.Name)
+		return
+	}
+	checkBoxing(pass, fn, call, callee)
+}
+
+// checkBoxing flags concrete arguments passed into interface parameters.
+func checkBoxing(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, callee *types.Func) {
+	sigType := pass.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(pass, arg) {
+			continue
+		}
+		name := "call"
+		if callee != nil {
+			name = callee.Name()
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into an interface in hotpath function %s (%s)", at.String(), fn.Name.Name, name)
+	}
+}
+
+func isUntypedNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// checkHotPathAppend allows append only when the destination's capacity
+// is visibly preallocated: the first argument is a slice expression
+// (x[:0] reuse) or a local made with an explicit capacity.
+func checkHotPathAppend(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, preallocated map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SliceExpr:
+		return // appending into a re-sliced buffer reuses its backing array
+	case *ast.Ident:
+		if obj := pass.ObjectOf(dst); obj != nil && preallocated[obj] {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "append without visible preallocated capacity in hotpath function %s; make the slice with an explicit capacity first", fn.Name.Name)
+}
+
+// preallocatedSlices collects local variables initialized from a 3-arg
+// make — the only append destinations the analyzer trusts.
+func preallocatedSlices(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 || !isBuiltinCall(pass, call, "make") {
+				continue
+			}
+			if lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := pass.ObjectOf(lhs); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, comments retained
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module. Module-internal
+// imports resolve recursively through the loader itself; everything else
+// (the standard library) resolves through the go/importer "source"
+// importer, so loading needs nothing beyond GOROOT sources.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at dir. If modulePath
+// is empty it is read from dir/go.mod.
+func NewLoader(dir, modulePath string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if modulePath == "" {
+		modulePath, err = readModulePath(filepath.Join(abs, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  abs,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Load resolves patterns ("./...", "./internal/tcp", or bare import
+// paths inside the module) to packages, loading each at most once.
+// Directories named testdata, hidden directories, and directories without
+// non-test Go files are skipped during ./... expansion.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			expanded, err := l.expandAll(l.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range expanded {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.ModuleDir, l.relOf(strings.TrimSuffix(pat, "/...")))
+			expanded, err := l.expandAll(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range expanded {
+				add(d)
+			}
+		default:
+			add(filepath.Join(l.ModuleDir, l.relOf(pat)))
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// relOf maps a pattern to a module-relative path: "./x/y" and the full
+// import path "mod/x/y" both become "x/y".
+func (l *Loader) relOf(pat string) string {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "." {
+		return ""
+	}
+	if pat == l.ModulePath {
+		return ""
+	}
+	if rest, ok := strings.CutPrefix(pat, l.ModulePath+"/"); ok {
+		return rest
+	}
+	return pat
+}
+
+func (l *Loader) expandAll(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPath(path, dir)
+}
+
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if isSourceFile(e) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importDep)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleDir, l.relOf(path))
+		pkg, err := l.loadPath(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

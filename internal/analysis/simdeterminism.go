@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// forbiddenTimeFuncs are the wall-clock entry points that break
+// replay-by-seed: virtual time must come from sim.Simulator.Now and
+// friends, and nothing inside a simulation may block on the real clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// randConstructors may only appear at the audited seeding point
+// (sim.NewRand); everywhere else a *rand.Rand must be injected so all
+// randomness in a run flows from the run's single seed.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+}
+
+// SimDeterminism forbids wall-clock time, global math/rand state, ad-hoc
+// rand constructors, and raw goroutine spawns in sim-driven packages —
+// any package that imports internal/sim (or is internal/sim itself). One
+// stray time.Now or rand.Intn silently decouples a run from its seed;
+// a goroutine breaks the single-threaded event-loop contract the whole
+// testbed (and its lock-free metrics) relies on. Wall-clock budget code
+// (the chaos campaign loop) carries audited //sttcp:allow directives.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock time, global randomness, and goroutines in sim-driven packages",
+	Run:  runSimDeterminism,
+}
+
+func runSimDeterminism(pass *Pass) {
+	pkg := pass.Pkg
+	if !pkgPathHasSuffix(pkg.Path, "internal/sim") && !importsPkgSuffix(pkg, "internal/sim") {
+		return
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned in sim-driven package %s: all concurrency must be sim events on the single-threaded loop", pkg.Types.Name())
+			case *ast.CallExpr:
+				fn := calleeFunc(pkg.Info, n)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case isTopLevelFuncOf(fn, "time") && forbiddenTimeFuncs[fn.Name()]:
+					pass.Reportf(n.Pos(), "time.%s in sim-driven code: use the simulator's virtual clock (sim.Now/Since or a scheduled event)", fn.Name())
+				case isTopLevelFuncOf(fn, "math/rand") || isTopLevelFuncOf(fn, "math/rand/v2"):
+					if randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "rand.%s outside the audited seeding point: construct randomness via sim.NewRand so every run derives from one seed", fn.Name())
+					} else {
+						pass.Reportf(n.Pos(), "global rand.%s in sim-driven code: draw from an injected *rand.Rand (sim.Rand or sim.NewRand)", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}

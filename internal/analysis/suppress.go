@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// allowAnalyzerName attributes diagnostics about malformed //sttcp:allow
+// directives themselves.
+const allowAnalyzerName = "allow"
+
+const allowPrefix = "//sttcp:allow"
+
+// allowKey locates one suppression: a file plus the line the suppressed
+// diagnostic must sit on.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+func (s allowSet) suppresses(d Diagnostic) bool {
+	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+}
+
+// collectAllows scans a package's comments for //sttcp:allow directives.
+// A directive reads
+//
+//	//sttcp:allow <analyzer> <reason...>
+//
+// and suppresses diagnostics of that analyzer on the directive's own line
+// (trailing comment) and on the line below (comment standing alone above
+// the code it excuses). The reason runs to the end of the comment or to
+// an embedded "//" marker. Directives naming an unknown analyzer or
+// carrying no reason are reported as diagnostics of the "allow"
+// pseudo-analyzer: a suppression must be an auditable decision, not a
+// typo.
+func collectAllows(pkg *Package, known map[string]bool) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue // some other sttcp:allow* directive
+				}
+				fields := strings.Fields(text)
+				for i, f := range fields {
+					if strings.HasPrefix(f, "//") {
+						fields = fields[:i]
+						break
+					}
+				}
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{
+						Analyzer: allowAnalyzerName,
+						Pos:      pos,
+						Message:  "sttcp:allow needs an analyzer name and a reason",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					diags = append(diags, Diagnostic{
+						Analyzer: allowAnalyzerName,
+						Pos:      pos,
+						Message:  "sttcp:allow names unknown analyzer " + name,
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Analyzer: allowAnalyzerName,
+						Pos:      pos,
+						Message:  "sttcp:allow " + name + " is missing a reason",
+					})
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, name}] = true
+				allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return allows, diags
+}
+
+// hasDirective reports whether the function declaration carries the given
+// //sttcp:<name> marker in its doc comment.
+func hasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, "//sttcp:"+name); ok {
+			if text == "" || text[0] == ' ' || text[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}

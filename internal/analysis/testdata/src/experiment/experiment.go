@@ -1,0 +1,18 @@
+// Package experiment is a corpus stand-in for the real harness: a
+// package whose last path element is in the resulterrors origin set,
+// with error-returning entry points and a Result carrying Errors.
+package experiment
+
+// Result mimics the harness result shape.
+type Result struct {
+	Errors []string
+}
+
+// Run mimics an error-only entry point.
+func Run() error { return nil }
+
+// RunAll mimics a (Result, error) entry point.
+func RunAll() (Result, error) { return Result{}, nil }
+
+// Get mimics a (value, error) entry point.
+func Get() (int, error) { return 0, nil }

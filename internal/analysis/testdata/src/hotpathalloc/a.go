@@ -1,0 +1,51 @@
+// Corpus for the hotpathalloc analyzer: functions annotated
+// //sttcp:hotpath may not allocate — no fmt, no interface boxing, no
+// blind appends, no closures, defers, or string concatenation.
+package hotpathalloc
+
+import "fmt"
+
+// S mimics a per-segment bookkeeping structure.
+type S struct {
+	buf []byte
+	n   int64
+}
+
+func sink(v any)        {}
+func sinkTyped(v int64) {}
+func vsink(vs ...any)   {}
+func done()             {}
+
+//sttcp:hotpath
+func (s *S) bad(v int64, name string) {
+	s.n += v
+	msg := fmt.Sprintf("v=%d", v)  // want `fmt\.Sprintf in hotpath function bad allocates`
+	_ = msg + name                 // want `string concatenation in hotpath function bad allocates`
+	s.buf = append(s.buf, byte(v)) // want `append without visible preallocated capacity in hotpath function bad`
+	sink(v)                        // want `argument boxes int64 into an interface in hotpath function bad`
+	vsink(name)                    // want `argument boxes string into an interface in hotpath function bad`
+	_ = any(v)                     // want `conversion to interface in hotpath function bad boxes its operand`
+	f := func() {}                 // want `closure in hotpath function bad allocates`
+	f()
+	defer done() // want `defer in hotpath function bad`
+}
+
+//sttcp:hotpath
+func (s *S) good(v int64) {
+	s.n += v
+	local := make([]byte, 0, 8)
+	local = append(local, byte(v))     // preallocated capacity: fine
+	s.buf = append(s.buf[:0], byte(v)) // reuse of an existing backing array: fine
+	sinkTyped(v)                       // concrete parameter: no boxing
+	sink(nil)                          // nil carries no box
+	done()
+	_ = "a" + "b" // constant-folded: free
+	_ = local
+}
+
+// cold is not annotated: the hot-path rules do not apply.
+func (s *S) cold(v int64) {
+	_ = fmt.Sprintf("v=%d", v)
+	defer done()
+	s.buf = append(s.buf, byte(v))
+}

@@ -1,0 +1,61 @@
+// Corpus for the maporder analyzer: ranging over a map is fine until the
+// body does observably ordered work — emits a trace event, schedules a
+// sim event, or appends to an exported result surface.
+package maporder
+
+import (
+	"sort"
+
+	"example.com/vet/internal/sim"
+	"example.com/vet/internal/trace"
+)
+
+// Res mimics an exported result type with an exported slice.
+type Res struct {
+	Items  []int
+	hidden []int
+}
+
+// Collected mimics an exported package-level result slice.
+var Collected []int
+
+func bad(m map[string]int, r *trace.Recorder, s *sim.Simulator, res *Res) {
+	for k, v := range m {
+		r.Emit(0, k, "visit")            // want `trace\.Emit inside a range over a map`
+		r.EmitValue(0, k, int64(v), "v") // want `trace\.EmitValue inside a range over a map`
+		s.Schedule(v, func() {})         // want `sim\.Schedule inside a range over a map`
+		s.At(v, func() {})               // want `sim\.At inside a range over a map`
+		res.Items = append(res.Items, v) // want `append to exported field Items inside a range over a map`
+	}
+}
+
+func badGlobal(m map[int]int) {
+	for _, v := range m {
+		Collected = append(Collected, v) // want `append to exported package variable Collected inside a range over a map`
+	}
+}
+
+func badNested(m map[string]int, r *trace.Recorder) {
+	for range m {
+		if true {
+			r.Emit(0, "x", "nested") // want `trace\.Emit inside a range over a map`
+		}
+	}
+}
+
+func good(m map[string]int, r *trace.Recorder, s *sim.Simulator, res *Res) {
+	// The fix idiom: collect keys, sort, then do the ordered work.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // appending to a local is unordered-safe
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // ranging a slice is deterministic
+		r.Emit(0, k, "visit")
+		s.Schedule(m[k], func() {})
+		res.Items = append(res.Items, m[k])
+	}
+	for _, v := range m {
+		res.hidden = append(res.hidden, v) // unexported sink: not an observable surface
+	}
+}

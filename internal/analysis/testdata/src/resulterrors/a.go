@@ -1,0 +1,30 @@
+// Corpus for the resulterrors analyzer: errors and Result.Errors from
+// the harness packages may not be silently thrown away.
+package resulterrors
+
+import "example.com/vet/experiment"
+
+func bad() {
+	_ = experiment.Run()     // want `error from experiment\.Run discarded with _`
+	v, _ := experiment.Get() // want `error from experiment\.Get discarded with _`
+	_ = v
+	experiment.Run()              // want `call to experiment\.Run drops its error result`
+	res, _ := experiment.RunAll() // want `error from experiment\.RunAll discarded with _`
+	_ = res.Errors                // want `Result\.Errors discarded with _`
+}
+
+func good() error {
+	if err := experiment.Run(); err != nil {
+		return err
+	}
+	res, err := experiment.RunAll()
+	if err != nil {
+		return err
+	}
+	if len(res.Errors) > 0 {
+		return nil
+	}
+	n, err := experiment.Get()
+	_ = n
+	return err
+}

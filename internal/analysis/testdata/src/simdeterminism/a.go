@@ -1,0 +1,41 @@
+// Corpus for the simdeterminism analyzer: this package imports the
+// (fake) internal/sim, so it counts as sim-driven and the wall-clock,
+// global-rand, and goroutine rules all apply.
+package simdeterminism
+
+import (
+	"math/rand"
+	"time"
+
+	"example.com/vet/internal/sim"
+)
+
+var s sim.Simulator
+
+func wallClock() {
+	_ = time.Now()              // want `time\.Now in sim-driven code`
+	_ = time.Since(time.Time{}) // want `time\.Since in sim-driven code`
+	time.Sleep(1)               // want `time\.Sleep in sim-driven code`
+	_ = time.After(1)           // want `time\.After in sim-driven code`
+	_ = time.NewTimer(1)        // want `time\.NewTimer in sim-driven code`
+}
+
+func globalRand() {
+	_ = rand.Intn(4)                   // want `global rand\.Intn in sim-driven code`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle in sim-driven code`
+	_ = rand.Float64()                 // want `global rand\.Float64 in sim-driven code`
+	r := rand.New(rand.NewSource(1))   // want `rand\.New outside the audited seeding point` `rand\.NewSource outside the audited seeding point`
+	_ = r.Intn(4)                      // methods on an injected source are the sanctioned path
+}
+
+func goroutine() {
+	go func() {}() // want `goroutine spawned in sim-driven package`
+}
+
+func sanctioned() time.Duration {
+	r := sim.NewRand(42)
+	_ = r.Intn(4)
+	s.Schedule(1, func() {})
+	t := time.Date(2005, time.June, 28, 0, 0, 0, 0, time.UTC)
+	return time.Duration(t.Unix()) // constructing times and durations is fine; reading the wall clock is not
+}

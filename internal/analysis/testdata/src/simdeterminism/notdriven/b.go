@@ -1,0 +1,11 @@
+// A package that does not import internal/sim is outside the
+// simdeterminism analyzer's jurisdiction: wall-clock reads here are
+// legal (this is where campaign budgets and CLIs live).
+package notdriven
+
+import "time"
+
+func wallClockIsFine() time.Time {
+	time.Sleep(0)
+	return time.Now()
+}

@@ -1,0 +1,109 @@
+// Corpus for the spanpairing analyzer: every OpenSpan must be closed,
+// dissolved, or handed off on all return paths. Auto spans are exempt —
+// they are finalized administratively.
+package spanpairing
+
+import "example.com/vet/internal/trace"
+
+type holder struct {
+	sp trace.SpanID
+	r  *trace.Recorder
+}
+
+func (h *holder) stash(sp trace.SpanID) { h.sp = sp }
+
+func discarded(r *trace.Recorder) {
+	r.OpenSpan(0, 0, "c", "m")     // want `result of OpenSpan discarded`
+	_ = r.OpenSpan(0, 0, "c", "m") // want `span assigned to _`
+}
+
+func leakyReturn(r *trace.Recorder, cond bool) {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	if cond {
+		return // want `span "sp" opened at line \d+ is still open when this return executes`
+	}
+	r.CloseSpan(sp)
+}
+
+func fallsOff(r *trace.Recorder, cond bool) {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	if cond {
+		r.CloseSpan(sp)
+	}
+} // want `span "sp" opened at line \d+ is still open when the function falls off the end`
+
+func loopLeak(r *trace.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		sp := r.OpenSpan(0, 0, "c", "m") // want `span "sp" opened at line \d+ is still open when the loop iteration ends`
+		if sp == 0 {
+			continue
+		}
+	}
+}
+
+func switchLeak(r *trace.Recorder, k int) {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	switch k {
+	case 0:
+		r.CloseSpan(sp)
+	case 1:
+	}
+} // want `still open when the function falls off the end`
+
+func deferClosed(r *trace.Recorder, cond bool) {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	defer r.CloseSpan(sp)
+	if cond {
+		return // covered by the defer
+	}
+}
+
+func activateIdiom(r *trace.Recorder) {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	defer r.Activate(sp)()
+	defer r.CloseSpan(sp)
+}
+
+func closedBothBranches(r *trace.Recorder, cond bool) {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	if cond {
+		r.CloseSpan(sp)
+	} else {
+		r.CloseSpan(sp)
+	}
+}
+
+func switchClosed(r *trace.Recorder, k int) {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	switch k {
+	case 0:
+		r.CloseSpan(sp)
+	default:
+		r.CloseSpan(sp)
+	}
+}
+
+func handoffField(r *trace.Recorder, h *holder) {
+	h.sp = r.OpenSpan(0, 0, "c", "m") // stored into longer-lived state: its owner closes it
+}
+
+func handoffCall(r *trace.Recorder, h *holder) {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	h.stash(sp) // passed along: a handoff
+}
+
+func handoffReturn(r *trace.Recorder) trace.SpanID {
+	sp := r.OpenSpan(0, 0, "c", "m")
+	return sp
+}
+
+func loopClosed(r *trace.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		sp := r.OpenSpan(0, 0, "c", "m")
+		r.CloseSpan(sp)
+	}
+}
+
+func autoExempt(r *trace.Recorder) {
+	_ = r.OpenAutoSpan(0, 0, "c", "m") // auto spans are finalized administratively
+}

@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // EventKind identifies one fault (or workload) injection.
@@ -217,7 +219,14 @@ func dur(rng *rand.Rand, lo, hi time.Duration) time.Duration {
 // exercised; a fatal fault on the serving side may chain into a rejoin, a
 // second client, and a second fatal fault — the double-failover path.
 func Generate(seed int64) Schedule {
-	rng := rand.New(rand.NewSource(seed))
+	return GenerateWith(sim.NewRand(seed), seed)
+}
+
+// GenerateWith is Generate drawing from an injected source — the audit
+// point for schedule randomness. The campaign driver passes sim.NewRand
+// (seed), so the schedule and the testbed run it is injected into derive
+// from the same single seed; tests may pass any deterministic source.
+func GenerateWith(rng *rand.Rand, seed int64) Schedule {
 	sc := Schedule{Seed: seed, Horizon: 60 * time.Second}
 
 	if rng.Intn(2) == 0 {

@@ -79,7 +79,9 @@ func RunHBLinkCapacity(n int, period, runFor time.Duration, bitsPerSecond int64)
 			_ = pa.Send(c)
 		}
 	})
-	_ = s.Run(runFor)
+	if err := s.Run(runFor); err != nil {
+		return res, fmt.Errorf("capacity run: %w", err)
+	}
 
 	res.Sent = pa.TxMessages
 	res.Delivered = pb.RxMessages

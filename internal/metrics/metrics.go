@@ -57,11 +57,11 @@ func canonLabels(labels []Label) string {
 // value is not useful; create one with New. A nil *Registry is a valid
 // no-op sink.
 type Registry struct {
-	now       func() time.Time
-	counters  map[key]*Counter
-	gauges    map[key]*Gauge
-	histos    map[key]*Histogram
-	order     []key // registration order, for stable iteration before sort
+	now      func() time.Time
+	counters map[key]*Counter
+	gauges   map[key]*Gauge
+	histos   map[key]*Histogram
+	order    []key // registration order, for stable iteration before sort
 }
 
 // New creates a registry. now supplies the virtual clock (pass
@@ -82,6 +82,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//sttcp:hotpath
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -91,6 +93,8 @@ func (c *Counter) Inc() {
 
 // Add adds n (n must be >= 0; negative deltas are ignored to keep the
 // counter monotonic).
+//
+//sttcp:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil || n < 0 {
 		return
@@ -114,6 +118,8 @@ type Gauge struct {
 }
 
 // Set replaces the current value.
+//
+//sttcp:hotpath
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -125,6 +131,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add applies a delta.
+//
+//sttcp:hotpath
 func (g *Gauge) Add(n int64) {
 	if g == nil {
 		return
@@ -178,6 +186,8 @@ var DefaultLatencyBuckets = []time.Duration{
 }
 
 // Observe records one duration.
+//
+//sttcp:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return

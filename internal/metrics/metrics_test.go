@@ -92,12 +92,12 @@ func TestHistogramBucketEdges(t *testing.T) {
 	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
 	h := r.Histogram("x", "lat", bounds)
 
-	h.Observe(time.Millisecond)            // == bound 0 → bucket 0
-	h.Observe(time.Millisecond + 1)        // just over → bucket 1
-	h.Observe(10 * time.Millisecond)       // == bound 1 → bucket 1
-	h.Observe(100 * time.Millisecond)      // == bound 2 → bucket 2
-	h.Observe(5 * time.Second)             // overflow
-	h.Observe(0)                           // below everything → bucket 0
+	h.Observe(time.Millisecond)       // == bound 0 → bucket 0
+	h.Observe(time.Millisecond + 1)   // just over → bucket 1
+	h.Observe(10 * time.Millisecond)  // == bound 1 → bucket 1
+	h.Observe(100 * time.Millisecond) // == bound 2 → bucket 2
+	h.Observe(5 * time.Second)        // overflow
+	h.Observe(0)                      // below everything → bucket 0
 
 	snap := r.Snapshot().Histogram("lat")
 	if snap == nil {

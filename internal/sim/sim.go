@@ -86,12 +86,22 @@ type Simulator struct {
 	ctx     uint64
 }
 
+// NewRand returns a deterministic random source derived from seed. It is
+// the single audited construction point for randomness in sim-driven code
+// (see DESIGN.md "Determinism contract"): every component draws either
+// from the simulator's own source (Rand) or from a *rand.Rand built here,
+// so one seed determines the entire run and sttcp-vet's simdeterminism
+// analyzer can forbid rand construction everywhere else.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) //sttcp:allow simdeterminism this is the audited seeding point itself
+}
+
 // New returns a simulator whose clock reads Epoch and whose random source is
 // seeded with seed.
 func New(seed int64) *Simulator {
 	return &Simulator{
 		now: Epoch,
-		rng: rand.New(rand.NewSource(seed)),
+		rng: NewRand(seed),
 	}
 }
 

@@ -1,0 +1,29 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// The per-segment bookkeeping (noteEmit / noteReceived) is annotated
+// //sttcp:hotpath; this test is the dynamic half of that contract. The
+// trace-emission side of the segment path is deliberately excluded: it
+// formats strings and is gated behind tracer.Detail().
+func TestSegmentBookkeepingDoesNotAllocate(t *testing.T) {
+	reg := metrics.New(nil)
+	st := &Stack{
+		mSent:     reg.Counter("t/tcp", "tcp.segments_sent"),
+		mReceived: reg.Counter("t/tcp", "tcp.segments_received"),
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		st.noteEmit()
+		st.noteReceived()
+	}); n != 0 {
+		t.Fatalf("segment bookkeeping allocated %.1f times per run, want 0", n)
+	}
+	if st.Emitted == 0 || st.Received == 0 || st.mSent.Value() != st.Emitted {
+		t.Fatalf("bookkeeping lost counts: emitted=%d received=%d counter=%d",
+			st.Emitted, st.Received, st.mSent.Value())
+	}
+}

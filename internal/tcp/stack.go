@@ -328,6 +328,26 @@ func (st *Stack) listenerFor(addr ip.Addr, port uint16) *Listener {
 	return l
 }
 
+// noteEmit is the per-segment transmit bookkeeping shared by emit and
+// sendRSTFor. It runs once per simulated segment on every host, so it is
+// annotated hotpath (enforced by sttcp-vet) and asserted zero-alloc by
+// TestNoteEmitDoesNotAllocate.
+//
+//sttcp:hotpath
+func (st *Stack) noteEmit() {
+	st.Emitted++
+	st.mSent.Inc()
+}
+
+// noteReceived is the per-segment receive bookkeeping; same contract as
+// noteEmit.
+//
+//sttcp:hotpath
+func (st *Stack) noteReceived() {
+	st.Received++
+	st.mReceived.Inc()
+}
+
 // emit transmits a segment for conn through the IP layer. A stack whose
 // netstack is down (OS crash) transmits — and counts — nothing: timers
 // armed before the crash may still fire, and a dead machine putting
@@ -337,8 +357,7 @@ func (st *Stack) emit(c *Conn, seg *Segment) {
 	if st.ns.IsDown() {
 		return
 	}
-	st.Emitted++
-	st.mSent.Inc()
+	st.noteEmit()
 	if st.OnTransmit != nil {
 		st.OnTransmit(c, seg)
 	}
@@ -382,8 +401,7 @@ func (st *Stack) HandleSegment(pkt ip.Packet, seg Segment) {
 	if st.SegmentFilter != nil && !st.SegmentFilter(pkt, &seg) {
 		return
 	}
-	st.Received++
-	st.mReceived.Inc()
+	st.noteReceived()
 	if st.tracer.Detail() {
 		st.tracer.EmitValue(trace.KindSegmentRX, st.name+"/tcp", int64(seg.Seq),
 			"rx %v seq=%d ack=%d len=%d", seg.Flags, seg.Seq, seg.Ack, seg.SegLen())
@@ -444,8 +462,7 @@ func (st *Stack) sendRSTFor(pkt ip.Packet, seg *Segment) {
 		rst.Seq = seg.Ack
 		rst.Flags = FlagRST
 	}
-	st.Emitted++
-	st.mSent.Inc()
+	st.noteEmit()
 	raw := rst.Encode(pkt.Dst, pkt.Src)
 	_ = st.ns.SendIPFrom(pkt.Dst, pkt.Src, ip.ProtoTCP, raw)
 }
