@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet lint build test race bench timeline chaos chaos-smoke clean
+.PHONY: all check vet lint build test race bench bench-smoke timeline chaos chaos-smoke clean
 
 all: check
 
@@ -29,6 +29,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Reproducible capacity benchmark suite: segments/sec, failovers/sec, and
+# the 2,000-connection failover run. CI uploads BENCH.json as an artifact.
+bench-smoke:
+	$(GO) run ./cmd/sttcp-bench -bench-out BENCH.json
 
 # Render the Demo 1 failover anatomy: phase report plus ASCII span timeline.
 # The same view ships as a golden (internal/scenario/testdata/golden); after

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	sttcp-bench -exp demo2|demo3|hbcap|ablation|all [-seed 42] [-metrics-out m.json]
+//	sttcp-bench -bench-out BENCH.json   # reproducible capacity benchmark suite
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 )
@@ -30,10 +32,14 @@ func main() {
 
 func run() error {
 	exp := flag.String("exp", "all", "experiment: demo2, demo3, hbcap, ablation, or all")
-	seed := flag.Int64("seed", 42, "simulation seed")
+	seed := cliflags.Seed(42, "")
 	csvDir := flag.String("csv", "", "also write the series as CSV files into this directory")
-	metricsOut := flag.String("metrics-out", "", "write the last testbed run's metric snapshot as JSON to this file ('-' for stdout)")
+	metricsOut := cliflags.MetricsOut("the last testbed run")
+	benchOut := flag.String("bench-out", "", "run the reproducible capacity benchmark suite and write BENCH.json to this file ('-' for stdout)")
 	flag.Parse()
+	if *benchOut != "" {
+		return benchSuite(*benchOut, *seed)
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
@@ -66,7 +72,10 @@ func run() error {
 		}
 	}
 	if *metricsOut != "" {
-		if err := writeMetrics(*metricsOut); err != nil {
+		if lastSnapshot == nil {
+			return fmt.Errorf("-metrics-out: no testbed run produced a metric snapshot (did the selected -exp run one?)")
+		}
+		if err := cliflags.WriteMetrics(*metricsOut, lastSnapshot); err != nil {
 			return err
 		}
 	}
@@ -84,26 +93,6 @@ func noteSnapshot(s *metrics.Snapshot) {
 	if s != nil {
 		lastSnapshot = s
 	}
-}
-
-func writeMetrics(path string) error {
-	if lastSnapshot == nil {
-		return fmt.Errorf("-metrics-out: no testbed run produced a metric snapshot (did the selected -exp run one?)")
-	}
-	if path == "-" {
-		fmt.Println(lastSnapshot.String())
-		return nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("create %s: %w", path, err)
-	}
-	defer f.Close()
-	if err := lastSnapshot.WriteJSON(f); err != nil {
-		return err
-	}
-	fmt.Printf("\n(metric snapshot written to %s)\n", path)
-	return nil
 }
 
 func writeCSV(name string, write func(w *os.File) error) error {
@@ -167,10 +156,11 @@ func demo2Sweep(seed int64) error {
 	}
 
 	fmt.Println("\n   crash-phase distribution at hb=200ms (8 crash instants across one period):")
-	dist, err := experiment.RunDemo2Sampled(seed, 200*time.Millisecond, 8)
+	distRes, err := runDemo("demo2-dist", experiment.Params{Seed: seed, Samples: 8})
 	if err != nil {
 		return err
 	}
+	dist := distRes.Distribution
 	fmt.Printf("   detection: %v\n   failover:  %v\n", dist.Detection, dist.Failover)
 	fmt.Println("   (failover is quantised by the retransmission schedule, not by detection phase)")
 
@@ -210,14 +200,13 @@ func demo3Sweep(seed int64) error {
 func hbCapacitySweep() error {
 	fmt.Println("\n## §3 serial heartbeat capacity (115.2 kbit/s, 200 ms period)")
 	fmt.Printf("%-8s %-10s %-14s %-14s %s\n", "conns", "hb bytes", "mean interval", "max backlog", "saturated")
-	var series []experiment.SerialCapacityResult
-	for _, n := range []int{1, 10, 25, 50, 75, 100, 125, 150, 250} {
-		res, err := experiment.RunSerialCapacity(n, 200*time.Millisecond, 10*time.Second)
-		if err != nil {
-			return err
-		}
-		series = append(series, res)
-		fmt.Printf("%-8d %-10d %-14v %-14v %v\n", n, res.MessageBytes,
+	serialRes, err := runDemo("capacity", experiment.Params{})
+	if err != nil {
+		return err
+	}
+	series := serialRes.Capacity
+	for _, res := range series {
+		fmt.Printf("%-8d %-10d %-14v %-14v %v\n", res.Conns, res.MessageBytes,
 			res.MeanInterval.Round(time.Millisecond), res.MaxQueueDelay.Round(time.Millisecond), res.Saturated)
 	}
 	if err := writeCSV("hbcap.csv", func(f *os.File) error {
@@ -227,12 +216,15 @@ func hbCapacitySweep() error {
 	}
 	fmt.Println("\n   same load over a crossover 100 Mbit/s Ethernet heartbeat link (§3's advice):")
 	fmt.Printf("%-8s %-14s %-14s %s\n", "conns", "mean interval", "max backlog", "saturated")
-	for _, n := range []int{100, 250, 1000, 3500} {
-		res, err := experiment.RunHBLinkCapacity(n, 200*time.Millisecond, 10*time.Second, 100_000_000)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-8d %-14v %-14v %v\n", n,
+	ethRes, err := runDemo("capacity", experiment.Params{
+		ConnCounts:        []int{100, 250, 1000, 3500},
+		LinkBitsPerSecond: 100_000_000,
+	})
+	if err != nil {
+		return err
+	}
+	for _, res := range ethRes.Capacity {
+		fmt.Printf("%-8d %-14v %-14v %v\n", res.Conns,
 			res.MeanInterval.Round(time.Millisecond), res.MaxQueueDelay.Round(time.Millisecond), res.Saturated)
 	}
 	return nil
@@ -240,14 +232,11 @@ func hbCapacitySweep() error {
 
 func ablations(seed int64) error {
 	fmt.Println("\n## Ablation: backup NIC load — enhanced HB state exchange vs pre-enhancement tap (§3)")
-	enhanced, err := experiment.RunBackupNICLoad(seed, false)
+	nicRes, err := runDemo("nicload", experiment.Params{Seed: seed})
 	if err != nil {
 		return err
 	}
-	old, err := experiment.RunBackupNICLoad(seed, true)
-	if err != nil {
-		return err
-	}
+	enhanced, old := nicRes.NICLoad[0].BackupRxBytes, nicRes.NICLoad[1].BackupRxBytes
 	fmt.Printf("%-28s %8d KB received at backup NIC\n", "enhanced (HB state)", enhanced>>10)
 	fmt.Printf("%-28s %8d KB received at backup NIC (%.1fx)\n", "old (tap both directions)", old>>10, float64(old)/float64(enhanced))
 
@@ -265,13 +254,13 @@ func ablations(seed int64) error {
 	fmt.Printf("%-28s failover %v\n", "eager retransmit extension", eager.Failovers[0].FailoverTime.Round(time.Millisecond))
 
 	fmt.Println("\n## Extension: output-commit logger (§4.3's unrecoverable case)")
-	for _, withLogger := range []bool{false, true} {
-		res, err := experiment.RunOutputCommit(seed+19, withLogger)
-		if err != nil {
-			return err
-		}
+	ocRes, err := runDemo("output-commit", experiment.Params{Seed: seed + 19})
+	if err != nil {
+		return err
+	}
+	for _, res := range ocRes.OutputCommit {
 		name := "without logger"
-		if withLogger {
+		if res.WithLogger {
 			name = "with logger"
 		}
 		outcome := fmt.Sprintf("wedged after %d/800 rounds (unrecoverable)", res.RoundsDone)

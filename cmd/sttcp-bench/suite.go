@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// The -bench-out suite: three reproducible capacity benchmarks whose
+// virtual-time figures are deterministic per seed, annotated with the
+// wall-clock rates this machine achieved. CI runs it as a smoke job and
+// uploads BENCH.json as an artifact.
+//
+// Wall-clock timing here is deliberate and safe: this package drives the
+// simulator only through the experiment registry, so real time never
+// leaks into an event loop — it only measures how fast the loop ran.
+
+type benchReport struct {
+	Seed       int64           `json:"seed"`
+	GoVersion  string          `json:"go_version"`
+	NumCPU     int             `json:"num_cpu"`
+	Throughput throughputBench `json:"segment_throughput"`
+	Failover   failoverBench   `json:"failover_rate"`
+	Scale      scaleBench      `json:"conns_at_scale"`
+}
+
+type throughputBench struct {
+	TransferBytes  int64   `json:"transfer_bytes"`
+	Segments       int64   `json:"segments"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SegmentsPerSec float64 `json:"segments_per_sec"`
+}
+
+type failoverBench struct {
+	Runs            int     `json:"runs"`
+	HBPeriodMS      float64 `json:"hb_period_ms"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	FailoversPerSec float64 `json:"failovers_per_sec"`
+	MeanDetectionMS float64 `json:"mean_detection_ms"`
+	MeanFailoverMS  float64 `json:"mean_failover_ms"`
+}
+
+type scaleBench struct {
+	Conns          int     `json:"conns"`
+	BytesPerClient int64   `json:"bytes_per_client"`
+	TookOver       bool    `json:"took_over"`
+	ClientsDone    int     `json:"clients_done"`
+	VerifyFailures int64   `json:"verify_failures"`
+	DetectionMS    float64 `json:"detection_ms"`
+	MaxStallMS     float64 `json:"max_stall_ms"`
+	Segments       int64   `json:"segments"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SegmentsPerSec float64 `json:"segments_per_sec"`
+}
+
+func benchSuite(path string, seed int64) error {
+	rep := benchReport{Seed: seed, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+
+	fmt.Println("## bench suite: segment throughput (demo3, 32 MiB failure-free)")
+	start := time.Now()
+	res, err := runDemo("demo3", experiment.Params{Seed: seed, Size: 32 << 20})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	segs := res.Overhead.Metrics.CounterTotal("tcp.segments_sent")
+	rep.Throughput = throughputBench{
+		TransferBytes:  32 << 20,
+		Segments:       segs,
+		WallSeconds:    wall,
+		SegmentsPerSec: float64(segs) / wall,
+	}
+	fmt.Printf("   %d segments in %.2fs wall → %.0f segments/s\n", segs, wall, rep.Throughput.SegmentsPerSec)
+
+	fmt.Println("\n## bench suite: failover rate (repeated demo2 crashes at hb=200ms)")
+	const runs = 8
+	period := []time.Duration{200 * time.Millisecond}
+	var detSum, failSum time.Duration
+	start = time.Now()
+	for i := 0; i < runs; i++ {
+		r, err := runDemo("demo2", experiment.Params{Seed: seed + int64(i), Periods: period})
+		if err != nil {
+			return err
+		}
+		detSum += r.Failovers[0].DetectionTime
+		failSum += r.Failovers[0].FailoverTime
+	}
+	wall = time.Since(start).Seconds()
+	rep.Failover = failoverBench{
+		Runs:            runs,
+		HBPeriodMS:      200,
+		WallSeconds:     wall,
+		FailoversPerSec: runs / wall,
+		MeanDetectionMS: float64(detSum.Milliseconds()) / runs,
+		MeanFailoverMS:  float64(failSum.Milliseconds()) / runs,
+	}
+	fmt.Printf("   %d failovers in %.2fs wall → %.2f failovers/s (mean detect %.0fms, mean failover %.0fms)\n",
+		runs, wall, rep.Failover.FailoversPerSec, rep.Failover.MeanDetectionMS, rep.Failover.MeanFailoverMS)
+
+	fmt.Println("\n## bench suite: 2,000 connections across a primary crash")
+	start = time.Now()
+	res, err = runDemo("scale", experiment.Params{Seed: seed, Conns: 2000, Size: 32 << 10})
+	if err != nil {
+		return err
+	}
+	wall = time.Since(start).Seconds()
+	sc := res.Scale
+	rep.Scale = scaleBench{
+		Conns:          sc.Conns,
+		BytesPerClient: sc.BytesPerClient,
+		TookOver:       sc.TookOver,
+		ClientsDone:    sc.ClientsDone,
+		VerifyFailures: sc.VerifyFailures,
+		DetectionMS:    float64(sc.DetectionTime.Milliseconds()),
+		MaxStallMS:     float64(sc.MaxStall.Milliseconds()),
+		Segments:       sc.SegmentsEmitted,
+		VirtualSeconds: sc.VirtualElapsed.Seconds(),
+		WallSeconds:    wall,
+		SegmentsPerSec: float64(sc.SegmentsEmitted) / wall,
+	}
+	fmt.Printf("   %d/%d clients done, verify failures %d, detect %v, max stall %v\n",
+		sc.ClientsDone, sc.Conns, sc.VerifyFailures, sc.DetectionTime.Round(time.Millisecond), sc.MaxStall.Round(time.Millisecond))
+	fmt.Printf("   %d segments, %.2fs virtual in %.2fs wall → %.0f segments/s\n",
+		sc.SegmentsEmitted, rep.Scale.VirtualSeconds, wall, rep.Scale.SegmentsPerSec)
+	if !sc.TookOver || sc.VerifyFailures != 0 || sc.ClientsDone != sc.Conns {
+		return fmt.Errorf("bench suite: scale run unhealthy: took_over=%v clients=%d/%d verify_failures=%d",
+			sc.TookOver, sc.ClientsDone, sc.Conns, sc.VerifyFailures)
+	}
+
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("\n(benchmark report written to %s)\n", path)
+	}
+	return nil
+}

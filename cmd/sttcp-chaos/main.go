@@ -24,18 +24,18 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/chaos"
-	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		seed         = flag.Int64("seed", 1, "base seed; run i uses seed+i")
+		seed         = cliflags.Seed(1, "run i uses seed+i")
 		runs         = flag.Int("runs", 100, "number of schedules to run (0 with -wall: unlimited)")
 		wall         = flag.Duration("wall", 0, "stop starting new runs after this much real time (0: no limit)")
 		shrinkBudget = flag.Int("shrink-budget", 50, "max re-executions the shrinker may spend on a failure")
-		metricsOut   = flag.String("metrics-out", "", "write the last run's metrics snapshot as JSON to this file (\"-\" for stdout)")
-		traceOut     = flag.String("trace-out", "", "write the last (or first failing) run's span trace as Chrome trace-event JSON to this file")
+		metricsOut   = cliflags.MetricsOut("the last run")
+		traceOut     = cliflags.TraceOut("the last (or first failing) run")
 		traceDetail  = flag.Bool("trace-detail", false, "record per-segment trace events and spans (heavier; pairs well with -trace-out)")
 		flightRec    = flag.Int("flight-recorder", 0, "bound trace memory to roughly N spans, keeping pinned failure windows (0: unbounded)")
 		verbose      = flag.Bool("v", false, "print every schedule and its outcome")
@@ -112,17 +112,11 @@ func main() {
 // on failure the failing run's, otherwise the campaign's last run (the
 // artifact CI uploads from the chaos smoke).
 func writeTrace(path string, res *chaos.RunResult) {
-	if path == "" || res == nil || res.Trace == nil {
+	if path == "" || res == nil {
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := cliflags.WriteChromeTrace(path, res.Trace); err != nil {
 		fmt.Fprintf(os.Stderr, "sttcp-chaos: %v\n", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	if err := res.Trace.WriteChromeTrace(f, sim.Epoch); err != nil {
-		fmt.Fprintf(os.Stderr, "sttcp-chaos: write trace: %v\n", err)
 		os.Exit(1)
 	}
 }
@@ -131,18 +125,8 @@ func writeMetrics(path string, res *chaos.RunResult) {
 	if path == "" || res == nil {
 		return
 	}
-	out := os.Stdout
-	if path != "-" {
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sttcp-chaos: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		out = f
-	}
-	if err := res.Metrics.WriteJSON(out); err != nil {
-		fmt.Fprintf(os.Stderr, "sttcp-chaos: write metrics: %v\n", err)
+	if err := cliflags.WriteMetrics(path, res.Metrics); err != nil {
+		fmt.Fprintf(os.Stderr, "sttcp-chaos: %v\n", err)
 		os.Exit(1)
 	}
 }

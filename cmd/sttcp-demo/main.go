@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -36,19 +37,26 @@ func main() {
 }
 
 func run() error {
-	demo := flag.String("demo", "all", "demonstration to run: a registry name (demo1..demo5, demo2-upload), a bare number 1..5, or 'all'")
-	seed := flag.Int64("seed", 42, "simulation seed")
+	demo := flag.String("demo", "all", "demonstration to run: a registry name (demo1..demo5, demo2-upload, capacity, scale, ...), a bare number 1..5, or 'all'")
+	seed := cliflags.Seed(42, "")
 	eager := flag.Bool("eager", false, "enable the eager-retransmit takeover extension where applicable")
 	showTrace := flag.Bool("trace", false, "dump the event trace after each demo")
 	jsonPath := flag.String("json", "", "write demo1's ST-TCP event trace as JSON to this file")
-	metricsOut := flag.String("metrics-out", "", "write the final demo's metric snapshot as JSON to this file ('-' for stdout)")
-	traceOut := flag.String("trace-out", "", "write the final demo's causal span trace as Chrome trace-event JSON (load in ui.perfetto.dev)")
+	metricsOut := cliflags.MetricsOut("the final demo")
+	traceOut := cliflags.TraceOut("the final demo")
 	timeline := flag.Bool("timeline", false, "render each failover's span timeline and phase anatomy")
 	flag.Parse()
 
 	var selected []experiment.Demo
 	if *demo == "all" {
-		selected = experiment.Demos()
+		// 'all' means the paper's demonstrations; the extended studies
+		// (capacity sweeps, the 2,000-connection scale run, ...) are heavy
+		// and run only when named explicitly or through sttcp-bench.
+		for _, d := range experiment.Demos() {
+			if !d.Extended {
+				selected = append(selected, d)
+			}
+		}
 	} else {
 		name := *demo
 		if len(name) == 1 && name >= "1" && name <= "5" {
@@ -89,15 +97,11 @@ func run() error {
 			lastTracer = t
 		}
 	}
-	if *metricsOut != "" {
-		if err := writeMetrics(*metricsOut, lastSnapshot); err != nil {
-			return err
-		}
+	if err := cliflags.WriteMetrics(*metricsOut, lastSnapshot); err != nil {
+		return err
 	}
-	if *traceOut != "" {
-		if err := writeChromeTrace(*traceOut, lastTracer); err != nil {
-			return err
-		}
+	if err := cliflags.WriteChromeTrace(*traceOut, lastTracer); err != nil {
+		return err
 	}
 	return nil
 }
@@ -111,22 +115,6 @@ func resultTracer(res experiment.Result) *trace.Recorder {
 	if n := len(res.Failovers); n > 0 {
 		return res.Failovers[n-1].Tracer
 	}
-	return nil
-}
-
-func writeChromeTrace(path string, tracer *trace.Recorder) error {
-	if tracer == nil {
-		return fmt.Errorf("-trace-out: the selected demo produced no trace (demo3 records none)")
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("create %s: %w", path, err)
-	}
-	defer f.Close()
-	if err := tracer.WriteChromeTrace(f, sim.Epoch); err != nil {
-		return err
-	}
-	fmt.Printf("\n(span trace written to %s — load it in ui.perfetto.dev or chrome://tracing)\n", path)
 	return nil
 }
 
@@ -166,6 +154,53 @@ func printResult(d experiment.Demo, res experiment.Result, showTrace, timeline b
 		fmt.Printf("%-20s %v\n", "ST-TCP enabled:", o.WithSTTCP.Round(time.Millisecond))
 		fmt.Printf("%-20s %v\n", "ST-TCP disabled:", o.WithoutTCP.Round(time.Millisecond))
 		fmt.Printf("%-20s %.3f%%\n", "overhead:", o.OverheadPct)
+	case res.Scale != nil:
+		s := res.Scale
+		fmt.Printf("%d connections × %d KiB each; primary crash=%v\n\n", s.Conns, s.BytesPerClient>>10, s.Crashed)
+		fmt.Printf("%-22s %v\n", "backup took over:", s.TookOver)
+		fmt.Printf("%-22s %d (pattern-verify failures: %d)\n", "clients completed:", s.ClientsDone, s.VerifyFailures)
+		fmt.Printf("%-22s %d MiB in %v virtual\n", "payload:", s.TotalBytes>>20, s.VirtualElapsed.Round(time.Millisecond))
+		fmt.Printf("%-22s %v\n", "detection:", s.DetectionTime.Round(time.Millisecond))
+		fmt.Printf("%-22s %v\n", "max client stall:", s.MaxStall.Round(time.Millisecond))
+		fmt.Printf("%-22s %d\n", "segments emitted:", s.SegmentsEmitted)
+	case len(res.Capacity) > 0:
+		fmt.Printf("%-8s %-10s %-14s %-14s %s\n", "conns", "hb bytes", "mean interval", "max backlog", "saturated")
+		for _, r := range res.Capacity {
+			fmt.Printf("%-8d %-10d %-14v %-14v %v\n", r.Conns, r.MessageBytes,
+				r.MeanInterval.Round(time.Millisecond), r.MaxQueueDelay.Round(time.Millisecond), r.Saturated)
+		}
+	case res.Distribution != nil:
+		fmt.Printf("crash-phase sweep at hb=%v\n", res.Distribution.HBPeriod)
+		fmt.Printf("%-12s %v\n", "detection:", res.Distribution.Detection)
+		fmt.Printf("%-12s %v\n", "failover:", res.Distribution.Failover)
+	case len(res.OutputCommit) > 0:
+		for _, r := range res.OutputCommit {
+			name := "without logger"
+			if r.WithLogger {
+				name = "with logger"
+			}
+			outcome := fmt.Sprintf("wedged after %d rounds (unrecoverable)", r.RoundsDone)
+			if r.ClientDone {
+				outcome = fmt.Sprintf("all %d rounds completed (%d recovery datagrams)", r.RoundsDone, r.LoggerServed)
+			}
+			fmt.Printf("%-16s takeover=%v  %s\n", name, r.TookOver, outcome)
+		}
+	case len(res.Witness) > 0:
+		for _, r := range res.Witness {
+			arb := "pairwise (no witness)"
+			if r.WithWitness {
+				arb = "witness majority"
+			}
+			fmt.Printf("%-24s resolved the partition in %v\n", arb, r.Resolution.Round(time.Millisecond))
+		}
+	case len(res.NICLoad) > 0:
+		for _, r := range res.NICLoad {
+			mode := "enhanced (HB state exchange)"
+			if r.TapBothDirections {
+				mode = "old (tap both directions)"
+			}
+			fmt.Printf("%-30s %8d KB at the backup NIC\n", mode, r.BackupRxBytes>>10)
+		}
 	case len(res.NIC) > 0:
 		for _, r := range res.NIC {
 			where, action := "backup", "primary entered non-fault-tolerant mode"
@@ -237,25 +272,5 @@ func writeTraceJSON(path string, res experiment.Result) error {
 		return err
 	}
 	fmt.Printf("\n(event trace written to %s)\n", path)
-	return nil
-}
-
-func writeMetrics(path string, snap *metrics.Snapshot) error {
-	if snap == nil {
-		return fmt.Errorf("no metric snapshot was produced")
-	}
-	if path == "-" {
-		fmt.Println(snap.String())
-		return nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("create %s: %w", path, err)
-	}
-	defer f.Close()
-	if err := snap.WriteJSON(f); err != nil {
-		return err
-	}
-	fmt.Printf("\n(metric snapshot written to %s)\n", path)
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -36,7 +37,7 @@ func main() {
 func run() error {
 	showTrace := flag.Bool("trace", false, "dump the full event trace after the run")
 	timeline := flag.Bool("timeline", false, "render the run's causal span timeline")
-	traceOut := flag.String("trace-out", "", "write the run's span trace as Chrome trace-event JSON (load in ui.perfetto.dev)")
+	traceOut := cliflags.TraceOut("the run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: sttcp-lab [-trace] [-timeline] [-trace-out FILE] <script.sttcp | ->")
@@ -88,19 +89,8 @@ func run() error {
 		fmt.Println()
 		fmt.Print(res.Tracer.RenderSpanTimeline(trace.TimelineOptions{Width: 100, Epoch: sim.Epoch}))
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
-		}
-		if err := res.Tracer.WriteChromeTrace(f, sim.Epoch); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("\n(span trace written to %s — load it in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	if err := cliflags.WriteChromeTrace(*traceOut, res.Tracer); err != nil {
+		return err
 	}
 	if failed > 0 || len(res.Errors) > 0 {
 		return fmt.Errorf("%d expectation(s) failed, %d injection error(s)", failed, len(res.Errors))

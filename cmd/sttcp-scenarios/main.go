@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/internal/experiment"
 	"repro/internal/sttcp"
 )
@@ -23,7 +24,7 @@ func main() {
 }
 
 func run() error {
-	seed := flag.Int64("seed", 42, "simulation seed")
+	seed := cliflags.Seed(42, "scenario i runs at seed+i")
 	showTrace := flag.Bool("trace", false, "dump the event trace per scenario")
 	flag.Parse()
 

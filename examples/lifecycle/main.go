@@ -46,8 +46,11 @@ func run() error {
 	lc := experiment.NewLifecycle(tb)
 	for gen := 1; gen <= 3; gen++ {
 		primary := lc.PrimaryHost().Name()
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(),
-			experiment.ServiceAddr, experiment.ServicePort, 4<<20, tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: tb.Client.TCP(),
+			Service: experiment.ServiceAddr, Port: experiment.ServicePort,
+			Request: 4 << 20, Tracer: tb.Tracer,
+		})
 		if err := cl.Start(); err != nil {
 			return err
 		}

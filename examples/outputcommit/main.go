@@ -33,13 +33,17 @@ func run() error {
 	fmt.Println("scenario: 300ms fault on the backup's link; primary crashes 250ms into it,")
 	fmt.Println("after acknowledging client bytes the backup never received.")
 	fmt.Println()
-	for _, withLogger := range []bool{false, true} {
-		res, err := experiment.RunOutputCommit(61, withLogger)
-		if err != nil {
-			return err
-		}
+	demo, ok := experiment.DemoByName("output-commit")
+	if !ok {
+		return fmt.Errorf("output-commit demo is not registered")
+	}
+	ocRes, err := demo.Run(experiment.Params{Seed: 61})
+	if err != nil {
+		return err
+	}
+	for _, res := range ocRes.OutputCommit {
 		name := "without logger"
-		if withLogger {
+		if res.WithLogger {
 			name = "with logger   "
 		}
 		status := fmt.Sprintf("WEDGED after %d/800 echo rounds (unrecoverable, as §4.3 states)", res.RoundsDone)

@@ -44,8 +44,11 @@ func run() error {
 
 	// 3. A client downloads 8 MiB from the service address.
 	const size = 8 << 20
-	client := app.NewStreamClient("client/app", tb.Client.TCP(),
-		experiment.ServiceAddr, experiment.ServicePort, size, tb.Tracer)
+	client := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: experiment.ServiceAddr, Port: experiment.ServicePort,
+		Request: size, Tracer: tb.Tracer,
+	})
 	if err := client.Start(); err != nil {
 		return err
 	}

@@ -1,0 +1,28 @@
+// The sweep boundary: a package whose import path ends in
+// internal/sweep may spawn goroutines even though it imports
+// internal/sim — it is the audited fan-out point where sealed
+// simulations run on a worker pool. Wall-clock and randomness rules
+// are NOT relaxed here: only the goroutine rule has the carve-out.
+package sweep
+
+import (
+	"math/rand"
+	"time"
+
+	"example.com/vet/internal/sim"
+)
+
+func fanOut(seeds []int64) {
+	for range seeds {
+		go func() { // goroutines are legal at the sweep boundary
+			var s sim.Simulator
+			s.Schedule(1, func() {})
+		}()
+	}
+}
+
+func stillNoWallClock() {
+	_ = time.Now()                   // want `time\.Now in sim-driven code`
+	r := rand.New(rand.NewSource(1)) // want `rand\.New outside the audited seeding point` `rand\.NewSource outside the audited seeding point`
+	_ = r.Intn(2)
+}

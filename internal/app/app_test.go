@@ -94,7 +94,11 @@ func TestDataServerServesRequest(t *testing.T) {
 	l.OnEstablished = srv.Accept
 
 	const size = 256 << 10
-	cl := NewStreamClient("client/app", f.client, addrServer, 80, size, f.tracer)
+	cl := NewStreamClient(ClientConfig{
+		Name: "client/app", Stack: f.client,
+		Service: addrServer, Port: 80,
+		Request: size, Tracer: f.tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("start: %v", err)
 	}
@@ -174,7 +178,11 @@ func TestDataServerCrashSilentStopsActivity(t *testing.T) {
 	srv := NewDataServer("server/app", f.tracer)
 	l, _ := f.server.Listen(addrServer, 80)
 	l.OnEstablished = srv.Accept
-	cl := NewStreamClient("client/app", f.client, addrServer, 80, 64<<20, f.tracer)
+	cl := NewStreamClient(ClientConfig{
+		Name: "client/app", Stack: f.client,
+		Service: addrServer, Port: 80,
+		Request: 64 << 20, Tracer: f.tracer,
+	})
 	_ = cl.Start()
 	_ = f.sim.Run(500 * time.Millisecond)
 	srv.CrashSilent()
@@ -201,7 +209,11 @@ func TestDataServerCrashCleanupClosesConns(t *testing.T) {
 	srv := NewDataServer("server/app", f.tracer)
 	l, _ := f.server.Listen(addrServer, 80)
 	l.OnEstablished = srv.Accept
-	cl := NewStreamClient("client/app", f.client, addrServer, 80, 64<<20, f.tracer)
+	cl := NewStreamClient(ClientConfig{
+		Name: "client/app", Stack: f.client,
+		Service: addrServer, Port: 80,
+		Request: 64 << 20, Tracer: f.tracer,
+	})
 	_ = cl.Start()
 	_ = f.sim.Run(500 * time.Millisecond)
 	if srv.ActiveConns() != 1 {
@@ -257,7 +269,11 @@ func TestEchoClientGapPacing(t *testing.T) {
 
 func TestMaxGapComputation(t *testing.T) {
 	f := newFixture(t, 8)
-	cl := NewStreamClient("c", f.client, addrServer, 80, 100, f.tracer)
+	cl := NewStreamClient(ClientConfig{
+		Name: "c", Stack: f.client,
+		Service: addrServer, Port: 80,
+		Request: 100, Tracer: f.tracer,
+	})
 	base := f.sim.Now()
 	cl.Samples = []ProgressSample{
 		{Time: base.Add(100 * time.Millisecond), Bytes: 10},

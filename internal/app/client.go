@@ -51,18 +51,35 @@ type StreamClient struct {
 
 	started  time.Time
 	finished time.Time
+	readBuf  []byte
+}
+
+// ClientConfig configures a StreamClient. Name, Stack, Service, Port,
+// and Request are required; Tracer may be nil.
+type ClientConfig struct {
+	// Name is the client's trace name ("client/app").
+	Name string
+	// Stack is the host TCP stack the client dials from.
+	Stack *tcp.Stack
+	// Service and Port address the ST-TCP service.
+	Service ip.Addr
+	Port    uint16
+	// Request is how many bytes to ask for.
+	Request int64
+	// Tracer receives progress and completion events; nil disables them.
+	Tracer *trace.Recorder
 }
 
 // NewStreamClient builds a client on the given host TCP stack.
-func NewStreamClient(name string, stack *tcp.Stack, service ip.Addr, port uint16, request int64, tracer *trace.Recorder) *StreamClient {
+func NewStreamClient(cfg ClientConfig) *StreamClient {
 	return &StreamClient{
-		sim:     stack.Sim(),
-		stack:   stack,
-		tracer:  tracer,
-		name:    name,
-		service: service,
-		port:    port,
-		Request: request,
+		sim:     cfg.Stack.Sim(),
+		stack:   cfg.Stack,
+		tracer:  cfg.Tracer,
+		name:    cfg.Name,
+		service: cfg.Service,
+		port:    cfg.Port,
+		Request: cfg.Request,
 	}
 }
 
@@ -104,7 +121,10 @@ func (cl *StreamClient) readable() {
 	if cl.Done || cl.conn == nil {
 		return
 	}
-	buf := make([]byte, 32<<10)
+	if cl.readBuf == nil {
+		cl.readBuf = make([]byte, 32<<10)
+	}
+	buf := cl.readBuf
 	for {
 		n, err := cl.conn.Read(buf)
 		if n > 0 {

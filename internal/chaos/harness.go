@@ -672,8 +672,11 @@ func (h *harness) startClient(ev Event) {
 		}
 		rec.ec = ec
 	} else {
-		dl := app.NewStreamClient(name, h.tb.Client.TCP(), experiment.ServiceAddr, experiment.ServicePort,
-			h.sc.Bytes, h.tb.Tracer)
+		dl := app.NewStreamClient(app.ClientConfig{
+			Name: name, Stack: h.tb.Client.TCP(),
+			Service: experiment.ServiceAddr, Port: experiment.ServicePort,
+			Request: h.sc.Bytes, Tracer: h.tb.Tracer,
+		})
 		if err := dl.Start(); err != nil {
 			h.skip(ev, err.Error())
 			return

@@ -102,17 +102,34 @@ type Frame struct {
 
 // Encode serialises the frame, appending the CRC-32 FCS.
 func (f *Frame) Encode() ([]byte, error) {
+	return f.AppendEncode(nil)
+}
+
+// AppendEncode serialises the frame onto dst, reusing its capacity when
+// possible, and returns the extended slice. The hot transmit path passes a
+// per-NIC scratch buffer here so steady-state traffic encodes without
+// allocating.
+func (f *Frame) AppendEncode(dst []byte) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(f.Payload))
 	}
-	buf := make([]byte, HeaderLen+len(f.Payload)+FCSLen)
+	total := HeaderLen + len(f.Payload) + FCSLen
+	base := len(dst)
+	if cap(dst)-base < total {
+		grown := make([]byte, base+total)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:base+total]
+	}
+	buf := dst[base:]
 	copy(buf[0:], f.Dst[:])
 	copy(buf[AddrLen:], f.Src[:])
 	binary.BigEndian.PutUint16(buf[2*AddrLen:], uint16(f.Type))
 	copy(buf[HeaderLen:], f.Payload)
 	fcs := crc32.ChecksumIEEE(buf[:HeaderLen+len(f.Payload)])
 	binary.BigEndian.PutUint32(buf[HeaderLen+len(f.Payload):], fcs)
-	return buf, nil
+	return dst, nil
 }
 
 // Decode parses buf into a frame, verifying the FCS. The returned frame's

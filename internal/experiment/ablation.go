@@ -7,18 +7,30 @@ import (
 	"repro/internal/app"
 )
 
-// RunBackupNICLoad measures the backup NIC's receive volume during a
+// NICLoadResult is one arm of the "nicload" registry demo: the backup
+// NIC's receive volume under one tap topology.
+type NICLoadResult struct {
+	TapBothDirections bool
+	BackupRxBytes     int64
+}
+
+// runBackupNICLoad measures the backup NIC's receive volume during a
 // 16 MiB failure-free download, either with the enhanced design (§3: the
 // backup receives only client→server traffic plus heartbeats) or with the
 // pre-enhancement tap in which primary→client traffic also reaches the
-// backup's NIC — the overload that motivated the design change.
-func RunBackupNICLoad(seed int64, tapBothDirections bool) (int64, error) {
+// backup's NIC — the overload that motivated the design change. Reached
+// through the "nicload" registry demo.
+func runBackupNICLoad(seed int64, tapBothDirections bool) (int64, error) {
 	tb := Build(Options{Seed: seed, TapBothDirections: tapBothDirections})
 	if err := tb.StartSTTCP(0, nil); err != nil {
 		return 0, err
 	}
 	attachDataServers(tb)
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 16<<20, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 16 << 20, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		return 0, err
 	}

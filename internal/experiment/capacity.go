@@ -26,19 +26,19 @@ type SerialCapacityResult struct {
 	EffectiveBitsS float64
 }
 
-// RunSerialCapacity drives one side of a 115.2 kbit/s serial pair with
+// runSerialCapacity drives one side of a 115.2 kbit/s serial pair with
 // heartbeats describing n connections for the given duration and measures
 // queueing: once serialization time exceeds the period, heartbeats back up
-// and the link is saturated.
-func RunSerialCapacity(n int, period, runFor time.Duration) (SerialCapacityResult, error) {
-	return RunHBLinkCapacity(n, period, runFor, serial.DefaultBitsPerSecond)
+// and the link is saturated. Reached through the "capacity" registry demo.
+func runSerialCapacity(n int, period, runFor time.Duration) (SerialCapacityResult, error) {
+	return runHBLinkCapacity(n, period, runFor, serial.DefaultBitsPerSecond)
 }
 
-// RunHBLinkCapacity generalises the capacity experiment to any
+// runHBLinkCapacity generalises the capacity experiment to any
 // point-to-point link rate; §3 recommends a crossover 10/100 Mbit/s
 // Ethernet cable instead of RS-232 when more than ~100 connections are
 // expected, and this shows why.
-func RunHBLinkCapacity(n int, period, runFor time.Duration, bitsPerSecond int64) (SerialCapacityResult, error) {
+func runHBLinkCapacity(n int, period, runFor time.Duration, bitsPerSecond int64) (SerialCapacityResult, error) {
 	s := sim.New(1)
 	pa, pb := serial.NewPair(s, "primary/hb0", "backup/hb0", bitsPerSecond)
 

@@ -134,7 +134,11 @@ func runDemo1(seed int64, transferSize int64, crashAfter time.Duration, detail b
 		return out, err
 	}
 	attachDataServers(tb)
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, transferSize, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: transferSize, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		return out, err
 	}
@@ -218,7 +222,11 @@ func runDemo2(seed int64, periods []time.Duration, eager, detail bool) ([]Failov
 		}
 		attachDataServers(tb)
 		const transferSize = 32 << 20
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, transferSize, tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: transferSize, Tracer: tb.Tracer,
+		})
 		if err := cl.Start(); err != nil {
 			return nil, err
 		}
@@ -315,7 +323,11 @@ func runDemo3(seed int64, size int64) (Demo3Result, error) {
 		return out, err
 	}
 	attachDataServers(tb)
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, size, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: size, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		return out, err
 	}
@@ -337,7 +349,11 @@ func runDemo3(seed int64, size int64) (Demo3Result, error) {
 		return out, err
 	}
 	l.OnEstablished = srv.Accept
-	cl2 := app.NewStreamClient("client/app", tb2.Client.TCP(), ServiceAddr, ServicePort, size, tb2.Tracer)
+	cl2 := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb2.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: size, Tracer: tb2.Tracer,
+	})
 	if err := cl2.Start(); err != nil {
 		return out, err
 	}
@@ -395,7 +411,11 @@ func runDemo4(seed int64, mode AppCrashMode, detail bool) (FailoverResult, error
 	apps := attachDataServers(tb)
 
 	const transferSize = 32 << 20
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, transferSize, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: transferSize, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		return FailoverResult{}, err
 	}

@@ -44,7 +44,11 @@ func TestClientAbortNoFailover(t *testing.T) {
 		t.Fatalf("start: %v", err)
 	}
 	attachDataServers(tb)
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 64<<20, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 64 << 20, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client: %v", err)
 	}
@@ -104,7 +108,11 @@ func TestFailoverDuringHandshake(t *testing.T) {
 	attachDataServers(tb)
 	// Crash the primary ~1ms after the dial: SYN, announcement, and
 	// SYN-ACK have flown; the request may or may not have.
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 1<<20, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 1 << 20, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client: %v", err)
 	}
@@ -129,7 +137,11 @@ func TestNewConnectionsAfterTakeover(t *testing.T) {
 		t.Fatalf("start: %v", err)
 	}
 	attachDataServers(tb)
-	first := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 2<<20, tb.Tracer)
+	first := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 2 << 20, Tracer: tb.Tracer,
+	})
 	if err := first.Start(); err != nil {
 		t.Fatalf("first client: %v", err)
 	}
@@ -137,7 +149,11 @@ func TestNewConnectionsAfterTakeover(t *testing.T) {
 
 	var second *app.StreamClient
 	tb.Sim.Schedule(3*time.Second, func() {
-		second = app.NewStreamClient("client/app2", tb.Client.TCP(), ServiceAddr, ServicePort, 2<<20, tb.Tracer)
+		second = app.NewStreamClient(app.ClientConfig{
+			Name: "client/app2", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: 2 << 20, Tracer: tb.Tracer,
+		})
 		if err := second.Start(); err != nil {
 			t.Errorf("second client: %v", err)
 		}
@@ -176,7 +192,11 @@ func TestConnectionChurnThenFailover(t *testing.T) {
 		if i >= 10 {
 			return
 		}
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 64<<10, tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: 64 << 10, Tracer: tb.Tracer,
+		})
 		cl.OnDone = func(err error) {
 			if err != nil {
 				t.Errorf("churn client %d: %v", i, err)
@@ -201,7 +221,11 @@ func TestConnectionChurnThenFailover(t *testing.T) {
 	}
 
 	// Now a live transfer across a crash.
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 4<<20, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 4 << 20, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("final client: %v", err)
 	}
@@ -222,7 +246,11 @@ func TestTakeoverStateIntrospection(t *testing.T) {
 		t.Fatalf("start: %v", err)
 	}
 	attachDataServers(tb)
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 8<<20, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 8 << 20, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client: %v", err)
 	}

@@ -118,7 +118,11 @@ func (lc *Lifecycle) Reintegrate(newApp func(name string) func(*tcp.Conn)) error
 // RunTransfer starts one verified download against the service and runs
 // the simulation until it completes or deadline passes.
 func (lc *Lifecycle) RunTransfer(size int64, deadline time.Duration) (*app.StreamClient, error) {
-	cl := app.NewStreamClient("client/app", lc.tb.Client.TCP(), ServiceAddr, ServicePort, size, lc.tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: lc.tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: size, Tracer: lc.tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		return nil, err
 	}

@@ -31,7 +31,11 @@ func TestRepeatedFailoverCycles(t *testing.T) {
 	lc := NewLifecycle(tb)
 	for gen := 0; gen < 3; gen++ {
 		// A transfer that the mid-flight crash must not break.
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 4<<20, tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: 4 << 20, Tracer: tb.Tracer,
+		})
 		if err := cl.Start(); err != nil {
 			t.Fatalf("gen %d: client: %v", gen, err)
 		}

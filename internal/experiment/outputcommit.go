@@ -26,14 +26,15 @@ type OutputCommitResult struct {
 	Tracer       *trace.Recorder
 }
 
-// RunOutputCommit constructs the paper's unrecoverable case
+// runOutputCommit constructs the paper's unrecoverable case
 // deterministically: during a continuous client upload, all frames toward
 // the backup are dropped for 300 ms, and the primary is crashed 250 ms into
 // that window — after it acknowledged client bytes the backup never saw,
 // and before any recovery exchange could happen. With withLogger the
 // optional logger machine taps the client stream and makes the bytes
-// recoverable at takeover.
-func RunOutputCommit(seed int64, withLogger bool) (OutputCommitResult, error) {
+// recoverable at takeover. Reached through the "output-commit" registry
+// demo.
+func runOutputCommit(seed int64, withLogger bool) (OutputCommitResult, error) {
 	out := OutputCommitResult{WithLogger: withLogger}
 	tb := Build(Options{Seed: seed, WithLogger: withLogger})
 	if err := tb.StartSTTCP(0, nil); err != nil {

@@ -8,7 +8,7 @@ import "testing"
 // failure as unrecoverable — the client will not retransmit acknowledged
 // bytes, so the session wedges after takeover.
 func TestOutputCommitWithoutLoggerIsUnrecoverable(t *testing.T) {
-	res, err := RunOutputCommit(61, false)
+	res, err := runOutputCommit(61, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -26,7 +26,7 @@ func TestOutputCommitWithoutLoggerIsUnrecoverable(t *testing.T) {
 // the logger machine tapping the client stream, the backup retrieves the
 // acknowledged-but-missed bytes at takeover and the session completes.
 func TestOutputCommitWithLoggerRecovers(t *testing.T) {
-	res, err := RunOutputCommit(61, true)
+	res, err := runOutputCommit(61, true)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/serial"
+	"repro/internal/sweep"
 )
 
 // Params is the common parameter set every registered demo accepts.
@@ -14,14 +16,15 @@ type Params struct {
 	// Seed drives all randomness in the run.
 	Seed int64
 	// Size is the transfer size in bytes where the demo moves bulk data
-	// (Demo 1: default 16 MiB; Demo 3: default 100 MiB).
+	// (Demo 1: default 16 MiB; Demo 3: default 100 MiB; scale: per-client
+	// bytes, default 32 KiB).
 	Size int64
 	// CrashAfter is when the primary is crashed after the transfer
 	// starts (Demo 1; default 500 ms).
 	CrashAfter time.Duration
 	// Periods is the heartbeat-period sweep (Demo 2 and its upload
 	// variant; default 200 ms, 500 ms, 1 s — the paper's three
-	// settings).
+	// settings). The capacity and demo2-dist demos use Periods[0].
 	Periods []time.Duration
 	// Eager enables the eager-retransmit takeover extension (Demo 2).
 	Eager bool
@@ -31,13 +34,34 @@ type Params struct {
 	// spans in the failover demos (the -trace-out/-timeline CLI flags set
 	// it); Demo 3's overhead benchmark ignores it.
 	TraceDetail bool
+
+	// Conns is the concurrent-connection count for the scale demo
+	// (default 2,000).
+	Conns int
+	// ConnCounts is the capacity demo's sweep of connection counts
+	// (default the §3 series 1..250).
+	ConnCounts []int
+	// LinkBitsPerSecond overrides the heartbeat-link rate in the
+	// capacity demo (default the 115.2 kbit/s serial line).
+	LinkBitsPerSecond int64
+	// Samples is how many crash instants demo2-dist sweeps across one
+	// heartbeat period (default 8).
+	Samples int
+	// Workers bounds the worker pool for demos that fan independent
+	// simulations through internal/sweep (capacity, demo2-dist,
+	// output-commit, witness, nicload). 0 runs fully parallel; 1 forces
+	// a serial sweep. Results are merged in input order either way, so
+	// the output is identical for every setting.
+	Workers int
 }
 
 // Result is the common result shape. Which fields are populated depends
 // on the demo: every failover-style run lands in Failovers (one per
 // sweep point or scenario), Demo 1 additionally fills Baseline, Demo 3
-// fills Overhead, Demo 5 fills NIC. Metrics is the snapshot from the
-// demo's last (or only) ST-TCP testbed run.
+// fills Overhead, Demo 5 fills NIC, and the extended studies fill
+// Capacity, Distribution, OutputCommit, Witness, NICLoad, or Scale.
+// Metrics is the snapshot from the demo's last (or only) ST-TCP testbed
+// run.
 type Result struct {
 	Demo      string
 	Failovers []FailoverResult
@@ -45,6 +69,20 @@ type Result struct {
 	Overhead  *Demo3Result
 	NIC       []Demo5Result
 	Metrics   *metrics.Snapshot
+
+	// Capacity is the heartbeat-link capacity series (capacity demo).
+	Capacity []SerialCapacityResult
+	// Distribution is the crash-phase failover distribution (demo2-dist).
+	Distribution *Demo2Distribution
+	// OutputCommit holds the §4.3 scenario without and with the logger.
+	OutputCommit []OutputCommitResult
+	// Witness holds the §4.2.2 FIN-conflict resolution without and with
+	// the witness replica.
+	Witness []WitnessResult
+	// NICLoad holds the §3 tap-ablation pair (enhanced, then tap).
+	NICLoad []NICLoadResult
+	// Scale is the thousand-connection failover run (scale demo).
+	Scale *ScaleResult
 }
 
 // Demo is one registered demonstration.
@@ -53,6 +91,10 @@ type Demo struct {
 	Name string
 	// Title is the one-line human description.
 	Title string
+	// Extended marks studies beyond the paper's five demonstrations
+	// (capacity curves, ablations, extension studies, the scale run);
+	// sttcp-demo's 'all' selects only the non-extended demos.
+	Extended bool
 	// Run executes the demo.
 	Run func(Params) (Result, error)
 }
@@ -166,7 +208,117 @@ func Demos() []Demo {
 				return out, nil
 			},
 		},
+		{
+			Name:     "capacity",
+			Title:    "heartbeat-link capacity vs connection count (§3 bandwidth budget)",
+			Extended: true,
+			Run: func(p Params) (Result, error) {
+				counts := p.ConnCounts
+				if len(counts) == 0 {
+					counts = []int{1, 10, 25, 50, 75, 100, 125, 150, 250}
+				}
+				period := 200 * time.Millisecond
+				if len(p.Periods) > 0 {
+					period = p.Periods[0]
+				}
+				bps := p.LinkBitsPerSecond
+				if bps == 0 {
+					bps = serial.DefaultBitsPerSecond
+				}
+				series, err := fanIdx(p.Workers, len(counts), func(i int) (SerialCapacityResult, error) {
+					return runHBLinkCapacity(counts[i], period, 10*time.Second, bps)
+				})
+				return Result{Demo: "capacity", Capacity: series}, err
+			},
+		},
+		{
+			Name:     "demo2-dist",
+			Title:    "failover-time distribution across the crash phase at one heartbeat period",
+			Extended: true,
+			Run: func(p Params) (Result, error) {
+				period := 200 * time.Millisecond
+				if len(p.Periods) > 0 {
+					period = p.Periods[0]
+				}
+				samples := p.Samples
+				if samples == 0 {
+					samples = 8
+				}
+				dist, err := runDemo2Sampled(p.Seed, period, samples, p.Workers)
+				if err != nil {
+					return Result{Demo: "demo2-dist"}, err
+				}
+				return Result{Demo: "demo2-dist", Distribution: &dist}, nil
+			},
+		},
+		{
+			Name:     "output-commit",
+			Title:    "§4.3 output-commit gap, without and with the logger machine",
+			Extended: true,
+			Run: func(p Params) (Result, error) {
+				rs, err := fanIdx(p.Workers, 2, func(i int) (OutputCommitResult, error) {
+					return runOutputCommit(p.Seed, i == 1)
+				})
+				return Result{Demo: "output-commit", OutputCommit: rs}, err
+			},
+		},
+		{
+			Name:     "witness",
+			Title:    "§4.2.2 FIN-conflict resolution, pairwise vs witness majority",
+			Extended: true,
+			Run: func(p Params) (Result, error) {
+				rs, err := fanIdx(p.Workers, 2, func(i int) (WitnessResult, error) {
+					withWitness := i == 1
+					d, err := runWitnessConflict(p.Seed, withWitness)
+					return WitnessResult{WithWitness: withWitness, Resolution: d}, err
+				})
+				return Result{Demo: "witness", Witness: rs}, err
+			},
+		},
+		{
+			Name:     "nicload",
+			Title:    "§3 tap ablation: backup NIC receive volume, enhanced vs tap-both-directions",
+			Extended: true,
+			Run: func(p Params) (Result, error) {
+				rs, err := fanIdx(p.Workers, 2, func(i int) (NICLoadResult, error) {
+					tap := i == 1
+					rx, err := runBackupNICLoad(p.Seed, tap)
+					return NICLoadResult{TapBothDirections: tap, BackupRxBytes: rx}, err
+				})
+				return Result{Demo: "nicload", NICLoad: rs}, err
+			},
+		},
+		{
+			Name:     "scale",
+			Title:    "thousand-connection capacity: concurrent transfers across a primary crash",
+			Extended: true,
+			Run: func(p Params) (Result, error) {
+				conns := p.Conns
+				if conns == 0 {
+					conns = 2000
+				}
+				size := p.Size
+				if size == 0 {
+					size = 32 << 10
+				}
+				sc, err := runScaleFailover(p.Seed, conns, size, true)
+				if err != nil {
+					return Result{Demo: "scale"}, err
+				}
+				return Result{Demo: "scale", Scale: &sc, Metrics: sc.Metrics}, nil
+			},
+		},
 	}
+}
+
+// fanIdx fans job(0..n-1) across the sweep worker pool, merging results
+// in input order — the registry's bridge to internal/sweep for demos
+// whose sweep axis is an index (conn count, scenario variant) rather
+// than a seed.
+func fanIdx[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	return sweep.Run(workers, sweep.Seeds(0, n), func(seed int64) (T, error) {
+		return job(int(seed))
+	})
 }
 
 // DemoByName finds a registered demo.

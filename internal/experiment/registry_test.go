@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustDemo(t *testing.T, name string) Demo {
+	t.Helper()
+	d, ok := DemoByName(name)
+	if !ok {
+		t.Fatalf("demo %q is not registered", name)
+	}
+	return d
+}
+
+// TestRegistryParallelMatchesSerial pins the sweep contract at the
+// registry level: demos that fan independent simulations across the
+// worker pool must produce identical output for any worker count,
+// because every job owns a sealed simulator and results merge in input
+// order, never completion order.
+func TestRegistryParallelMatchesSerial(t *testing.T) {
+	counts := []int{1, 10, 50}
+	cap := mustDemo(t, "capacity")
+	serial, err := cap.Run(Params{ConnCounts: counts, Workers: 1})
+	if err != nil {
+		t.Fatalf("serial capacity: %v", err)
+	}
+	parallel, err := cap.Run(Params{ConnCounts: counts, Workers: 3})
+	if err != nil {
+		t.Fatalf("parallel capacity: %v", err)
+	}
+	if !reflect.DeepEqual(serial.Capacity, parallel.Capacity) {
+		t.Errorf("capacity diverged across worker counts:\nserial:   %+v\nparallel: %+v",
+			serial.Capacity, parallel.Capacity)
+	}
+
+	if testing.Short() {
+		t.Skip("demo2-dist identity check skipped in -short")
+	}
+	dist := mustDemo(t, "demo2-dist")
+	serial, err = dist.Run(Params{Seed: 7, Samples: 3, Workers: 1})
+	if err != nil {
+		t.Fatalf("serial demo2-dist: %v", err)
+	}
+	parallel, err = dist.Run(Params{Seed: 7, Samples: 3, Workers: 3})
+	if err != nil {
+		t.Fatalf("parallel demo2-dist: %v", err)
+	}
+	if !reflect.DeepEqual(serial.Distribution, parallel.Distribution) {
+		t.Errorf("demo2-dist diverged across worker counts:\nserial:   %+v\nparallel: %+v",
+			serial.Distribution, parallel.Distribution)
+	}
+}
+
+// TestRegistryExtendedDemos: the registry carries both the paper's five
+// demonstrations and the extended studies; 'all' consumers rely on the
+// Extended flag to separate them.
+func TestRegistryExtendedDemos(t *testing.T) {
+	var core, extended int
+	for _, d := range Demos() {
+		if d.Extended {
+			extended++
+		} else {
+			core++
+		}
+	}
+	if core == 0 || extended == 0 {
+		t.Fatalf("registry should carry both core and extended demos (core=%d extended=%d)", core, extended)
+	}
+	for _, name := range []string{"capacity", "demo2-dist", "output-commit", "witness", "nicload", "scale"} {
+		if !mustDemo(t, name).Extended {
+			t.Errorf("demo %q should be marked Extended", name)
+		}
+	}
+	for _, name := range []string{"demo1", "demo2", "demo3", "demo4", "demo5"} {
+		if mustDemo(t, name).Extended {
+			t.Errorf("paper demo %q must not be marked Extended", name)
+		}
+	}
+}

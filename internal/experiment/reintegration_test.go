@@ -30,7 +30,11 @@ func TestReintegrationDoubleFailover(t *testing.T) {
 	_ = apps
 
 	// Phase 1: a transfer across the first failover.
-	first := app.NewStreamClient("client/first", tb.Client.TCP(), ServiceAddr, ServicePort, 4<<20, tb.Tracer)
+	first := app.NewStreamClient(app.ClientConfig{
+		Name: "client/first", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 4 << 20, Tracer: tb.Tracer,
+	})
 	if err := first.Start(); err != nil {
 		t.Fatalf("first client: %v", err)
 	}
@@ -82,7 +86,11 @@ func TestReintegrationDoubleFailover(t *testing.T) {
 	}
 
 	// Phase 3: a new, replicated connection across the second failover.
-	second := app.NewStreamClient("client/second", tb.Client.TCP(), ServiceAddr, ServicePort, 8<<20, tb.Tracer)
+	second := app.NewStreamClient(app.ClientConfig{
+		Name: "client/second", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 8 << 20, Tracer: tb.Tracer,
+	})
 	if err := second.Start(); err != nil {
 		t.Fatalf("second client: %v", err)
 	}
@@ -119,7 +127,11 @@ func TestReintegrationLocalOnlyConnections(t *testing.T) {
 	}
 
 	// A connection opened while the promoted server runs alone.
-	lone := app.NewStreamClient("client/lone", tb.Client.TCP(), ServiceAddr, ServicePort, 64<<20, tb.Tracer)
+	lone := app.NewStreamClient(app.ClientConfig{
+		Name: "client/lone", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 64 << 20, Tracer: tb.Tracer,
+	})
 	if err := lone.Start(); err != nil {
 		t.Fatalf("lone client: %v", err)
 	}

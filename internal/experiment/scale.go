@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/sttcp"
+	"repro/internal/trace"
+)
+
+// ScaleResult reports a capacity-at-scale run: hundreds to thousands of
+// concurrent ST-TCP connections, optionally crashed over to the backup
+// mid-transfer. Every client must finish its full transfer with zero
+// pattern-verification failures for the run to count.
+type ScaleResult struct {
+	Conns          int
+	BytesPerClient int64
+	// Crashed reports whether a primary crash was injected.
+	Crashed bool
+	// TookOver reports the backup completed the takeover.
+	TookOver bool
+	// ClientsDone counts clients that finished their transfer cleanly.
+	ClientsDone int
+	// VerifyFailures sums pattern mismatches across all clients (must be 0).
+	VerifyFailures int64
+	// TotalBytes sums verified payload bytes across all clients.
+	TotalBytes int64
+	// SegmentsEmitted sums TCP segments transmitted by the client and both
+	// servers — the numerator of the bench suite's segments/sec figure.
+	SegmentsEmitted int64
+	// DetectionTime is crash → suspect declaration (zero without a crash).
+	DetectionTime time.Duration
+	// MaxStall is the largest delivery gap any client observed — at scale
+	// the takeover must re-drive every connection's retransmission, so
+	// this bounds the worst per-client failover experience.
+	MaxStall time.Duration
+	// VirtualElapsed is the simulated time from the first dial to the
+	// last client's completion.
+	VirtualElapsed time.Duration
+	Metrics        *metrics.Snapshot
+}
+
+// runScaleFailover pushes the testbed to conns concurrent connections,
+// each transferring bytesPerClient, and (when crash is set) kills the
+// primary once every connection is established and replicated. The
+// heartbeat link runs at 100 Mbit/s — §3's advice for beyond ~100
+// connections, where per-connection heartbeat state saturates the
+// 115.2 kbit/s serial line — and dials are staggered so the SYN burst
+// doesn't serialise into one instant. Reached through the "scale"
+// registry demo.
+func runScaleFailover(seed int64, conns int, bytesPerClient int64, crash bool) (ScaleResult, error) {
+	out := ScaleResult{Conns: conns, BytesPerClient: bytesPerClient, Crashed: crash}
+	tb := Build(Options{Seed: seed, SerialRate: 100_000_000})
+	if err := tb.StartSTTCP(0, nil); err != nil {
+		return out, err
+	}
+	attachDataServers(tb)
+
+	// Stagger dials 500µs apart: connection setup overlaps with the
+	// transfers of already-established clients, as a real arrival process
+	// would, and the ARP/SYN machinery never sees all conns in one event.
+	const dialGap = 500 * time.Microsecond
+	start := tb.Sim.Now()
+	clients := make([]*app.StreamClient, conns)
+	var lastDone time.Time
+	var done int
+	var dialErr error
+	for i := 0; i < conns; i++ {
+		i := i
+		tb.Sim.At(start.Add(time.Duration(i)*dialGap), func() {
+			cl := app.NewStreamClient(app.ClientConfig{
+				Name: "client/app", Stack: tb.Client.TCP(),
+				Service: ServiceAddr, Port: ServicePort,
+				Request: bytesPerClient, Tracer: tb.Tracer,
+			})
+			cl.OnDone = func(error) {
+				lastDone = tb.Sim.Now()
+				if done++; done == conns {
+					// All transfers settled: stop instead of
+					// simulating heartbeats out to the horizon.
+					tb.Sim.Stop()
+				}
+			}
+			if err := cl.Start(); err != nil && dialErr == nil {
+				dialErr = fmt.Errorf("experiment: scale dial %d: %w", i, err)
+			}
+			clients[i] = cl
+		})
+	}
+
+	var crashAt time.Time
+	if crash {
+		// One second past the last dial: every connection is established
+		// and its state replicated through at least two heartbeats.
+		crashAt = start.Add(time.Duration(conns)*dialGap + time.Second)
+		tb.Sim.At(crashAt, tb.Primary.CrashHW)
+	}
+
+	deadline := start.Add(30 * time.Minute)
+	if err := tb.Sim.RunUntil(deadline); err != nil && err != sim.ErrStopped {
+		return out, err
+	}
+	// If every transfer drained before the crash was even injected (tiny
+	// per-client sizes), keep simulating in slices until the takeover
+	// lands so the post-run assertions see the settled cluster state.
+	for crash && tb.BackupNode.State() != sttcp.StateTakenOver && tb.Sim.Now().Before(deadline) {
+		if err := tb.Sim.Run(100 * time.Millisecond); err != nil && err != sim.ErrStopped {
+			return out, err
+		}
+	}
+	if dialErr != nil {
+		return out, dialErr
+	}
+	if !lastDone.IsZero() {
+		out.VirtualElapsed = lastDone.Sub(start)
+	}
+
+	for i, cl := range clients {
+		if cl == nil {
+			return out, fmt.Errorf("experiment: scale client %d never started", i)
+		}
+		out.VerifyFailures += cl.VerifyFailures
+		out.TotalBytes += cl.Received
+		if cl.Done && cl.Err == nil && cl.VerifyFailures == 0 {
+			out.ClientsDone++
+		} else if cl.Err != nil {
+			return out, fmt.Errorf("experiment: scale client %d failed after %d/%d bytes: %w",
+				i, cl.Received, bytesPerClient, cl.Err)
+		}
+		if gap, _ := cl.MaxGap(); gap > out.MaxStall {
+			out.MaxStall = gap
+		}
+	}
+	if out.ClientsDone != conns {
+		return out, fmt.Errorf("experiment: only %d/%d scale clients completed", out.ClientsDone, conns)
+	}
+
+	if crash {
+		out.TookOver = tb.BackupNode.State() == sttcp.StateTakenOver
+		if !out.TookOver {
+			return out, fmt.Errorf("experiment: scale run: backup state %v, want taken-over", tb.BackupNode.State())
+		}
+		if e, ok := tb.Tracer.First(trace.KindSuspect); ok {
+			out.DetectionTime = e.Time.Sub(crashAt)
+		}
+	}
+	out.SegmentsEmitted = tb.Client.TCP().Emitted + tb.Primary.TCP().Emitted + tb.Backup.TCP().Emitted
+	out.Metrics = tb.Metrics.Snapshot()
+	return out, nil
+}

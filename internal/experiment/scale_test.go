@@ -6,48 +6,51 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/sttcp"
-	"repro/internal/trace"
 )
 
-// TestManyConnectionsFailover replicates 50 concurrent connections — enough
-// that the heartbeat no longer fits one UDP datagram (43 entries) or one
-// serial frame, exercising heartbeat fragmentation on both links — and
-// crashes the primary mid-stream. Every transfer must survive.
-func TestManyConnectionsFailover(t *testing.T) {
+// TestScaleFailoverSmoke exercises the capacity runner end to end at a
+// size cheap enough for -short: staggered dials, the 100 Mbit/s heartbeat
+// link, a mid-stream crash, and the aggregated result fields.
+func TestScaleFailoverSmoke(t *testing.T) {
+	res, err := runScaleFailover(91, 25, 1<<20, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.TookOver || res.ClientsDone != 25 || res.VerifyFailures != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.TotalBytes != 25*(1<<20) {
+		t.Fatalf("total bytes %d, want %d", res.TotalBytes, 25*(1<<20))
+	}
+	if res.DetectionTime <= 0 || res.MaxStall <= 0 {
+		t.Fatalf("missing failover timings: %+v", res)
+	}
+	if res.SegmentsEmitted == 0 || res.Metrics == nil {
+		t.Fatalf("missing segment/metric accounting: %+v", res)
+	}
+}
+
+// TestThousandConnectionsFailover pushes the testbed to 1,000 concurrent
+// connections — an order of magnitude past the serial heartbeat's ~100-
+// connection budget, so the run leans on the 100 Mbit/s heartbeat link —
+// and crashes the primary mid-stream. Every transfer must complete with
+// zero verification failures across the takeover.
+func TestThousandConnectionsFailover(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test skipped in -short")
 	}
-	tb := Build(Options{Seed: 91})
-	if err := tb.StartSTTCP(0, nil); err != nil {
-		t.Fatalf("start: %v", err)
-	}
-	attachDataServers(tb)
-	const conns = 50
-	var clients []*app.StreamClient
-	for i := 0; i < conns; i++ {
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 256<<10, tb.Tracer)
-		if err := cl.Start(); err != nil {
-			t.Fatalf("client %d: %v", i, err)
-		}
-		clients = append(clients, cl)
-	}
-	// Let all 50 establish and replicate, then crash.
-	tb.Sim.Schedule(time.Second, tb.Primary.CrashHW)
-	if err := tb.Run(5 * time.Minute); err != nil {
+	res, err := runScaleFailover(91, 1000, 64<<10, true)
+	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	for i, cl := range clients {
-		if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
-			t.Fatalf("client %d: done=%v err=%v received=%d verify=%d",
-				i, cl.Done, cl.Err, cl.Received, cl.VerifyFailures)
-		}
+	if !res.TookOver {
+		t.Fatal("backup never took over")
 	}
-	if tb.BackupNode.State() != sttcp.StateTakenOver {
-		t.Fatalf("backup state %v", tb.BackupNode.State())
+	if res.ClientsDone != 1000 || res.VerifyFailures != 0 {
+		t.Fatalf("clients done=%d verify failures=%d", res.ClientsDone, res.VerifyFailures)
 	}
-	if e, ok := tb.Tracer.First(trace.KindTakeover); ok {
-		t.Logf("takeover: %s", e.Message)
-	}
+	t.Logf("1000 conns: detect=%v max stall=%v, %d segments in %v virtual",
+		res.DetectionTime, res.MaxStall, res.SegmentsEmitted, res.VirtualElapsed)
 }
 
 // TestNICFailureWithDeadGateway kills the gateway before failing the
@@ -92,7 +95,11 @@ func TestNonFTPrimaryKeepsServing(t *testing.T) {
 		t.Fatalf("start: %v", err)
 	}
 	attachDataServers(tb)
-	first := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 8<<20, tb.Tracer)
+	first := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 8 << 20, Tracer: tb.Tracer,
+	})
 	if err := first.Start(); err != nil {
 		t.Fatalf("first client: %v", err)
 	}
@@ -100,7 +107,11 @@ func TestNonFTPrimaryKeepsServing(t *testing.T) {
 
 	var second *app.StreamClient
 	tb.Sim.Schedule(2*time.Second, func() {
-		second = app.NewStreamClient("client/app2", tb.Client.TCP(), ServiceAddr, ServicePort, 2<<20, tb.Tracer)
+		second = app.NewStreamClient(app.ClientConfig{
+			Name: "client/app2", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: 2 << 20, Tracer: tb.Tracer,
+		})
 		if err := second.Start(); err != nil {
 			t.Errorf("second client: %v", err)
 		}

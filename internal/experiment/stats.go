@@ -45,42 +45,59 @@ type Demo2Distribution struct {
 	Failover  Stats
 }
 
-// RunDemo2Sampled measures the detection- and failover-time distribution
+// runDemo2Sampled measures the detection- and failover-time distribution
 // at one heartbeat period by sweeping the crash instant across a full
 // heartbeat interval. The phase of the crash relative to the heartbeat
 // schedule is the dominant source of variance on a deterministic testbed:
 // detection lands between (timeout) and (timeout + one period) after the
 // crash, and the restart is further quantised by the retransmission
-// backoff schedule.
-func RunDemo2Sampled(seed int64, period time.Duration, samples int) (Demo2Distribution, error) {
+// backoff schedule. Each sample is an independent sealed testbed, so the
+// sweep fans them across workers; the distribution is computed from the
+// samples in phase order regardless of completion order. Reached through
+// the "demo2-dist" registry demo.
+func runDemo2Sampled(seed int64, period time.Duration, samples, workers int) (Demo2Distribution, error) {
 	out := Demo2Distribution{HBPeriod: period}
 	if samples < 1 {
 		samples = 1
 	}
-	var detects, failovers []time.Duration
-	for i := 0; i < samples; i++ {
+	type sample struct {
+		detect, failover time.Duration
+	}
+	results, err := fanIdx(workers, samples, func(i int) (sample, error) {
 		offset := period * time.Duration(i) / time.Duration(samples)
 		tb := Build(Options{Seed: seed + int64(i)})
 		if err := tb.StartSTTCP(period, nil); err != nil {
-			return out, err
+			return sample{}, err
 		}
 		attachDataServers(tb)
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 32<<20, tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: 32 << 20, Tracer: tb.Tracer,
+		})
 		if err := cl.Start(); err != nil {
-			return out, err
+			return sample{}, err
 		}
 		crashAt := tb.Sim.Now().Add(700*time.Millisecond + offset)
 		tb.Sim.At(crashAt, tb.Primary.CrashHW)
 		if err := tb.Run(10 * time.Minute); err != nil {
-			return out, err
+			return sample{}, err
 		}
 		if !cl.Done || cl.Err != nil || cl.VerifyFailures != 0 {
-			return out, fmt.Errorf("experiment: demo2 sample %d failed: %v", i, cl.Err)
+			return sample{}, fmt.Errorf("experiment: demo2 sample %d failed: %v", i, cl.Err)
 		}
 		r := FailoverResult{CrashAt: crashAt}
 		fillFailoverTimes(&r, tb, cl.MaxGap)
-		detects = append(detects, r.DetectionTime)
-		failovers = append(failovers, r.FailoverTime)
+		return sample{detect: r.DetectionTime, failover: r.FailoverTime}, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	detects := make([]time.Duration, len(results))
+	failovers := make([]time.Duration, len(results))
+	for i, s := range results {
+		detects[i] = s.detect
+		failovers[i] = s.failover
 	}
 	out.Detection = computeStats(detects)
 	out.Failover = computeStats(failovers)

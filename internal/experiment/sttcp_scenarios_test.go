@@ -22,7 +22,11 @@ func TestNormalCloseIsPrompt(t *testing.T) {
 	apps.primary.CloseAfterServe = true
 	apps.backup.CloseAfterServe = true
 
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 1<<20, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 1 << 20, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client: %v", err)
 	}
@@ -56,7 +60,11 @@ func TestMultiConnectionFailover(t *testing.T) {
 
 	var clients []*app.StreamClient
 	for i := 0; i < 3; i++ {
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 4<<20, tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: 4 << 20, Tracer: tb.Tracer,
+		})
 		if err := cl.Start(); err != nil {
 			t.Fatalf("client %d: %v", i, err)
 		}
@@ -96,7 +104,11 @@ func TestReplicaReconstructionFromHeartbeat(t *testing.T) {
 	// Blind the backup around connection setup.
 	tb.BackupLink.DropFromBFor(150 * time.Millisecond)
 
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 16<<20, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 16 << 20, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client: %v", err)
 	}
@@ -125,7 +137,11 @@ func TestSerialLinkFailureAlone(t *testing.T) {
 		t.Fatalf("start: %v", err)
 	}
 	attachDataServers(tb)
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 8<<20, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: 8 << 20, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client: %v", err)
 	}
@@ -158,7 +174,11 @@ func TestTapAblationNICLoad(t *testing.T) {
 			t.Fatalf("start: %v", err)
 		}
 		attachDataServers(tb)
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 16<<20, tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: 16 << 20, Tracer: tb.Tracer,
+		})
 		if err := cl.Start(); err != nil {
 			t.Fatalf("client: %v", err)
 		}

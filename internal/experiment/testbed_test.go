@@ -21,7 +21,11 @@ func TestPlainTCPTransfer(t *testing.T) {
 	l.OnEstablished = srv.Accept
 
 	const size = 1 << 20
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), PrimaryAddr, ServicePort, size, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: PrimaryAddr, Port: ServicePort,
+		Request: size, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client start: %v", err)
 	}
@@ -56,7 +60,11 @@ func TestSTTCPNormalOperation(t *testing.T) {
 	tb.BackupNode.OnAccept = bSrv.Accept
 
 	const size = 1 << 20
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, size, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: size, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client start: %v", err)
 	}
@@ -92,7 +100,11 @@ func TestSTTCPFailover(t *testing.T) {
 	tb.BackupNode.OnAccept = bSrv.Accept
 
 	const size = 8 << 20
-	cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, size, tb.Tracer)
+	cl := app.NewStreamClient(app.ClientConfig{
+		Name: "client/app", Stack: tb.Client.TCP(),
+		Service: ServiceAddr, Port: ServicePort,
+		Request: size, Tracer: tb.Tracer,
+	})
 	if err := cl.Start(); err != nil {
 		t.Fatalf("client start: %v", err)
 	}

@@ -9,11 +9,20 @@ import (
 	"repro/internal/trace"
 )
 
-// RunWitnessConflict measures how long a primary-side FIN conflict (the
+// WitnessResult is one arm of the "witness" registry demo: how long a
+// primary-side FIN conflict took to resolve, with or without the witness
+// replica's majority vote.
+type WitnessResult struct {
+	WithWitness bool
+	Resolution  time.Duration
+}
+
+// runWitnessConflict measures how long a primary-side FIN conflict (the
 // primary's application crashes with cleanup mid-echo; Table 1 row 3P)
 // takes to resolve, with or without the witness replica's majority vote
-// (§4.2.2). It returns the time from injection to the takeover.
-func RunWitnessConflict(seed int64, withWitness bool) (time.Duration, error) {
+// (§4.2.2). It returns the time from injection to the takeover. Reached
+// through the "witness" registry demo.
+func runWitnessConflict(seed int64, withWitness bool) (time.Duration, error) {
 	tb := Build(Options{Seed: seed, WithWitness: withWitness})
 	err := tb.StartSTTCP(0, func(c *sttcp.Config) {
 		c.MaxDelayFIN = 15 * time.Second

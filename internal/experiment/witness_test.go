@@ -122,7 +122,11 @@ func TestWitnessNoFalsePositiveOnNormalClose(t *testing.T) {
 	tb.WitnessNode.OnAccept = wSrv.Accept
 
 	for i := 0; i < 3; i++ {
-		cl := app.NewStreamClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 512<<10, tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: tb.Client.TCP(),
+			Service: ServiceAddr, Port: ServicePort,
+			Request: 512 << 10, Tracer: tb.Tracer,
+		})
 		cl.OnDone = func(err error) {
 			if err != nil {
 				t.Errorf("transfer: %v", err)

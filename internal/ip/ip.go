@@ -88,15 +88,34 @@ type Packet struct {
 
 // Encode serialises the packet with a freshly computed header checksum.
 func (p *Packet) Encode() ([]byte, error) {
+	return p.AppendEncode(nil)
+}
+
+// AppendEncode serialises the packet onto dst, reusing its capacity when
+// possible, and returns the extended slice. The hot transmit path passes a
+// per-stack scratch buffer here so steady-state traffic encodes without
+// allocating.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
 	if len(p.Payload) > MaxPayload {
 		return nil, fmt.Errorf("ip: payload %d exceeds max %d", len(p.Payload), MaxPayload)
 	}
 	total := HeaderLen + len(p.Payload)
-	buf := make([]byte, total)
+	base := len(dst)
+	if cap(dst)-base < total {
+		grown := make([]byte, base+total)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:base+total]
+	}
+	buf := dst[base:]
 	buf[0] = 0x45 // version 4, IHL 5
 	buf[1] = p.TOS
 	binary.BigEndian.PutUint16(buf[2:], uint16(total))
 	binary.BigEndian.PutUint16(buf[4:], p.ID)
+	// Write the flags/fragment and checksum fields unconditionally: the
+	// buffer may be a reused scratch carrying a previous packet's bytes.
+	buf[6], buf[7] = 0, 0
 	if p.DontFrag {
 		buf[6] = 0x40
 	}
@@ -106,11 +125,12 @@ func (p *Packet) Encode() ([]byte, error) {
 	}
 	buf[8] = ttl
 	buf[9] = uint8(p.Proto)
+	buf[10], buf[11] = 0, 0
 	copy(buf[12:], p.Src[:])
 	copy(buf[16:], p.Dst[:])
 	binary.BigEndian.PutUint16(buf[10:], Checksum(buf[:HeaderLen]))
 	copy(buf[HeaderLen:], p.Payload)
-	return buf, nil
+	return dst, nil
 }
 
 // Decode parses and validates buf. The returned packet's payload aliases

@@ -16,8 +16,12 @@ import (
 // Endpoint receives raw Ethernet frames from a link. Both NICs and switch
 // ports implement it.
 type Endpoint interface {
-	// DeliverFrame hands a fully received frame to the endpoint. The
-	// endpoint must not retain buf.
+	// DeliverFrame hands a fully received frame to the endpoint. buf is
+	// valid only for the duration of the call — the link returns it to a
+	// frame pool when DeliverFrame returns — so the endpoint must copy
+	// anything it keeps (the NIC copies the payload before invoking its
+	// handler; the switch copies into its own pooled buffer before the
+	// store-and-forward latency).
 	DeliverFrame(buf []byte)
 }
 
@@ -69,6 +73,57 @@ type Link struct {
 	// recorder's detail mode is on.
 	tracer *trace.Recorder
 	name   string
+
+	// Frame buffers and delivery records are pooled so steady-state
+	// traffic allocates nothing per frame. Each in-flight frame owns one
+	// delivery record (with its callback bound at record construction)
+	// and one pooled buffer; both return to their pools when delivery —
+	// or an in-flight drop — completes.
+	pool       bufPool
+	deliveries []*delivery
+}
+
+// delivery is one in-flight frame: the pooled buffer plus the state the
+// delivery callback needs. run is bound to deliver once, when the record is
+// first created, so re-posting a recycled record allocates nothing.
+type delivery struct {
+	l     *Link
+	peer  Endpoint
+	frame []byte
+	run   func()
+}
+
+func (l *Link) takeDelivery() *delivery {
+	if n := len(l.deliveries); n > 0 {
+		d := l.deliveries[n-1]
+		l.deliveries[n-1] = nil
+		l.deliveries = l.deliveries[:n-1]
+		return d
+	}
+	d := &delivery{l: l}
+	d.run = d.deliver
+	return d
+}
+
+func (d *delivery) deliver() {
+	l := d.l
+	frame, peer := d.frame, d.peer
+	d.frame, d.peer = nil, nil
+	l.deliveries = append(l.deliveries, d)
+	if l.down {
+		l.Drops++
+		l.mDrops.Inc()
+		l.traceDrop(len(frame), "went down in flight")
+		l.pool.put(frame)
+		return
+	}
+	l.Delivered++
+	l.mFrames.Inc()
+	if l.tracer.Detail() {
+		l.tracer.EmitValue(trace.KindNetDeliver, l.name, int64(len(frame)), "deliver %dB", len(frame))
+	}
+	peer.DeliverFrame(frame)
+	l.pool.put(frame)
 }
 
 type linkSide struct {
@@ -177,23 +232,12 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 	if l.cfg.Jitter > 0 {
 		arrival = arrival.Add(time.Duration(l.sim.Rand().Int63n(int64(l.cfg.Jitter))))
 	}
-	frame := make([]byte, len(buf))
+	frame := l.pool.get(len(buf))
 	copy(frame, buf)
-	peer := side.peer
-	l.sim.At(arrival, func() {
-		if l.down {
-			l.Drops++
-			l.mDrops.Inc()
-			l.traceDrop(len(frame), "went down in flight")
-			return
-		}
-		l.Delivered++
-		l.mFrames.Inc()
-		if l.tracer.Detail() {
-			l.tracer.EmitValue(trace.KindNetDeliver, l.name, int64(len(frame)), "deliver %dB", len(frame))
-		}
-		peer.DeliverFrame(frame)
-	})
+	d := l.takeDelivery()
+	d.peer = side.peer
+	d.frame = frame
+	l.sim.PostAt(arrival, d.run)
 }
 
 func (l *Link) traceDrop(size int, why string) {

@@ -26,6 +26,7 @@ type NIC struct {
 	promisc bool
 	failed  bool
 	handler func(eth.Frame)
+	encBuf  []byte // reusable frame-encoding scratch; the link copies synchronously
 
 	// Counters for the tap-ablation experiment (paper §3 observes the
 	// backup NIC overload when it taps both traffic directions).
@@ -93,10 +94,11 @@ func (n *NIC) Send(f eth.Frame) error {
 		return fmt.Errorf("%w: %s not attached", ErrNICDown, n.name)
 	}
 	f.Src = n.addr
-	buf, err := f.Encode()
+	buf, err := f.AppendEncode(n.encBuf[:0])
 	if err != nil {
 		return fmt.Errorf("netem: %s encode: %w", n.name, err)
 	}
+	n.encBuf = buf
 	n.TxFrames++
 	n.TxBytes += int64(len(buf))
 	if n.sideA {

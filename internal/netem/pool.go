@@ -1,0 +1,34 @@
+package netem
+
+import "repro/internal/eth"
+
+// bufPool recycles frame buffers on behalf of one owner (a Link or a
+// Switch). The simulation is single-threaded, so no locking is needed; a
+// buffer returns to the pool as soon as its synchronous consumer is done
+// with it. Buffers are allocated at eth.MaxFrameLen capacity so every
+// standard frame reuses them regardless of size.
+type bufPool struct {
+	free [][]byte
+}
+
+// get returns a length-n buffer, reusing a pooled one when it fits.
+func (p *bufPool) get(n int) []byte {
+	if m := len(p.free); m > 0 {
+		b := p.free[m-1]
+		p.free[m-1] = nil
+		p.free = p.free[:m-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	c := n
+	if c < eth.MaxFrameLen {
+		c = eth.MaxFrameLen
+	}
+	return make([]byte, n, c)
+}
+
+// put returns a buffer to the pool. The caller must not touch b afterwards.
+func (p *bufPool) put(b []byte) {
+	p.free = append(p.free, b)
+}

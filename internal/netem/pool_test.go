@@ -1,0 +1,148 @@
+package netem
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/eth"
+	"repro/internal/sim"
+)
+
+func TestBufPoolReusesBuffers(t *testing.T) {
+	var p bufPool
+	b1 := p.get(100)
+	if len(b1) != 100 || cap(b1) < eth.MaxFrameLen {
+		t.Fatalf("get(100): len=%d cap=%d, want len 100 cap >= %d", len(b1), cap(b1), eth.MaxFrameLen)
+	}
+	p.put(b1)
+	b2 := p.get(1518)
+	if &b1[0] != &b2[0] {
+		t.Fatal("pool did not reuse the returned buffer")
+	}
+	// An oversize request still works (and is not pooled at small cap).
+	big := p.get(10_000)
+	if len(big) != 10_000 {
+		t.Fatalf("oversize get: len=%d", len(big))
+	}
+}
+
+// TestLinkPoolingPreservesFrames drives distinct payloads back-to-back
+// through a serialized link, so several pooled frames are in flight at
+// once, and checks every delivered frame carries its own bytes — the
+// failure mode of a pooled buffer being recycled too early is cross-frame
+// corruption.
+func TestLinkPoolingPreservesFrames(t *testing.T) {
+	s := sim.New(1)
+	link := NewLink(s, LinkConfig{BitsPerSecond: 1_000_000, Delay: 5 * time.Millisecond})
+	a := NewNIC(s, "a", eth.MakeAddr(1))
+	b := NewNIC(s, "b", eth.MakeAddr(2))
+	link.Attach(a, b)
+	a.AttachToLink(link, true)
+	b.AttachToLink(link, false)
+	var got [][]byte
+	b.SetHandler(func(f eth.Frame) { got = append(got, append([]byte(nil), f.Payload...)) })
+
+	const frames = 32
+	for i := 0; i < frames; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 200+i)
+		if err := a.Send(eth.Frame{Dst: b.Addr(), Type: eth.TypeIPv4, Payload: payload}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != frames {
+		t.Fatalf("delivered %d frames, want %d", len(got), frames)
+	}
+	for i, p := range got {
+		if len(p) != 200+i {
+			t.Fatalf("frame %d: len %d, want %d", i, len(p), 200+i)
+		}
+		for _, c := range p {
+			if c != byte(i+1) {
+				t.Fatalf("frame %d corrupted: byte %#x, want %#x", i, c, i+1)
+			}
+		}
+	}
+	if len(link.pool.free) == 0 {
+		t.Fatal("link pool empty after deliveries; buffers are not being returned")
+	}
+	if len(link.deliveries) == 0 {
+		t.Fatal("no delivery records recycled")
+	}
+}
+
+// TestSwitchPoolingPreservesFrames covers the store-and-forward copy: the
+// switch must own its bytes across the forwarding latency even though the
+// ingress link reclaims its buffer immediately.
+func TestSwitchPoolingPreservesFrames(t *testing.T) {
+	s := sim.New(1)
+	sw := NewSwitch(s, "sw", 50*time.Microsecond)
+	a := NewNIC(s, "a", eth.MakeAddr(1))
+	b := NewNIC(s, "b", eth.MakeAddr(2))
+	Connect(s, sw, a, DefaultLANConfig())
+	Connect(s, sw, b, DefaultLANConfig())
+	var got [][]byte
+	b.SetHandler(func(f eth.Frame) { got = append(got, append([]byte(nil), f.Payload...)) })
+
+	const frames = 16
+	for i := 0; i < frames; i++ {
+		payload := bytes.Repeat([]byte{byte(0x40 + i)}, 600)
+		if err := a.Send(eth.Frame{Dst: b.Addr(), Type: eth.TypeIPv4, Payload: payload}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != frames {
+		t.Fatalf("delivered %d frames, want %d", len(got), frames)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, bytes.Repeat([]byte{byte(0x40 + i)}, 600)) {
+			t.Fatalf("frame %d corrupted through switch", i)
+		}
+	}
+	if len(sw.pool.free) == 0 {
+		t.Fatal("switch pool empty after forwards; buffers are not being returned")
+	}
+	if len(sw.jobs) == 0 {
+		t.Fatal("no forward jobs recycled")
+	}
+}
+
+// TestLinkDropInFlightReturnsBuffer checks a frame dropped because the
+// link went down mid-flight still recycles its pooled buffer.
+func TestLinkDropInFlightReturnsBuffer(t *testing.T) {
+	s := sim.New(1)
+	link := NewLink(s, LinkConfig{Delay: 10 * time.Millisecond})
+	a := NewNIC(s, "a", eth.MakeAddr(1))
+	b := NewNIC(s, "b", eth.MakeAddr(2))
+	link.Attach(a, b)
+	a.AttachToLink(link, true)
+	b.AttachToLink(link, false)
+	received := 0
+	b.SetHandler(func(eth.Frame) { received++ })
+
+	if err := a.Send(eth.Frame{Dst: b.Addr(), Type: eth.TypeIPv4, Payload: []byte("doomed")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	s.Schedule(time.Millisecond, func() { link.SetDown(true) })
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if received != 0 {
+		t.Fatal("frame delivered despite link down")
+	}
+	if link.Drops != 1 {
+		t.Fatalf("Drops = %d, want 1", link.Drops)
+	}
+	if len(link.pool.free) != 1 {
+		t.Fatalf("pool has %d buffers after in-flight drop, want 1", len(link.pool.free))
+	}
+	if len(link.deliveries) != 1 {
+		t.Fatalf("%d delivery records recycled, want 1", len(link.deliveries))
+	}
+}

@@ -24,6 +24,45 @@ type Switch struct {
 	Forwarded int64
 	// Flooded counts frames forwarded by flooding.
 	Flooded int64
+
+	// Frame buffers and forward records are pooled: a frame is copied out
+	// of the link's buffer on ingress (the link reclaims its buffer when
+	// DeliverFrame returns) and the copy is returned to the switch's pool
+	// once forwarded out of the egress ports, which copy synchronously.
+	pool bufPool
+	jobs []*fwdJob
+}
+
+// fwdJob is one frame waiting out the store-and-forward latency. run is
+// bound once at record construction so recycled jobs re-post without
+// allocating.
+type fwdJob struct {
+	sw      *Switch
+	ingress int
+	dst     eth.Addr
+	buf     []byte
+	run     func()
+}
+
+func (s *Switch) takeJob() *fwdJob {
+	if n := len(s.jobs); n > 0 {
+		j := s.jobs[n-1]
+		s.jobs[n-1] = nil
+		s.jobs = s.jobs[:n-1]
+		return j
+	}
+	j := &fwdJob{sw: s}
+	j.run = j.fire
+	return j
+}
+
+func (j *fwdJob) fire() {
+	sw := j.sw
+	ingress, dst, buf := j.ingress, j.dst, j.buf
+	j.buf = nil
+	sw.jobs = append(sw.jobs, j)
+	sw.forward(ingress, dst, buf)
+	sw.pool.put(buf)
 }
 
 // SwitchPort is one port of a switch; it implements Endpoint so a Link can
@@ -90,13 +129,16 @@ func (p *SwitchPort) DeliverFrame(buf []byte) {
 	if !f.Src.IsMulticast() {
 		sw.macTable[f.Src] = p.index
 	}
-	// Store-and-forward latency, then forward a copy of the original
-	// encoded bytes.
-	ingress := p.index
-	dst := f.Dst
-	sw.sim.Schedule(sw.latency, func() {
-		sw.forward(ingress, dst, buf)
-	})
+	// Store-and-forward: copy into the switch's own pooled buffer (the
+	// link reclaims buf when this call returns), wait out the latency,
+	// then forward the original encoded bytes.
+	cp := sw.pool.get(len(buf))
+	copy(cp, buf)
+	j := sw.takeJob()
+	j.ingress = p.index
+	j.dst = f.Dst
+	j.buf = cp
+	sw.sim.Post(sw.latency, j.run)
 }
 
 func (s *Switch) forward(ingress int, dst eth.Addr, buf []byte) {

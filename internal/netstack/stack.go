@@ -82,6 +82,11 @@ type Stack struct {
 
 	answerAliasARP bool
 	down           bool
+
+	// encBuf is the reusable IP-encoding scratch. Safe because the
+	// simulation is single-threaded and the NIC copies the encoded packet
+	// into its own frame scratch synchronously.
+	encBuf []byte
 }
 
 // New creates a stack bound to nic with primary address addr and installs
@@ -148,7 +153,10 @@ func (s *Stack) SendIP(dst ip.Addr, proto ip.Protocol, payload []byte) error {
 }
 
 // SendIPFrom transmits payload with an explicit source address; the ST-TCP
-// servers source service traffic from the shared serviceIP alias.
+// servers source service traffic from the shared serviceIP alias. The
+// payload is consumed before SendIPFrom returns (copied into the outbound
+// frame, or into the ARP pending queue on a resolution miss), so callers
+// may pass a reused scratch buffer.
 func (s *Stack) SendIPFrom(src, dst ip.Addr, proto ip.Protocol, payload []byte) error {
 	if s.down {
 		return ErrStackDown
@@ -171,10 +179,11 @@ func (s *Stack) sendResolved(hw eth.Addr, src, dst ip.Addr, proto ip.Protocol, p
 		Dst:     dst,
 		Payload: payload,
 	}
-	raw, err := pkt.Encode()
+	raw, err := pkt.AppendEncode(s.encBuf[:0])
 	if err != nil {
 		return fmt.Errorf("netstack: %s: %w", s.name, err)
 	}
+	s.encBuf = raw
 	if err := s.nic.Send(eth.Frame{Dst: hw, Type: eth.TypeIPv4, Payload: raw}); err != nil {
 		return fmt.Errorf("netstack: %s: %w", s.name, err)
 	}
@@ -182,7 +191,11 @@ func (s *Stack) sendResolved(hw eth.Addr, src, dst ip.Addr, proto ip.Protocol, p
 }
 
 func (s *Stack) queueForARP(src, dst ip.Addr, proto ip.Protocol, payload []byte) {
-	p := pendingPacket{src: src, proto: proto, payload: payload}
+	// Copy: the caller may pass a scratch buffer it reuses for the next
+	// segment, and the queue holds the payload until ARP resolves. This is
+	// the cold path — the testbed pins static ARP entries for the hot
+	// service traffic.
+	p := pendingPacket{src: src, proto: proto, payload: append([]byte(nil), payload...)}
 	w, waiting := s.arpPending[dst]
 	if waiting {
 		if len(w.packets) < arpQueueCap {

@@ -172,8 +172,11 @@ func (ex *executor) installApp(node *sttcp.Node, host string) {
 func (ex *executor) startClient(st Statement) error {
 	switch st.ClientKind {
 	case "download":
-		cl := app.NewStreamClient("client/app", ex.tb.Client.TCP(),
-			experiment.ServiceAddr, experiment.ServicePort, st.Size, ex.tb.Tracer)
+		cl := app.NewStreamClient(app.ClientConfig{
+			Name: "client/app", Stack: ex.tb.Client.TCP(),
+			Service: experiment.ServiceAddr, Port: experiment.ServicePort,
+			Request: st.Size, Tracer: ex.tb.Tracer,
+		})
 		if err := cl.Start(); err != nil {
 			return err
 		}

@@ -27,11 +27,12 @@ var ErrStopped = errors.New("sim: stopped")
 // Event is a scheduled callback. It is created by Schedule/At and can be
 // cancelled until it fires.
 type Event struct {
-	when time.Time
-	seq  uint64
-	fn   func()
-	ctx  uint64 // causal context captured at schedule time
-	idx  int    // heap index; -1 once fired or cancelled
+	when   time.Time
+	seq    uint64
+	fn     func()
+	ctx    uint64 // causal context captured at schedule time
+	idx    int    // heap index; -1 once fired or cancelled
+	pooled bool   // created by Post/PostAt; recycled after firing
 }
 
 // When reports the virtual time at which the event will fire.
@@ -84,6 +85,7 @@ type Simulator struct {
 	running bool
 	fired   uint64
 	ctx     uint64
+	free    []*Event // recycled Post/PostAt events
 }
 
 // NewRand returns a deterministic random source derived from seed. It is
@@ -161,6 +163,41 @@ func (s *Simulator) At(t time.Time, fn func()) *Event {
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
+}
+
+// Post arranges for fn to run after delay of virtual time, like Schedule,
+// but returns no handle: the event cannot be cancelled, and the simulator
+// recycles its Event once it fires. Per-segment work (frame delivery, switch
+// forwarding, readable/writable notifications) uses Post so steady-state
+// traffic does not allocate one Event per segment.
+func (s *Simulator) Post(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.PostAt(s.now.Add(delay), fn)
+}
+
+// PostAt arranges for fn to run at virtual time t with the same pooling
+// behaviour as Post. Times in the past are clamped to the present.
+func (s *Simulator) PostAt(t time.Time, fn func()) {
+	if fn == nil {
+		panic("sim: PostAt called with nil callback")
+	}
+	if t.Before(s.now) {
+		t = s.now
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.when, e.fn, e.ctx = t, fn, s.ctx
+	} else {
+		e = &Event{when: t, fn: fn, ctx: s.ctx, pooled: true}
+	}
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
 }
 
 // Cancel removes e from the queue. Cancelling a nil, fired, or already
@@ -253,9 +290,17 @@ func (s *Simulator) Step() bool {
 
 // fire runs an event's callback with the event's captured causal context as
 // the ambient one, and restores the previous ambient context afterwards.
+// Pooled events are recycled before the callback runs: no handle to them can
+// exist outside the simulator, so the callback itself may immediately reuse
+// the Event via another Post.
 func (s *Simulator) fire(e *Event) {
 	prev := s.ctx
 	s.ctx = e.ctx
-	e.fn()
+	fn := e.fn
+	if e.pooled {
+		e.fn = nil
+		s.free = append(s.free, e)
+	}
+	fn()
 	s.ctx = prev
 }

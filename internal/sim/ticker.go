@@ -5,11 +5,12 @@ import "time"
 // Ticker invokes a callback at a fixed virtual-time period until stopped.
 // Unlike time.Ticker there is no channel: the callback runs inline on the
 // event loop, which is the natural shape for a single-threaded simulation.
+// Each tick re-arms a single reusable Timer, so a steady ticker (heartbeats,
+// pacing loops) allocates nothing after construction.
 type Ticker struct {
-	sim     *Simulator
+	timer   *Timer
 	period  time.Duration
 	fn      func()
-	pending *Event
 	stopped bool
 }
 
@@ -20,20 +21,19 @@ func NewTicker(s *Simulator, period time.Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: NewTicker with non-positive period")
 	}
-	t := &Ticker{sim: s, period: period, fn: fn}
-	t.arm()
+	t := &Ticker{period: period, fn: fn}
+	t.timer = s.NewTimer(t.tick)
+	t.timer.Arm(period)
 	return t
 }
 
-func (t *Ticker) arm() {
-	t.pending = t.sim.Schedule(t.period, func() {
-		if t.stopped {
-			return
-		}
-		// Re-arm before the callback so the callback may Stop the ticker.
-		t.arm()
-		t.fn()
-	})
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	// Re-arm before the callback so the callback may Stop the ticker.
+	t.timer.Arm(t.period)
+	t.fn()
 }
 
 // Stop cancels future ticks. It is safe to call from within the callback and
@@ -43,7 +43,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	t.sim.Cancel(t.pending)
+	t.timer.Stop()
 }
 
 // Period returns the ticker's period.
@@ -57,7 +57,6 @@ func (t *Ticker) Reset(period time.Duration) {
 	if t.stopped {
 		return
 	}
-	t.sim.Cancel(t.pending)
 	t.period = period
-	t.arm()
+	t.timer.Arm(period)
 }

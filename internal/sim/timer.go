@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Timer is a reusable one-shot timer: the callback is bound once at
+// construction and the timer re-arms without allocating, reusing its single
+// embedded Event. Re-arming replaces any pending arming. Unlike the handle
+// returned by Schedule — which must be abandoned once it fires — a Timer is
+// the sole owner of its event and stays valid across any number of
+// arm/fire/stop cycles, which is what lets per-connection RTO, persist, and
+// delayed-ACK timers run without per-segment heap churn.
+//
+// The zero value is not usable; construct with Simulator.NewTimer.
+type Timer struct {
+	s  *Simulator
+	ev Event
+}
+
+// NewTimer returns a timer that runs fn each time it fires. The callback
+// runs with the causal context that was ambient when Arm was called.
+func (s *Simulator) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer called with nil callback")
+	}
+	t := &Timer{s: s}
+	t.ev.fn = fn
+	t.ev.idx = -1
+	return t
+}
+
+// Arm schedules the callback after delay of virtual time, replacing any
+// pending arming. A negative delay is treated as zero.
+func (t *Timer) Arm(delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	t.ArmAt(t.s.now.Add(delay))
+}
+
+// ArmAt schedules the callback at virtual time tm, replacing any pending
+// arming. Times in the past are clamped to the present.
+func (t *Timer) ArmAt(tm time.Time) {
+	if t.ev.idx >= 0 {
+		heap.Remove(&t.s.queue, t.ev.idx)
+	}
+	if tm.Before(t.s.now) {
+		tm = t.s.now
+	}
+	t.ev.when = tm
+	t.ev.ctx = t.s.ctx
+	t.ev.seq = t.s.seq
+	t.s.seq++
+	heap.Push(&t.s.queue, &t.ev)
+}
+
+// Stop cancels a pending arming. Stopping an unarmed timer is a no-op; the
+// timer may be re-armed afterwards.
+func (t *Timer) Stop() {
+	if t.ev.idx >= 0 {
+		heap.Remove(&t.s.queue, t.ev.idx)
+	}
+}
+
+// Armed reports whether the timer is scheduled and has not yet fired.
+func (t *Timer) Armed() bool { return t.ev.idx >= 0 }
+
+// When reports the virtual time of the pending arming. It is only
+// meaningful while Armed.
+func (t *Timer) When() time.Time { return t.ev.when }

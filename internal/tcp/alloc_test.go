@@ -1,9 +1,12 @@
 package tcp
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netem"
 )
 
 // The per-segment bookkeeping (noteEmit / noteReceived) is annotated
@@ -25,5 +28,63 @@ func TestSegmentBookkeepingDoesNotAllocate(t *testing.T) {
 	if st.Emitted == 0 || st.Received == 0 || st.mSent.Value() != st.Emitted {
 		t.Fatalf("bookkeeping lost counts: emitted=%d received=%d counter=%d",
 			st.Emitted, st.Received, st.mSent.Value())
+	}
+}
+
+// TestAllocsPerSegmentBudget is the regression fence around the pooled hot
+// path: timers are reusable sim.Timers, notifications ride pooled Post
+// events, wire encoding reuses per-owner scratch buffers, and link/switch
+// frames come from buffer pools. What remains per segment is the NIC's
+// receive-side payload copy (handlers such as the ST-TCP backup's hold
+// buffer retain inbound payloads) and the escape of the Segment value into
+// the observer-facing emit path. The budget has headroom over the measured
+// steady state but fails loudly if any pooled layer regresses to
+// allocate-per-segment again.
+func TestAllocsPerSegmentBudget(t *testing.T) {
+	h := newPair(t, 77, netem.LinkConfig{BitsPerSecond: 100_000_000, Delay: 50 * time.Microsecond}, Options{})
+	client, server := connectPair(t, h, 80)
+
+	// Discard everything server-side through one fixed buffer so the
+	// measurement sees the stack, not the test's own accumulation.
+	readBuf := make([]byte, 64<<10)
+	server.OnReadable = func() {
+		for {
+			n, _ := server.Read(readBuf)
+			if n == 0 {
+				return
+			}
+		}
+	}
+
+	const chunk = 256 << 10
+	payload := make([]byte, chunk)
+
+	// Warm-up transfer: grows buffer pools, event free lists, and ring
+	// buffers to steady state.
+	writeAll(client, payload)
+	if err := h.sim.Run(5 * time.Second); err != nil {
+		t.Fatalf("warm-up run: %v", err)
+	}
+
+	segsBefore := h.stackA.Emitted + h.stackB.Emitted
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	writeAll(client, payload)
+	if err := h.sim.Run(5 * time.Second); err != nil {
+		t.Fatalf("measured run: %v", err)
+	}
+
+	runtime.ReadMemStats(&after)
+	segs := h.stackA.Emitted + h.stackB.Emitted - segsBefore
+	if segs < 100 {
+		t.Fatalf("only %d segments moved; harness broken", segs)
+	}
+	perSeg := float64(after.Mallocs-before.Mallocs) / float64(segs)
+	t.Logf("%d segments, %.2f allocs/segment", segs, perSeg)
+	const budget = 6.0
+	if perSeg > budget {
+		t.Fatalf("hot path allocates %.2f objects per segment, budget %.1f — a pooled layer regressed", perSeg, budget)
 	}
 }

@@ -92,10 +92,13 @@ type Conn struct {
 	rtOffset     int64
 	rtPending    bool
 
-	retransTimer  *sim.Event
-	persistTimer  *sim.Event
-	timeWaitTimer *sim.Event
-	delAckTimer   *sim.Event
+	// Timers are reusable sim.Timers bound once at construction, so the
+	// steady-state data path re-arms them without allocating (the RTO
+	// timer alone re-arms once per ack'd flight).
+	retransTimer  *sim.Timer
+	persistTimer  *sim.Timer
+	timeWaitTimer *sim.Timer
+	delAckTimer   *sim.Timer
 	ackPending    bool
 	persistShift  uint
 	retransCount  int
@@ -138,6 +141,12 @@ type Conn struct {
 	closeNotified   bool
 	readablePending bool
 	writablePending bool
+
+	// Prebound notification callbacks, allocated once in newConn so
+	// notifyReadable/notifyWritable can Post them without building a
+	// closure per delivery.
+	readableFn func()
+	writableFn func()
 }
 
 // ID returns the connection 4-tuple.
@@ -710,22 +719,22 @@ func (c *Conn) scheduleDelayedAck() {
 		return
 	}
 	c.ackPending = true
-	c.delAckTimer = c.stack.sim.Schedule(c.stack.opts.AckDelay, func() {
-		c.delAckTimer = nil
-		if c.ackPending {
-			c.sendControl(FlagACK)
-		}
-	})
+	c.delAckTimer.Arm(c.stack.opts.AckDelay)
+}
+
+func (c *Conn) onDelAckTimeout() {
+	if c.ackPending {
+		c.sendControl(FlagACK)
+	}
 }
 
 // clearDelayedAck cancels a pending delayed acknowledgement; called when
 // any segment carrying ACK goes out (the ack rides along).
+//
+//sttcp:hotpath
 func (c *Conn) clearDelayedAck() {
 	c.ackPending = false
-	if c.delAckTimer != nil {
-		c.stack.sim.Cancel(c.delAckTimer)
-		c.delAckTimer = nil
-	}
+	c.delAckTimer.Stop()
 }
 
 func (c *Conn) processPeerFIN(finOff int64) {
@@ -870,6 +879,11 @@ func (c *Conn) sendControl(flags Flags) {
 }
 
 // sendSegmentRaw builds and emits one segment. off -1 denotes the SYN.
+// seg.Payload aliases the send buffer: emit and the suppression observers
+// consume the segment synchronously (see the OnTransmit/OnSuppressed
+// contract on Stack), so no defensive copy is taken per segment.
+//
+//sttcp:hotpath
 func (c *Conn) sendSegmentRaw(flags Flags, off int64, payload []byte, isSYN bool) {
 	seg := Segment{
 		SrcPort: c.id.LocalPort,
@@ -877,6 +891,7 @@ func (c *Conn) sendSegmentRaw(flags Flags, off int64, payload []byte, isSYN bool
 		Seq:     c.sendWireSeq(off),
 		Flags:   flags,
 		Window:  clampWindow(c.rb.window()),
+		Payload: payload,
 	}
 	if isSYN {
 		seg.MSS = uint16(c.stack.opts.MSS)
@@ -884,10 +899,6 @@ func (c *Conn) sendSegmentRaw(flags Flags, off int64, payload []byte, isSYN bool
 	if flags.Has(FlagACK) {
 		seg.Ack = c.recvWireSeq(c.rb.rcvNxt)
 		c.clearDelayedAck() // this segment carries the ack
-	}
-	if len(payload) > 0 {
-		// Copy: the send buffer may compact under this segment.
-		seg.Payload = append([]byte(nil), payload...)
 	}
 	if c.suppressed {
 		c.SuppressedSegments++
@@ -925,26 +936,24 @@ func clampWindow(w int) uint16 {
 
 // --- Timers ---
 
+//sttcp:hotpath
 func (c *Conn) armRetransTimer() {
-	c.cancelRetransTimer()
-	c.retransTimer = c.stack.sim.Schedule(c.RTO(), c.onRetransTimeout)
+	c.retransTimer.Arm(c.RTO())
 }
 
+//sttcp:hotpath
 func (c *Conn) armRetransTimerIfNeeded() {
-	if c.retransTimer == nil || c.retransTimer.Cancelled() {
+	if !c.retransTimer.Armed() {
 		c.armRetransTimer()
 	}
 }
 
+//sttcp:hotpath
 func (c *Conn) cancelRetransTimer() {
-	if c.retransTimer != nil {
-		c.stack.sim.Cancel(c.retransTimer)
-		c.retransTimer = nil
-	}
+	c.retransTimer.Stop()
 }
 
 func (c *Conn) onRetransTimeout() {
-	c.retransTimer = nil
 	if c.state == StateClosed || c.state == StateTimeWait {
 		return
 	}
@@ -1036,26 +1045,22 @@ func (c *Conn) fastRetransmit() {
 }
 
 func (c *Conn) armPersistTimer() {
-	if c.persistTimer != nil && !c.persistTimer.Cancelled() {
+	if c.persistTimer.Armed() {
 		return
 	}
 	d := c.stack.opts.MinRTO << c.persistShift
 	if d > c.stack.opts.MaxRTO {
 		d = c.stack.opts.MaxRTO
 	}
-	c.persistTimer = c.stack.sim.Schedule(d, c.onPersistTimeout)
+	c.persistTimer.Arm(d)
 }
 
 func (c *Conn) cancelPersistTimer() {
-	if c.persistTimer != nil {
-		c.stack.sim.Cancel(c.persistTimer)
-		c.persistTimer = nil
-	}
+	c.persistTimer.Stop()
 	c.persistShift = 0
 }
 
 func (c *Conn) onPersistTimeout() {
-	c.persistTimer = nil
 	if c.state == StateClosed || !c.pendingToSend() || c.sndWnd > 0 {
 		return
 	}
@@ -1077,13 +1082,12 @@ func (c *Conn) enterTimeWait() {
 	c.setState(StateTimeWait)
 	c.cancelRetransTimer()
 	c.cancelPersistTimer()
-	if c.timeWaitTimer != nil {
-		c.stack.sim.Cancel(c.timeWaitTimer)
-	}
-	c.timeWaitTimer = c.stack.sim.Schedule(2*c.stack.opts.MSL, func() {
-		c.trace(trace.KindConnClosed, "closed (TIME_WAIT expired)")
-		c.teardown(nil)
-	})
+	c.timeWaitTimer.Arm(2 * c.stack.opts.MSL)
+}
+
+func (c *Conn) onTimeWaitExpired() {
+	c.trace(trace.KindConnClosed, "closed (TIME_WAIT expired)")
+	c.teardown(nil)
 }
 
 // teardown finalises the connection and notifies the application once.
@@ -1096,10 +1100,7 @@ func (c *Conn) teardown(err error) {
 	c.cancelRetransTimer()
 	c.cancelPersistTimer()
 	c.clearDelayedAck()
-	if c.timeWaitTimer != nil {
-		c.stack.sim.Cancel(c.timeWaitTimer)
-		c.timeWaitTimer = nil
-	}
+	c.timeWaitTimer.Stop()
 	c.stack.removeConn(c)
 	if !c.closeNotified {
 		c.closeNotified = true
@@ -1177,31 +1178,40 @@ func (c *Conn) noteCwnd() {
 // notifyReadable and notifyWritable deliver application callbacks
 // asynchronously (as zero-delay events) so that protocol processing
 // triggered from inside an application's Read/Write call can never
-// re-enter the application synchronously. Deliveries are coalesced.
+// re-enter the application synchronously. Deliveries are coalesced, and
+// the prebound callbacks ride pooled Post events, so steady-state data
+// delivery allocates nothing here.
+//
+//sttcp:hotpath
 func (c *Conn) notifyReadable() {
 	if c.OnReadable == nil || c.readablePending {
 		return
 	}
 	c.readablePending = true
-	c.stack.sim.Schedule(0, func() {
-		c.readablePending = false
-		if c.OnReadable != nil {
-			c.OnReadable()
-		}
-	})
+	c.stack.sim.Post(0, c.readableFn)
 }
 
+//sttcp:hotpath
 func (c *Conn) notifyWritable() {
 	if c.OnWritable == nil || c.writablePending {
 		return
 	}
 	c.writablePending = true
-	c.stack.sim.Schedule(0, func() {
-		c.writablePending = false
-		if c.OnWritable != nil && c.sb.free() > 0 {
-			c.OnWritable()
-		}
-	})
+	c.stack.sim.Post(0, c.writableFn)
+}
+
+func (c *Conn) deliverReadable() {
+	c.readablePending = false
+	if c.OnReadable != nil {
+		c.OnReadable()
+	}
+}
+
+func (c *Conn) deliverWritable() {
+	c.writablePending = false
+	if c.OnWritable != nil && c.sb.free() > 0 {
+		c.OnWritable()
+	}
 }
 
 func minInt(a, b int) int {

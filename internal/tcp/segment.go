@@ -102,12 +102,28 @@ func (s *Segment) SegLen() int {
 // pseudo-header for src and dst. The MSS option is emitted only on SYN
 // segments that carry a non-zero MSS.
 func (s *Segment) Encode(src, dst ip.Addr) []byte {
+	return s.AppendEncode(nil, src, dst)
+}
+
+// AppendEncode serialises the segment onto dstBuf, reusing its capacity
+// when possible, and returns the extended slice. The hot transmit path
+// passes a per-stack scratch buffer here so steady-state traffic encodes
+// without allocating.
+func (s *Segment) AppendEncode(dstBuf []byte, src, dst ip.Addr) []byte {
 	optLen := 0
 	if s.Flags.Has(FlagSYN) && s.MSS != 0 {
 		optLen = optMSSLen
 	}
 	total := HeaderLen + optLen + len(s.Payload)
-	buf := make([]byte, total)
+	base := len(dstBuf)
+	if cap(dstBuf)-base < total {
+		grown := make([]byte, base+total)
+		copy(grown, dstBuf)
+		dstBuf = grown
+	} else {
+		dstBuf = dstBuf[:base+total]
+	}
+	buf := dstBuf[base:]
 	binary.BigEndian.PutUint16(buf[0:], s.SrcPort)
 	binary.BigEndian.PutUint16(buf[2:], s.DstPort)
 	binary.BigEndian.PutUint32(buf[4:], s.Seq)
@@ -115,6 +131,9 @@ func (s *Segment) Encode(src, dst ip.Addr) []byte {
 	buf[12] = uint8((HeaderLen+optLen)/4) << 4
 	buf[13] = uint8(s.Flags)
 	binary.BigEndian.PutUint16(buf[14:], s.Window)
+	// Zero the checksum and urgent-pointer fields: the buffer may be a
+	// reused scratch carrying a previous segment's bytes.
+	buf[16], buf[17], buf[18], buf[19] = 0, 0, 0, 0
 	if optLen > 0 {
 		buf[HeaderLen] = 2 // kind: MSS
 		buf[HeaderLen+1] = optMSSLen
@@ -123,7 +142,7 @@ func (s *Segment) Encode(src, dst ip.Addr) []byte {
 	copy(buf[HeaderLen+optLen:], s.Payload)
 	sum := ip.PseudoHeaderSum(src, dst, ip.ProtoTCP, total)
 	binary.BigEndian.PutUint16(buf[16:], ip.FinishChecksum(ip.SumWords(sum, buf)))
-	return buf
+	return dstBuf
 }
 
 // Decode parses and validates buf against the pseudo-header for src and

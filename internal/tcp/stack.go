@@ -144,12 +144,16 @@ type Stack struct {
 	nextPort  uint16
 
 	// OnSuppressed, when non-nil, observes every segment a suppressed
-	// connection generated but did not emit.
+	// connection generated but did not emit. The segment (including its
+	// Payload, which aliases the connection's send buffer) is valid only
+	// for the duration of the call; observers must copy anything they
+	// keep.
 	OnSuppressed func(c *Conn, seg *Segment)
 
 	// OnTransmit, when non-nil, observes every segment actually emitted.
 	// The ST-TCP takeover logic uses it to pin down the instant service
-	// transmission resumes after a takeover.
+	// transmission resumes after a takeover. The same retention contract
+	// as OnSuppressed applies: the segment is valid only during the call.
 	OnTransmit func(c *Conn, seg *Segment)
 
 	// SegmentFilter, when non-nil, sees every inbound segment before
@@ -173,6 +177,13 @@ type Stack struct {
 	mRetransmits *metrics.Counter
 	mBackoffs    *metrics.Counter
 	mCwnd        *metrics.Gauge
+
+	// encBuf is the reusable wire-encoding scratch for outbound segments.
+	// The simulation is single-threaded and every hop below emit copies
+	// synchronously (netstack into its own scratch, the link into a pooled
+	// frame), so one buffer per stack suffices and the per-segment
+	// make([]byte) disappears.
+	encBuf []byte
 }
 
 // NewStack creates a TCP layer on top of ns and registers itself as the
@@ -290,6 +301,14 @@ func (st *Stack) newConn(id ConnID) *Conn {
 		rb:    newRecvBuffer(st.opts.RecvBufferSize),
 		rto:   st.opts.InitialRTO,
 	}
+	// All per-connection timers and notification callbacks are bound here,
+	// once, so the per-segment path re-arms and re-posts without allocating.
+	c.retransTimer = st.sim.NewTimer(c.onRetransTimeout)
+	c.persistTimer = st.sim.NewTimer(c.onPersistTimeout)
+	c.timeWaitTimer = st.sim.NewTimer(c.onTimeWaitExpired)
+	c.delAckTimer = st.sim.NewTimer(c.onDelAckTimeout)
+	c.readableFn = c.deliverReadable
+	c.writableFn = c.deliverWritable
 	c.resetCongestion()
 	return c
 }
@@ -371,8 +390,8 @@ func (st *Stack) emit(c *Conn, seg *Segment) {
 			"tx %v seq=%d ack=%d len=%d", seg.Flags, seg.Seq, seg.Ack, seg.SegLen())
 		defer st.tracer.Activate(sp)()
 	}
-	raw := seg.Encode(c.id.LocalAddr, c.id.RemoteAddr)
-	_ = st.ns.SendIPFrom(c.id.LocalAddr, c.id.RemoteAddr, ip.ProtoTCP, raw)
+	st.encBuf = seg.AppendEncode(st.encBuf[:0], c.id.LocalAddr, c.id.RemoteAddr)
+	_ = st.ns.SendIPFrom(c.id.LocalAddr, c.id.RemoteAddr, ip.ProtoTCP, st.encBuf)
 }
 
 func (st *Stack) noteSuppressed(seg *Segment, c *Conn) {
@@ -463,6 +482,6 @@ func (st *Stack) sendRSTFor(pkt ip.Packet, seg *Segment) {
 		rst.Flags = FlagRST
 	}
 	st.noteEmit()
-	raw := rst.Encode(pkt.Dst, pkt.Src)
-	_ = st.ns.SendIPFrom(pkt.Dst, pkt.Src, ip.ProtoTCP, raw)
+	st.encBuf = rst.AppendEncode(st.encBuf[:0], pkt.Dst, pkt.Src)
+	_ = st.ns.SendIPFrom(pkt.Dst, pkt.Src, ip.ProtoTCP, st.encBuf)
 }
