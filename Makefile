@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet lint build test race bench bench-smoke timeline chaos chaos-smoke clean
+.PHONY: all check vet lint build test race bench bench-smoke bench-gate timeline chaos chaos-smoke clean
 
 all: check
 
@@ -34,6 +34,12 @@ bench:
 # the 2,000-connection failover run. CI uploads BENCH.json as an artifact.
 bench-smoke:
 	$(GO) run ./cmd/sttcp-bench -bench-out BENCH.json
+
+# The suite as a regression gate: compare the fresh BENCH.json against the
+# committed BENCH_0.json baseline and fail on a >15% drop in segments/sec
+# or failovers/sec (see EXPERIMENTS.md "Performance trajectory").
+bench-gate:
+	$(GO) run ./cmd/sttcp-bench -bench-out BENCH.json -bench-baseline BENCH_0.json
 
 # Render the Demo 1 failover anatomy: phase report plus ASCII span timeline.
 # The same view ships as a golden (internal/scenario/testdata/golden); after

@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/hb"
 	"repro/internal/ip"
+	"repro/internal/sim"
 	"repro/internal/tcp"
 )
 
@@ -313,6 +314,27 @@ func BenchmarkScaleFailover(b *testing.B) {
 			b.ReportMetric(float64(segs)/b.Elapsed().Seconds(), "segments/s")
 			b.ReportMetric(float64(time.Duration(stall/int64(b.N)).Milliseconds()), "max_stall_ms")
 			b.ReportMetric(float64(time.Duration(detect/int64(b.N)).Milliseconds()), "detect_ms")
+		})
+	}
+}
+
+// BenchmarkSchedulerKinds runs the same scale failover under each event-
+// queue implementation, so `go test -bench SchedulerKinds` prints the
+// heap/calendar segments-per-second contrast directly. The simulated
+// quantities are byte-identical across sub-benchmarks — only the wall
+// rate moves (see DESIGN.md "Scheduler architecture").
+func BenchmarkSchedulerKinds(b *testing.B) {
+	for _, kind := range []sim.SchedulerKind{sim.SchedulerHeap, sim.SchedulerCalendar} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var segs int64
+			for i := 0; i < b.N; i++ {
+				res := runDemo(b, "scale", experiment.Params{
+					Seed: int64(i + 1), Conns: 500, Size: 16 << 10, Scheduler: kind,
+				})
+				segs += res.Scale.SegmentsEmitted
+			}
+			b.ReportMetric(float64(segs)/b.Elapsed().Seconds(), "segments/s")
 		})
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/sim"
 )
 
 // The -bench-out suite: three reproducible capacity benchmarks whose
@@ -23,9 +25,25 @@ type benchReport struct {
 	Seed       int64           `json:"seed"`
 	GoVersion  string          `json:"go_version"`
 	NumCPU     int             `json:"num_cpu"`
+	Scheduler  string          `json:"scheduler"`
 	Throughput throughputBench `json:"segment_throughput"`
 	Failover   failoverBench   `json:"failover_rate"`
 	Scale      scaleBench      `json:"conns_at_scale"`
+	Schedulers schedCompare    `json:"scheduler_compare"`
+}
+
+// schedCompare reruns the scale benchmark under the alternate event-queue
+// implementation so every BENCH.json records the heap/calendar speed ratio
+// on the workload the -scheduler flag targets. Virtual-time figures are
+// byte-identical across kinds (the differential tests enforce it), so only
+// the wall columns differ.
+type schedCompare struct {
+	HeapWallSeconds     float64 `json:"heap_wall_seconds"`
+	HeapSegmentsPerSec  float64 `json:"heap_segments_per_sec"`
+	CalWallSeconds      float64 `json:"calendar_wall_seconds"`
+	CalSegmentsPerSec   float64 `json:"calendar_segments_per_sec"`
+	CalendarSpeedup     float64 `json:"calendar_speedup"`
+	IdenticalVirtualRun bool    `json:"identical_virtual_run"`
 }
 
 type throughputBench struct {
@@ -58,16 +76,21 @@ type scaleBench struct {
 	SegmentsPerSec float64 `json:"segments_per_sec"`
 }
 
-func benchSuite(path string, seed int64) error {
-	rep := benchReport{Seed: seed, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+func benchSuite(path string, seed int64, baseline string, maxRegress float64) error {
+	rep := benchReport{
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Scheduler: benchSched.Resolve().String(),
+	}
 
 	fmt.Println("## bench suite: segment throughput (demo3, 32 MiB failure-free)")
-	start := time.Now()
-	res, err := runDemo("demo3", experiment.Params{Seed: seed, Size: 32 << 20})
+	start := time.Now() //sttcp:allow simdeterminism wall-clock rate annotation outside any simulation
+	res, err := runDemo("demo3", experiment.Params{Seed: seed, Scheduler: benchSched, Size: 32 << 20})
 	if err != nil {
 		return err
 	}
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start).Seconds() //sttcp:allow simdeterminism wall-clock rate annotation outside any simulation
 	segs := res.Overhead.Metrics.CounterTotal("tcp.segments_sent")
 	rep.Throughput = throughputBench{
 		TransferBytes:  32 << 20,
@@ -81,16 +104,16 @@ func benchSuite(path string, seed int64) error {
 	const runs = 8
 	period := []time.Duration{200 * time.Millisecond}
 	var detSum, failSum time.Duration
-	start = time.Now()
+	start = time.Now() //sttcp:allow simdeterminism wall-clock rate annotation outside any simulation
 	for i := 0; i < runs; i++ {
-		r, err := runDemo("demo2", experiment.Params{Seed: seed + int64(i), Periods: period})
+		r, err := runDemo("demo2", experiment.Params{Seed: seed + int64(i), Scheduler: benchSched, Periods: period})
 		if err != nil {
 			return err
 		}
 		detSum += r.Failovers[0].DetectionTime
 		failSum += r.Failovers[0].FailoverTime
 	}
-	wall = time.Since(start).Seconds()
+	wall = time.Since(start).Seconds() //sttcp:allow simdeterminism wall-clock rate annotation outside any simulation
 	rep.Failover = failoverBench{
 		Runs:            runs,
 		HBPeriodMS:      200,
@@ -103,12 +126,12 @@ func benchSuite(path string, seed int64) error {
 		runs, wall, rep.Failover.FailoversPerSec, rep.Failover.MeanDetectionMS, rep.Failover.MeanFailoverMS)
 
 	fmt.Println("\n## bench suite: 2,000 connections across a primary crash")
-	start = time.Now()
-	res, err = runDemo("scale", experiment.Params{Seed: seed, Conns: 2000, Size: 32 << 10})
+	start = time.Now() //sttcp:allow simdeterminism wall-clock rate annotation outside any simulation
+	res, err = runDemo("scale", experiment.Params{Seed: seed, Scheduler: benchSched, Conns: 2000, Size: 32 << 10})
 	if err != nil {
 		return err
 	}
-	wall = time.Since(start).Seconds()
+	wall = time.Since(start).Seconds() //sttcp:allow simdeterminism wall-clock rate annotation outside any simulation
 	sc := res.Scale
 	rep.Scale = scaleBench{
 		Conns:          sc.Conns,
@@ -132,6 +155,46 @@ func benchSuite(path string, seed int64) error {
 			sc.TookOver, sc.ClientsDone, sc.Conns, sc.VerifyFailures)
 	}
 
+	// Scheduler comparison: rerun the same scale workload under the other
+	// event-queue implementation. The main run above covers one kind;
+	// this covers the alternate, and the virtual-time figures must match.
+	other := sim.SchedulerCalendar
+	if benchSched.Resolve() == sim.SchedulerCalendar {
+		other = sim.SchedulerHeap
+	}
+	fmt.Printf("\n## bench suite: same scale run under the %v scheduler\n", other)
+	start = time.Now() //sttcp:allow simdeterminism wall-clock rate annotation outside any simulation
+	altRes, err := runDemo("scale", experiment.Params{Seed: seed, Scheduler: other, Conns: 2000, Size: 32 << 10})
+	if err != nil {
+		return err
+	}
+	altWall := time.Since(start).Seconds() //sttcp:allow simdeterminism wall-clock rate annotation outside any simulation
+	alt := altRes.Scale
+	cmpSched := schedCompare{
+		IdenticalVirtualRun: alt.SegmentsEmitted == sc.SegmentsEmitted &&
+			alt.DetectionTime == sc.DetectionTime &&
+			alt.VirtualElapsed == sc.VirtualElapsed &&
+			alt.ClientsDone == sc.ClientsDone,
+	}
+	mainSegsPerSec := float64(sc.SegmentsEmitted) / wall
+	altSegsPerSec := float64(alt.SegmentsEmitted) / altWall
+	if benchSched.Resolve() == sim.SchedulerCalendar {
+		cmpSched.CalWallSeconds, cmpSched.CalSegmentsPerSec = wall, mainSegsPerSec
+		cmpSched.HeapWallSeconds, cmpSched.HeapSegmentsPerSec = altWall, altSegsPerSec
+	} else {
+		cmpSched.HeapWallSeconds, cmpSched.HeapSegmentsPerSec = wall, mainSegsPerSec
+		cmpSched.CalWallSeconds, cmpSched.CalSegmentsPerSec = altWall, altSegsPerSec
+	}
+	cmpSched.CalendarSpeedup = cmpSched.HeapWallSeconds / cmpSched.CalWallSeconds
+	rep.Schedulers = cmpSched
+	fmt.Printf("   heap %.2fs (%.0f segments/s) vs calendar %.2fs (%.0f segments/s) → calendar %.2fx\n",
+		cmpSched.HeapWallSeconds, cmpSched.HeapSegmentsPerSec,
+		cmpSched.CalWallSeconds, cmpSched.CalSegmentsPerSec, cmpSched.CalendarSpeedup)
+	if !cmpSched.IdenticalVirtualRun {
+		return fmt.Errorf("bench suite: scale run diverged across schedulers: heap/calendar virtual-time figures differ (segments %d vs %d)",
+			sc.SegmentsEmitted, alt.SegmentsEmitted)
+	}
+
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -148,6 +211,52 @@ func benchSuite(path string, seed int64) error {
 	}
 	if path != "-" {
 		fmt.Printf("\n(benchmark report written to %s)\n", path)
+	}
+	if baseline != "" {
+		return checkRegression(rep, baseline, maxRegress)
+	}
+	return nil
+}
+
+// checkRegression compares the fresh report against the committed baseline
+// (BENCH_0.json) and fails when any throughput metric dropped by more than
+// maxRegress percent. Only rate metrics gate: the deterministic virtual-time
+// figures are covered by the test suite, and wall-clock improvements are
+// always allowed.
+func checkRegression(rep benchReport, baseline string, maxRegress float64) error {
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", baseline, err)
+	}
+	fmt.Printf("\n## regression gate vs %s (max tolerated drop %.0f%%)\n", baseline, maxRegress)
+	checks := []struct {
+		name      string
+		base, cur float64
+	}{
+		{"segment_throughput.segments_per_sec", base.Throughput.SegmentsPerSec, rep.Throughput.SegmentsPerSec},
+		{"failover_rate.failovers_per_sec", base.Failover.FailoversPerSec, rep.Failover.FailoversPerSec},
+		{"conns_at_scale.segments_per_sec", base.Scale.SegmentsPerSec, rep.Scale.SegmentsPerSec},
+	}
+	var failures []string
+	for _, c := range checks {
+		if c.base <= 0 {
+			fmt.Printf("   %-40s baseline empty, skipped\n", c.name)
+			continue
+		}
+		delta := (c.cur - c.base) / c.base * 100
+		status := "ok"
+		if delta < -maxRegress {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.4g → %.4g (%.1f%%)", c.name, c.base, c.cur, delta))
+		}
+		fmt.Printf("   %-40s %12.4g → %12.4g  %+6.1f%%  %s\n", c.name, c.base, c.cur, delta, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression beyond %.0f%%: %s", maxRegress, strings.Join(failures, "; "))
 	}
 	return nil
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rep benchReport) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckRegression(t *testing.T) {
+	base := benchReport{}
+	base.Throughput.SegmentsPerSec = 20000
+	base.Failover.FailoversPerSec = 0.4
+	base.Scale.SegmentsPerSec = 17000
+	path := writeBaseline(t, base)
+
+	t.Run("within-tolerance", func(t *testing.T) {
+		cur := base
+		cur.Throughput.SegmentsPerSec = 18000 // -10%
+		cur.Scale.SegmentsPerSec = 25000      // improvements always pass
+		if err := checkRegression(cur, path, 15); err != nil {
+			t.Fatalf("unexpected gate failure: %v", err)
+		}
+	})
+
+	t.Run("regressed", func(t *testing.T) {
+		cur := base
+		cur.Scale.SegmentsPerSec = 10000 // -41%
+		err := checkRegression(cur, path, 15)
+		if err == nil {
+			t.Fatal("gate passed a 41% drop")
+		}
+		if !strings.Contains(err.Error(), "conns_at_scale.segments_per_sec") {
+			t.Fatalf("error does not name the regressed metric: %v", err)
+		}
+	})
+
+	t.Run("empty-baseline-metric-skipped", func(t *testing.T) {
+		sparse := benchReport{}
+		sparse.Throughput.SegmentsPerSec = 20000
+		sparsePath := writeBaseline(t, sparse)
+		cur := base
+		cur.Failover.FailoversPerSec = 0.01 // would fail if gated
+		if err := checkRegression(cur, sparsePath, 15); err != nil {
+			t.Fatalf("zero-valued baseline metrics must be skipped: %v", err)
+		}
+	})
+
+	t.Run("missing-baseline", func(t *testing.T) {
+		if err := checkRegression(base, filepath.Join(t.TempDir(), "nope.json"), 15); err == nil {
+			t.Fatal("missing baseline file must fail the gate")
+		}
+	})
+}

@@ -31,6 +31,7 @@ import (
 func main() {
 	var (
 		seed         = cliflags.Seed(1, "run i uses seed+i")
+		sched        = cliflags.Scheduler()
 		runs         = flag.Int("runs", 100, "number of schedules to run (0 with -wall: unlimited)")
 		wall         = flag.Duration("wall", 0, "stop starting new runs after this much real time (0: no limit)")
 		shrinkBudget = flag.Int("shrink-budget", 50, "max re-executions the shrinker may spend on a failure")
@@ -41,7 +42,7 @@ func main() {
 		verbose      = flag.Bool("v", false, "print every schedule and its outcome")
 	)
 	flag.Parse()
-	opts := chaos.Options{TraceDetail: *traceDetail, FlightRecorder: *flightRec}
+	opts := chaos.Options{TraceDetail: *traceDetail, FlightRecorder: *flightRec, Scheduler: *sched}
 
 	if *runs == 0 && *wall == 0 {
 		fmt.Fprintln(os.Stderr, "sttcp-chaos: need -runs or -wall")

@@ -39,6 +39,7 @@ func main() {
 func run() error {
 	demo := flag.String("demo", "all", "demonstration to run: a registry name (demo1..demo5, demo2-upload, capacity, scale, ...), a bare number 1..5, or 'all'")
 	seed := cliflags.Seed(42, "")
+	sched := cliflags.Scheduler()
 	eager := flag.Bool("eager", false, "enable the eager-retransmit takeover extension where applicable")
 	showTrace := flag.Bool("trace", false, "dump the event trace after each demo")
 	jsonPath := flag.String("json", "", "write demo1's ST-TCP event trace as JSON to this file")
@@ -80,7 +81,7 @@ func run() error {
 	var lastSnapshot *metrics.Snapshot
 	var lastTracer *trace.Recorder
 	for _, d := range selected {
-		res, err := d.Run(experiment.Params{Seed: *seed, Eager: *eager, TraceDetail: detail})
+		res, err := d.Run(experiment.Params{Seed: *seed, Eager: *eager, TraceDetail: detail, Scheduler: *sched})
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.Name, err)
 		}

@@ -38,6 +38,7 @@ func run() error {
 	showTrace := flag.Bool("trace", false, "dump the full event trace after the run")
 	timeline := flag.Bool("timeline", false, "render the run's causal span timeline")
 	traceOut := cliflags.TraceOut("the run")
+	sched := cliflags.Scheduler()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: sttcp-lab [-trace] [-timeline] [-trace-out FILE] <script.sttcp | ->")
@@ -57,7 +58,7 @@ func run() error {
 		return err
 	}
 	// Exports want the per-segment detail spans that are off by default.
-	res, err := scenario.RunWith(sc, scenario.RunOptions{TraceDetail: *timeline || *traceOut != ""})
+	res, err := scenario.RunWith(sc, scenario.RunOptions{TraceDetail: *timeline || *traceOut != "", Scheduler: *sched})
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,7 @@ func main() {
 
 func run() error {
 	seed := cliflags.Seed(42, "scenario i runs at seed+i")
+	sched := cliflags.Scheduler()
 	showTrace := flag.Bool("trace", false, "dump the event trace per scenario")
 	flag.Parse()
 
@@ -34,7 +35,7 @@ func run() error {
 
 	failures := 0
 	for i, sc := range experiment.Scenarios {
-		res, err := experiment.RunScenario(*seed+int64(i), sc)
+		res, err := experiment.RunScenarioWith(*seed+int64(i), sc, *sched)
 		if err != nil {
 			return fmt.Errorf("%v: %w", sc, err)
 		}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // forbiddenTimeFuncs are the wall-clock entry points that break
@@ -42,7 +43,8 @@ var SimDeterminism = &Analyzer{
 
 func runSimDeterminism(pass *Pass) {
 	pkg := pass.Pkg
-	if !pkgPathHasSuffix(pkg.Path, "internal/sim") && !importsPkgSuffix(pkg, "internal/sim") {
+	inSim := pkgPathHasSuffix(pkg.Path, "internal/sim")
+	if !inSim && !importsPkgSuffix(pkg, "internal/sim") {
 		return
 	}
 	// internal/sweep is the audited parallelism boundary: it fans whole
@@ -53,6 +55,18 @@ func runSimDeterminism(pass *Pass) {
 	// just like any other sim-driven code.
 	sweepBoundary := pkgPathHasSuffix(pkg.Path, "internal/sweep")
 	for _, f := range pass.Files() {
+		// Event ordering is internal/sim's monopoly: every other package
+		// must schedule through the sim.Scheduler interface (Post, Timer,
+		// RunUntil). A private container/heap next to the simulator is a
+		// second ordering authority whose tie-breaks the differential
+		// tests never see, so the import itself is the violation.
+		if !inSim {
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) == "container/heap" {
+					pass.Reportf(imp.Pos(), "container/heap imported in sim-driven package %s: event ordering must go through the sim.Scheduler interface, not a private priority queue", pkg.Types.Name())
+				}
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:

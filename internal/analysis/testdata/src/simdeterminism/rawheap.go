@@ -1,0 +1,28 @@
+// A sim-driven package rolling its own priority queue: container/heap is
+// a second event-ordering authority next to the simulator, so the import
+// itself is flagged.
+package simdeterminism
+
+import (
+	"container/heap" // want `container/heap imported in sim-driven package`
+)
+
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func rawHeap() int {
+	h := &intHeap{3, 1, 2}
+	heap.Init(h)
+	return heap.Pop(h).(int)
+}

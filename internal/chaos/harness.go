@@ -10,6 +10,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/netem"
+	"repro/internal/sim"
 	"repro/internal/sttcp"
 	"repro/internal/tcp"
 	"repro/internal/trace"
@@ -38,6 +39,10 @@ type Options struct {
 	// TraceDetail enables per-segment/per-frame detail events and spans
 	// on the run's recorder.
 	TraceDetail bool
+	// Scheduler selects the simulator's event-queue implementation for
+	// every run in the campaign. Runs are byte-identical across kinds, so
+	// a failure found under one scheduler replays under the other.
+	Scheduler sim.SchedulerKind
 }
 
 // appServer is the slice of the app-server API the harness injects faults
@@ -135,6 +140,7 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 		Seed:           sc.Seed,
 		FlightRecorder: opts.FlightRecorder,
 		TraceDetail:    opts.TraceDetail,
+		Scheduler:      opts.Scheduler,
 	})
 	mutate := func(c *sttcp.Config) {
 		// Detection must outrun the gated-FIN auto-release: a silent

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"repro/internal/sim"
 	"testing"
 	"time"
 )
@@ -10,7 +11,7 @@ import (
 // conventional hot-backup baseline the client also completes but only by
 // reconnecting, with a much larger disruption.
 func TestDemo1(t *testing.T) {
-	res, err := runDemo1(42, 16<<20, 500*time.Millisecond, false)
+	res, err := runDemo1(42, 16<<20, 500*time.Millisecond, false, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -42,7 +43,7 @@ func TestDemo1(t *testing.T) {
 // detection time is roughly the heartbeat timeout (3 periods).
 func TestDemo2(t *testing.T) {
 	periods := []time.Duration{200 * time.Millisecond, 500 * time.Millisecond, time.Second}
-	results, err := runDemo2(7, periods, false, false)
+	results, err := runDemo2(7, periods, false, false, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -72,11 +73,11 @@ func TestDemo2(t *testing.T) {
 // the 1 s-heartbeat failover versus the paper's wait-for-retransmission.
 func TestDemo2Eager(t *testing.T) {
 	periods := []time.Duration{time.Second}
-	faithful, err := runDemo2(7, periods, false, false)
+	faithful, err := runDemo2(7, periods, false, false, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run faithful: %v", err)
 	}
-	eager, err := runDemo2(7, periods, true, false)
+	eager, err := runDemo2(7, periods, true, false, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run eager: %v", err)
 	}
@@ -96,7 +97,7 @@ func TestDemo3(t *testing.T) {
 	if testing.Short() {
 		size = 16 << 20
 	}
-	res, err := runDemo3(11, size)
+	res, err := runDemo3(11, size, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -113,7 +114,7 @@ func TestDemo4(t *testing.T) {
 	for _, mode := range []AppCrashMode{CrashNoCleanup, CrashWithCleanup} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
-			res, err := runDemo4(13, mode, false)
+			res, err := runDemo4(13, mode, false, sim.SchedulerDefault)
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}
@@ -132,7 +133,7 @@ func TestDemo4(t *testing.T) {
 // takeover, backup NIC death in non-FT mode, with the client unaffected.
 func TestDemo5(t *testing.T) {
 	t.Run("primary", func(t *testing.T) {
-		res, err := runDemo5(17, true, false)
+		res, err := runDemo5(17, true, false, sim.SchedulerDefault)
 		if err != nil {
 			t.Fatalf("run: %v", err)
 		}
@@ -145,7 +146,7 @@ func TestDemo5(t *testing.T) {
 		t.Logf("primary NIC fail: detect=%v", res.DetectionTime)
 	})
 	t.Run("backup", func(t *testing.T) {
-		res, err := runDemo5(18, false, false)
+		res, err := runDemo5(18, false, false, sim.SchedulerDefault)
 		if err != nil {
 			t.Fatalf("run: %v", err)
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"repro/internal/sim"
 	"testing"
 	"time"
 
@@ -15,7 +16,7 @@ import (
 // the client's retransmission backoff.
 func TestDemo2Upload(t *testing.T) {
 	periods := []time.Duration{200 * time.Millisecond, time.Second}
-	results, err := runDemo2Upload(71, periods, false)
+	results, err := runDemo2Upload(71, periods, false, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

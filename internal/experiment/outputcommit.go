@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/sim"
 	"repro/internal/sttcp"
 	"repro/internal/trace"
 )
@@ -34,9 +35,9 @@ type OutputCommitResult struct {
 // optional logger machine taps the client stream and makes the bytes
 // recoverable at takeover. Reached through the "output-commit" registry
 // demo.
-func runOutputCommit(seed int64, withLogger bool) (OutputCommitResult, error) {
+func runOutputCommit(seed int64, withLogger bool, sched sim.SchedulerKind) (OutputCommitResult, error) {
 	out := OutputCommitResult{WithLogger: withLogger}
-	tb := Build(Options{Seed: seed, WithLogger: withLogger})
+	tb := Build(Options{Seed: seed, WithLogger: withLogger, Scheduler: sched})
 	if err := tb.StartSTTCP(0, nil); err != nil {
 		return out, err
 	}

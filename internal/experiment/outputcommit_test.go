@@ -1,6 +1,10 @@
 package experiment
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
 
 // TestOutputCommitWithoutLoggerIsUnrecoverable reproduces the limitation
 // the paper states in §4.3: if the primary crashes while the backup is
@@ -8,7 +12,7 @@ import "testing"
 // failure as unrecoverable — the client will not retransmit acknowledged
 // bytes, so the session wedges after takeover.
 func TestOutputCommitWithoutLoggerIsUnrecoverable(t *testing.T) {
-	res, err := runOutputCommit(61, false)
+	res, err := runOutputCommit(61, false, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -26,7 +30,7 @@ func TestOutputCommitWithoutLoggerIsUnrecoverable(t *testing.T) {
 // the logger machine tapping the client stream, the backup retrieves the
 // acknowledged-but-missed bytes at takeover and the session completes.
 func TestOutputCommitWithLoggerRecovers(t *testing.T) {
-	res, err := runOutputCommit(61, true)
+	res, err := runOutputCommit(61, true, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/serial"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -34,6 +35,11 @@ type Params struct {
 	// spans in the failover demos (the -trace-out/-timeline CLI flags set
 	// it); Demo 3's overhead benchmark ignores it.
 	TraceDetail bool
+	// Scheduler selects the simulator's event-queue implementation for
+	// every testbed the demo builds (the -scheduler CLI flag sets it).
+	// The run itself is byte-identical across kinds; only wall-clock
+	// speed differs.
+	Scheduler sim.SchedulerKind
 
 	// Conns is the concurrent-connection count for the scale demo
 	// (default 2,000).
@@ -122,7 +128,7 @@ func Demos() []Demo {
 				if crashAfter == 0 {
 					crashAfter = 500 * time.Millisecond
 				}
-				d, err := runDemo1(p.Seed, size, crashAfter, p.TraceDetail)
+				d, err := runDemo1(p.Seed, size, crashAfter, p.TraceDetail, p.Scheduler)
 				if err != nil {
 					return Result{Demo: "demo1"}, err
 				}
@@ -138,7 +144,7 @@ func Demos() []Demo {
 			Name:  "demo2",
 			Title: "failover time vs. heartbeat period",
 			Run: func(p Params) (Result, error) {
-				rs, err := runDemo2(p.Seed, defaultPeriods(p.Periods), p.Eager, p.TraceDetail)
+				rs, err := runDemo2(p.Seed, defaultPeriods(p.Periods), p.Eager, p.TraceDetail, p.Scheduler)
 				if err != nil {
 					return Result{Demo: "demo2"}, err
 				}
@@ -149,7 +155,7 @@ func Demos() []Demo {
 			Name:  "demo2-upload",
 			Title: "failover time vs. heartbeat period, client as sender",
 			Run: func(p Params) (Result, error) {
-				rs, err := runDemo2Upload(p.Seed, defaultPeriods(p.Periods), p.TraceDetail)
+				rs, err := runDemo2Upload(p.Seed, defaultPeriods(p.Periods), p.TraceDetail, p.Scheduler)
 				if err != nil {
 					return Result{Demo: "demo2-upload"}, err
 				}
@@ -164,7 +170,7 @@ func Demos() []Demo {
 				if size == 0 {
 					size = 100 << 20
 				}
-				d, err := runDemo3(p.Seed, size)
+				d, err := runDemo3(p.Seed, size, p.Scheduler)
 				if err != nil {
 					return Result{Demo: "demo3"}, err
 				}
@@ -181,7 +187,7 @@ func Demos() []Demo {
 				}
 				out := Result{Demo: "demo4"}
 				for _, mode := range modes {
-					r, err := runDemo4(p.Seed, mode, p.TraceDetail)
+					r, err := runDemo4(p.Seed, mode, p.TraceDetail, p.Scheduler)
 					if err != nil {
 						return out, fmt.Errorf("mode %v: %w", mode, err)
 					}
@@ -198,7 +204,7 @@ func Demos() []Demo {
 			Run: func(p Params) (Result, error) {
 				out := Result{Demo: "demo5"}
 				for _, atPrimary := range []bool{true, false} {
-					r, err := runDemo5(p.Seed, atPrimary, p.TraceDetail)
+					r, err := runDemo5(p.Seed, atPrimary, p.TraceDetail, p.Scheduler)
 					if err != nil {
 						return out, err
 					}
@@ -226,7 +232,7 @@ func Demos() []Demo {
 					bps = serial.DefaultBitsPerSecond
 				}
 				series, err := fanIdx(p.Workers, len(counts), func(i int) (SerialCapacityResult, error) {
-					return runHBLinkCapacity(counts[i], period, 10*time.Second, bps)
+					return runHBLinkCapacity(counts[i], period, 10*time.Second, bps, p.Scheduler)
 				})
 				return Result{Demo: "capacity", Capacity: series}, err
 			},
@@ -244,7 +250,7 @@ func Demos() []Demo {
 				if samples == 0 {
 					samples = 8
 				}
-				dist, err := runDemo2Sampled(p.Seed, period, samples, p.Workers)
+				dist, err := runDemo2Sampled(p.Seed, period, samples, p.Workers, p.Scheduler)
 				if err != nil {
 					return Result{Demo: "demo2-dist"}, err
 				}
@@ -257,7 +263,7 @@ func Demos() []Demo {
 			Extended: true,
 			Run: func(p Params) (Result, error) {
 				rs, err := fanIdx(p.Workers, 2, func(i int) (OutputCommitResult, error) {
-					return runOutputCommit(p.Seed, i == 1)
+					return runOutputCommit(p.Seed, i == 1, p.Scheduler)
 				})
 				return Result{Demo: "output-commit", OutputCommit: rs}, err
 			},
@@ -269,7 +275,7 @@ func Demos() []Demo {
 			Run: func(p Params) (Result, error) {
 				rs, err := fanIdx(p.Workers, 2, func(i int) (WitnessResult, error) {
 					withWitness := i == 1
-					d, err := runWitnessConflict(p.Seed, withWitness)
+					d, err := runWitnessConflict(p.Seed, withWitness, p.Scheduler)
 					return WitnessResult{WithWitness: withWitness, Resolution: d}, err
 				})
 				return Result{Demo: "witness", Witness: rs}, err
@@ -282,7 +288,7 @@ func Demos() []Demo {
 			Run: func(p Params) (Result, error) {
 				rs, err := fanIdx(p.Workers, 2, func(i int) (NICLoadResult, error) {
 					tap := i == 1
-					rx, err := runBackupNICLoad(p.Seed, tap)
+					rx, err := runBackupNICLoad(p.Seed, tap, p.Scheduler)
 					return NICLoadResult{TapBothDirections: tap, BackupRxBytes: rx}, err
 				})
 				return Result{Demo: "nicload", NICLoad: rs}, err
@@ -301,7 +307,7 @@ func Demos() []Demo {
 				if size == 0 {
 					size = 32 << 10
 				}
-				sc, err := runScaleFailover(p.Seed, conns, size, true)
+				sc, err := runScaleFailover(p.Seed, conns, size, true, p.Scheduler)
 				if err != nil {
 					return Result{Demo: "scale"}, err
 				}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestSchedulerKindsProduceIdenticalExperiments is the end-to-end half of
+// the scheduler differential suite: internal/sim proves both event queues
+// fire the same events in the same order, and this proves the property
+// survives the whole stack — netem's batched delivery, the TCP stacks,
+// ST-TCP failover, and the metric counters — by running real experiments
+// under each kind and demanding identical results.
+func TestSchedulerKindsProduceIdenticalExperiments(t *testing.T) {
+	t.Run("demo2", func(t *testing.T) {
+		periods := []time.Duration{200 * time.Millisecond}
+		heap, err := runDemo2(23, periods, false, false, sim.SchedulerHeap)
+		if err != nil {
+			t.Fatalf("heap run: %v", err)
+		}
+		cal, err := runDemo2(23, periods, false, false, sim.SchedulerCalendar)
+		if err != nil {
+			t.Fatalf("calendar run: %v", err)
+		}
+		// Recorders reference their own simulator, so they can never be
+		// DeepEqual across runs; the event streams they captured are
+		// compared through every derived field that stays in the result.
+		for i := range heap {
+			heap[i].Tracer, cal[i].Tracer = nil, nil
+		}
+		if !reflect.DeepEqual(heap, cal) {
+			t.Errorf("demo2 diverged across schedulers:\nheap:     %+v\ncalendar: %+v", heap, cal)
+		}
+	})
+
+	t.Run("scale", func(t *testing.T) {
+		heap, err := runScaleFailover(23, 25, 256<<10, true, sim.SchedulerHeap)
+		if err != nil {
+			t.Fatalf("heap run: %v", err)
+		}
+		cal, err := runScaleFailover(23, 25, 256<<10, true, sim.SchedulerCalendar)
+		if err != nil {
+			t.Fatalf("calendar run: %v", err)
+		}
+		// The snapshot pointers differ by identity; their rendered counter
+		// tables must not.
+		hm, cm := heap.Metrics, cal.Metrics
+		heap.Metrics, cal.Metrics = nil, nil
+		if !reflect.DeepEqual(heap, cal) {
+			t.Errorf("scale run diverged across schedulers:\nheap:     %+v\ncalendar: %+v", heap, cal)
+		}
+		if hm == nil || cm == nil {
+			t.Fatalf("missing metric snapshots: heap=%v calendar=%v", hm != nil, cm != nil)
+		}
+		if hs, cs := hm.String(), cm.String(); hs != cs {
+			t.Errorf("metric snapshots diverged across schedulers:\nheap:\n%s\ncalendar:\n%s", hs, cs)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"repro/internal/sim"
 	"testing"
 	"time"
 )
@@ -23,7 +24,7 @@ func TestDemo2SampledDistribution(t *testing.T) {
 		t.Skip("sampled sweep skipped in -short")
 	}
 	const period = 200 * time.Millisecond
-	dist, err := runDemo2Sampled(5, period, 8, 0)
+	dist, err := runDemo2Sampled(5, period, 8, 0, sim.SchedulerDefault)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

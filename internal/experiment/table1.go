@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/sim"
 	"repro/internal/sttcp"
 	"repro/internal/trace"
 )
@@ -127,8 +128,13 @@ func (s Scenario) ExpectNonFT() bool {
 // data flowing both ways, the failure is injected two seconds in, and the
 // run continues until the workload finishes or times out.
 func RunScenario(seed int64, sc Scenario) (ScenarioResult, error) {
+	return RunScenarioWith(seed, sc, sim.SchedulerDefault)
+}
+
+// RunScenarioWith is RunScenario on an explicit scheduler kind.
+func RunScenarioWith(seed int64, sc Scenario, sched sim.SchedulerKind) (ScenarioResult, error) {
 	out := ScenarioResult{Scenario: sc}
-	tb := Build(Options{Seed: seed})
+	tb := Build(Options{Seed: seed, Scheduler: sched})
 	err := tb.StartSTTCP(0, func(c *sttcp.Config) {
 		c.MaxDelayFIN = 15 * time.Second
 	})

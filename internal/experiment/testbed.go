@@ -52,6 +52,11 @@ var ReverseGroup = eth.MakeMulticastAddr(0x200)
 type Options struct {
 	// Seed drives all randomness in the run.
 	Seed int64
+	// Scheduler selects the simulator's event-queue implementation
+	// (sim.SchedulerDefault resolves to the heap). Every run is
+	// byte-identical across kinds; the choice only affects wall-clock
+	// speed.
+	Scheduler sim.SchedulerKind
 	// LAN overrides the 100 Mbit/s default link configuration.
 	LAN *netem.LinkConfig
 	// TCP overrides stack options on every host.
@@ -116,7 +121,7 @@ type Testbed struct {
 
 // Build constructs the testbed of Figure 2.
 func Build(opts Options) *Testbed {
-	s := sim.New(opts.Seed)
+	s := sim.NewWithConfig(sim.Config{Seed: opts.Seed, Scheduler: opts.Scheduler})
 	tracer := trace.NewRecorder(s.Now)
 	// The recorder rides the simulator's ambient context, so spans follow
 	// causality across every scheduled hop (links, switch forwarding,
@@ -134,12 +139,13 @@ func Build(opts Options) *Testbed {
 	tb := &Testbed{Sim: s, Tracer: tracer, Metrics: reg, Switch: sw}
 	host := func(name string, ethNum uint32, addr ip.Addr) *cluster.Host {
 		return cluster.New(s, cluster.HostConfig{
-			Name:    name,
-			EthNum:  ethNum,
-			Addr:    addr,
-			TCP:     opts.TCP,
-			Tracer:  tracer,
-			Metrics: reg,
+			Name:      name,
+			EthNum:    ethNum,
+			Addr:      addr,
+			TCP:       opts.TCP,
+			Tracer:    tracer,
+			Metrics:   reg,
+			Scheduler: opts.Scheduler.Resolve(),
 		})
 	}
 	tb.Client = host("client", 1, ClientAddr)

@@ -76,21 +76,21 @@ type Link struct {
 
 	// Frame buffers and delivery records are pooled so steady-state
 	// traffic allocates nothing per frame. Each in-flight frame owns one
-	// delivery record (with its callback bound at record construction)
-	// and one pooled buffer; both return to their pools when delivery —
-	// or an in-flight drop — completes.
+	// delivery record and one pooled buffer; both return to their pools
+	// when delivery — or an in-flight drop — completes.
 	pool       bufPool
 	deliveries []*delivery
 }
 
-// delivery is one in-flight frame: the pooled buffer plus the state the
-// delivery callback needs. run is bound to deliver once, when the record is
-// first created, so re-posting a recycled record allocates nothing.
+// delivery is one in-flight frame: the pooled buffer, the arrival
+// deadline, and the sender's causal context, restored around the
+// endpoint call so trace spans follow the frame across the wire even
+// though many frames share one timer event.
 type delivery struct {
-	l     *Link
-	peer  Endpoint
-	frame []byte
-	run   func()
+	peer    Endpoint
+	frame   []byte
+	arrival time.Time
+	ctx     uint64
 }
 
 func (l *Link) takeDelivery() *delivery {
@@ -100,41 +100,30 @@ func (l *Link) takeDelivery() *delivery {
 		l.deliveries = l.deliveries[:n-1]
 		return d
 	}
-	d := &delivery{l: l}
-	d.run = d.deliver
-	return d
+	return &delivery{}
 }
 
-func (d *delivery) deliver() {
-	l := d.l
-	frame, peer := d.frame, d.peer
-	d.frame, d.peer = nil, nil
-	l.deliveries = append(l.deliveries, d)
-	if l.down {
-		l.Drops++
-		l.mDrops.Inc()
-		l.traceDrop(len(frame), "went down in flight")
-		l.pool.put(frame)
-		return
-	}
-	l.Delivered++
-	l.mFrames.Inc()
-	if l.tracer.Detail() {
-		l.tracer.EmitValue(trace.KindNetDeliver, l.name, int64(len(frame)), "deliver %dB", len(frame))
-	}
-	peer.DeliverFrame(frame)
-	l.pool.put(frame)
-}
-
+// linkSide is one direction of the link. In-flight frames sit in
+// pending[head:] ordered by arrival, and one timer per side — armed for
+// the earliest arrival — drains everything due when it fires, so the
+// simulator's event queue holds O(links) delivery events instead of
+// O(in-flight frames).
 type linkSide struct {
 	peer     Endpoint // delivery target (the *other* end)
 	nextFree time.Time
 	dropTill time.Time
+
+	pending []*delivery // in flight, pending[head:] sorted by arrival
+	head    int
+	timer   *sim.Timer
 }
 
 // NewLink creates a link; attach both ends with Attach before use.
 func NewLink(s *sim.Simulator, cfg LinkConfig) *Link {
-	return &Link{sim: s, cfg: cfg, a: &linkSide{}, b: &linkSide{}}
+	l := &Link{sim: s, cfg: cfg, a: &linkSide{}, b: &linkSide{}}
+	l.a.timer = s.NewTimer(func() { l.drain(l.a) })
+	l.b.timer = s.NewTimer(func() { l.drain(l.b) })
+	return l
 }
 
 // Attach wires the two endpoints to the link. Frames transmitted by a are
@@ -237,7 +226,85 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 	d := l.takeDelivery()
 	d.peer = side.peer
 	d.frame = frame
-	l.sim.PostAt(arrival, d.run)
+	d.arrival = arrival
+	d.ctx = l.sim.Context()
+	l.enqueue(side, d)
+}
+
+// enqueue inserts d into side's in-flight queue, keeping pending[head:]
+// sorted by arrival (a stable insert: jitter may reorder frames, and
+// frames with equal arrivals keep transmit order). The timer re-arms
+// only when d became the new earliest arrival.
+func (l *Link) enqueue(side *linkSide, d *delivery) {
+	p := side.pending
+	// Without jitter arrivals are monotone and this scan is zero
+	// iterations; with jitter it is bounded by the frames inside one
+	// jitter window.
+	i := len(p)
+	for i > side.head && p[i-1].arrival.After(d.arrival) {
+		i--
+	}
+	p = append(p, nil)
+	copy(p[i+1:], p[i:])
+	p[i] = d
+	side.pending = p
+	if i == side.head {
+		side.timer.ArmAt(d.arrival)
+	}
+}
+
+// drain delivers every frame whose arrival is due and re-arms the timer
+// for the next one. Delivering a frame can transmit new frames on this
+// same side (zero-delay topologies), so the bounds are re-read each
+// iteration.
+func (l *Link) drain(side *linkSide) {
+	now := l.sim.Now()
+	for side.head < len(side.pending) {
+		d := side.pending[side.head]
+		if d.arrival.After(now) {
+			break
+		}
+		side.pending[side.head] = nil
+		side.head++
+		l.deliverNow(d)
+	}
+	if side.head > 0 && side.head*2 >= len(side.pending) {
+		n := copy(side.pending, side.pending[side.head:])
+		for i := n; i < len(side.pending); i++ {
+			side.pending[i] = nil
+		}
+		side.pending = side.pending[:n]
+		side.head = 0
+	}
+	if side.head < len(side.pending) {
+		side.timer.ArmAt(side.pending[side.head].arrival)
+	}
+}
+
+// deliverNow completes one delivery: the frame is handed to the peer (or
+// dropped if the link went down in flight) under the sender's causal
+// context, and the record and buffer return to their pools.
+func (l *Link) deliverNow(d *delivery) {
+	frame, peer, ctx := d.frame, d.peer, d.ctx
+	d.frame, d.peer, d.ctx = nil, nil, 0
+	l.deliveries = append(l.deliveries, d)
+	if l.down {
+		l.Drops++
+		l.mDrops.Inc()
+		l.traceDrop(len(frame), "went down in flight")
+		l.pool.put(frame)
+		return
+	}
+	prev := l.sim.Context()
+	l.sim.SetContext(ctx)
+	l.Delivered++
+	l.mFrames.Inc()
+	if l.tracer.Detail() {
+		l.tracer.EmitValue(trace.KindNetDeliver, l.name, int64(len(frame)), "deliver %dB", len(frame))
+	}
+	peer.DeliverFrame(frame)
+	l.pool.put(frame)
+	l.sim.SetContext(prev)
 }
 
 func (l *Link) traceDrop(size int, why string) {

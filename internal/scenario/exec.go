@@ -8,6 +8,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/experiment"
 	"repro/internal/netem"
+	"repro/internal/sim"
 	"repro/internal/sttcp"
 	"repro/internal/tcp"
 	"repro/internal/trace"
@@ -62,6 +63,10 @@ type RunOptions struct {
 	// spans, for runs whose trace will be exported (sttcp-lab's
 	// -trace-out/-timeline flags set it).
 	TraceDetail bool
+	// Scheduler selects the simulator's event-queue implementation
+	// (sttcp-lab's -scheduler flag sets it). Scripts run byte-identically
+	// under either kind, so golden outputs never depend on it.
+	Scheduler sim.SchedulerKind
 }
 
 // Run executes a parsed script on a fresh simulated testbed.
@@ -70,7 +75,7 @@ func Run(sc *Script) (*Result, error) { return RunWith(sc, RunOptions{}) }
 // RunWith is Run with execution options.
 func RunWith(sc *Script, ro RunOptions) (*Result, error) {
 	// Pass 1: options and workload-kind validation.
-	opts := experiment.Options{Seed: 42, TraceDetail: ro.TraceDetail}
+	opts := experiment.Options{Seed: 42, TraceDetail: ro.TraceDetail, Scheduler: ro.Scheduler}
 	hb := time.Duration(0)
 	maxDelayFIN := time.Duration(0)
 	kind := ""

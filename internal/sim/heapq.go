@@ -1,0 +1,116 @@
+package sim
+
+// heapScheduler is the reference Scheduler: a binary min-heap of entries
+// ordered by (when, seq). Cancellation is lazy — tombstones are skipped
+// when they surface at the root, and the whole heap is compacted once
+// tombstones outnumber live entries — so Cancel is O(1) instead of the
+// O(log n) sift that heap.Remove used to pay on every timer re-arm.
+type heapScheduler struct {
+	q    []entry
+	dead int // tombstones still buried in q
+}
+
+func (h *heapScheduler) Kind() SchedulerKind { return SchedulerHeap }
+
+func (h *heapScheduler) Len() int { return len(h.q) - h.dead }
+
+//sttcp:hotpath
+func (h *heapScheduler) Schedule(e *Event) {
+	//sttcp:allow hotpathalloc amortized heap growth; steady state reuses capacity (TestHeapSteadyStateAllocs)
+	h.q = append(h.q, entry{when: e.when, seq: e.seq, gen: e.gen, ev: e})
+	h.up(len(h.q) - 1)
+}
+
+//sttcp:hotpath
+func (h *heapScheduler) Cancel(e *Event) {
+	h.dead++
+	if h.dead > 64 && h.dead > len(h.q)-h.dead {
+		h.compact()
+	}
+}
+
+func (h *heapScheduler) Peek() *Event {
+	for len(h.q) > 0 {
+		if !h.q[0].stale() {
+			return h.q[0].ev
+		}
+		h.removeTop()
+		h.dead--
+	}
+	return nil
+}
+
+//sttcp:hotpath
+func (h *heapScheduler) Pop() *Event {
+	for len(h.q) > 0 {
+		en := h.q[0]
+		h.removeTop()
+		if en.stale() {
+			h.dead--
+			continue
+		}
+		return en.ev
+	}
+	return nil
+}
+
+// compact drops every tombstone and rebuilds the heap in O(n).
+func (h *heapScheduler) compact() {
+	keep := h.q[:0]
+	for _, en := range h.q {
+		if !en.stale() {
+			keep = append(keep, en)
+		}
+	}
+	for i := len(keep); i < len(h.q); i++ {
+		h.q[i] = entry{} // release stale *Event pointers
+	}
+	h.q = keep
+	h.dead = 0
+	for i := len(h.q)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+//sttcp:hotpath
+func (h *heapScheduler) removeTop() {
+	n := len(h.q) - 1
+	h.q[0] = h.q[n]
+	h.q[n] = entry{}
+	h.q = h.q[:n]
+	if n > 0 {
+		h.down(0)
+	}
+}
+
+//sttcp:hotpath
+func (h *heapScheduler) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.q[i].less(h.q[parent]) {
+			break
+		}
+		h.q[i], h.q[parent] = h.q[parent], h.q[i]
+		i = parent
+	}
+}
+
+//sttcp:hotpath
+func (h *heapScheduler) down(i int) {
+	n := len(h.q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.q[right].less(h.q[left]) {
+			least = right
+		}
+		if !h.q[least].less(h.q[i]) {
+			break
+		}
+		h.q[i], h.q[least] = h.q[least], h.q[i]
+		i = least
+	}
+}

@@ -6,10 +6,14 @@
 // in which events are scheduled, which makes every experiment reproducible
 // bit-for-bit. No component inside a simulation may use the real clock or
 // spawn goroutines.
+//
+// Event storage is pluggable: the Scheduler interface has a reference
+// binary-heap implementation and a calendar queue tuned for timer-heavy
+// workloads, selected by Config.Scheduler. Both yield the exact same event
+// order for the same run (see DESIGN.md "Scheduler architecture").
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,59 +30,33 @@ var ErrStopped = errors.New("sim: stopped")
 
 // Event is a scheduled callback. It is created by Schedule/At and can be
 // cancelled until it fires.
+//
+// An Event may be re-scheduled after it fires or is cancelled (that is how
+// Timer re-arms without allocating). Cancellation is lazy: the queue entry
+// becomes a tombstone, detected by the generation counter, and is reclaimed
+// when it surfaces or when the scheduler compacts.
 type Event struct {
-	when   time.Time
+	when   int64 // virtual time, nanoseconds since Epoch
 	seq    uint64
 	fn     func()
 	ctx    uint64 // causal context captured at schedule time
-	idx    int    // heap index; -1 once fired or cancelled
+	gen    uint32 // bumped on cancel and fire; queue entries snapshot it
+	live   bool   // a current-generation entry is in the queue
 	pooled bool   // created by Post/PostAt; recycled after firing
 }
 
 // When reports the virtual time at which the event will fire.
-func (e *Event) When() time.Time { return e.when }
+func (e *Event) When() time.Time { return Epoch.Add(time.Duration(e.when)) }
 
 // Cancelled reports whether the event has been cancelled or already fired.
-func (e *Event) Cancelled() bool { return e.idx < 0 }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].when.Equal(q[j].when) {
-		return q[i].when.Before(q[j].when)
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
+func (e *Event) Cancelled() bool { return !e.live }
 
 // Simulator is a deterministic discrete-event scheduler. The zero value is
-// not usable; construct with New.
+// not usable; construct with New or NewWithConfig.
 type Simulator struct {
 	now     time.Time
-	queue   eventQueue
+	nowNS   int64 // now as nanoseconds since Epoch (the scheduler's key space)
+	sched   Scheduler
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -98,14 +76,25 @@ func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed)) //sttcp:allow simdeterminism this is the audited seeding point itself
 }
 
-// New returns a simulator whose clock reads Epoch and whose random source is
-// seeded with seed.
+// New returns a simulator whose clock reads Epoch, whose random source is
+// seeded with seed, and whose event queue is the default scheduler.
 func New(seed int64) *Simulator {
+	return NewWithConfig(Config{Seed: seed})
+}
+
+// NewWithConfig returns a simulator built from cfg: clock at Epoch, random
+// source seeded with cfg.Seed, event queue per cfg.Scheduler.
+func NewWithConfig(cfg Config) *Simulator {
 	return &Simulator{
-		now: Epoch,
-		rng: NewRand(seed),
+		now:   Epoch,
+		rng:   NewRand(cfg.Seed),
+		sched: newScheduler(cfg.Scheduler),
 	}
 }
+
+// SchedulerKind reports which event-queue implementation this simulator
+// runs (never SchedulerDefault — the default is resolved at construction).
+func (s *Simulator) SchedulerKind() SchedulerKind { return s.sched.Kind() }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Time { return s.now }
@@ -114,7 +103,7 @@ func (s *Simulator) Now() time.Time { return s.now }
 func (s *Simulator) Since(t time.Time) time.Duration { return s.now.Sub(t) }
 
 // Elapsed returns the virtual duration elapsed since Epoch.
-func (s *Simulator) Elapsed() time.Duration { return s.now.Sub(Epoch) }
+func (s *Simulator) Elapsed() time.Duration { return time.Duration(s.nowNS) }
 
 // Rand returns the simulation's deterministic random source.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
@@ -138,7 +127,31 @@ func (s *Simulator) SetContext(ctx uint64) { s.ctx = ctx }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending reports how many events are scheduled but have not fired.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Cancelled events stop counting immediately even though their tombstones
+// are reclaimed lazily.
+func (s *Simulator) Pending() int { return s.sched.Len() }
+
+// nsSinceEpoch converts a virtual timestamp to the scheduler's key space,
+// clamped to the present (events cannot fire in the past).
+func (s *Simulator) nsSinceEpoch(t time.Time) int64 {
+	ns := int64(t.Sub(Epoch))
+	if ns < s.nowNS {
+		ns = s.nowNS
+	}
+	return ns
+}
+
+// enqueue keys e at whenNS with the next sequence number and hands it to
+// the scheduler.
+//
+//sttcp:hotpath
+func (s *Simulator) enqueue(e *Event, whenNS int64) {
+	e.when = whenNS
+	e.seq = s.seq
+	s.seq++
+	e.live = true
+	s.sched.Schedule(e)
+}
 
 // Schedule arranges for fn to run after delay of virtual time. A negative
 // delay is treated as zero. The returned event can be cancelled until it
@@ -156,12 +169,8 @@ func (s *Simulator) At(t time.Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
-	if t.Before(s.now) {
-		t = s.now
-	}
-	e := &Event{when: t, seq: s.seq, fn: fn, ctx: s.ctx}
-	s.seq++
-	heap.Push(&s.queue, e)
+	e := &Event{fn: fn, ctx: s.ctx}
+	s.enqueue(e, s.nsSinceEpoch(t))
 	return e
 }
 
@@ -179,34 +188,49 @@ func (s *Simulator) Post(delay time.Duration, fn func()) {
 
 // PostAt arranges for fn to run at virtual time t with the same pooling
 // behaviour as Post. Times in the past are clamped to the present.
+//
+//sttcp:hotpath
 func (s *Simulator) PostAt(t time.Time, fn func()) {
 	if fn == nil {
+		//sttcp:allow hotpathalloc programming-error panic, never taken in steady state (TestHeapSteadyStateAllocs)
 		panic("sim: PostAt called with nil callback")
-	}
-	if t.Before(s.now) {
-		t = s.now
 	}
 	var e *Event
 	if n := len(s.free); n > 0 {
 		e = s.free[n-1]
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
-		e.when, e.fn, e.ctx = t, fn, s.ctx
+		e.fn, e.ctx = fn, s.ctx
 	} else {
-		e = &Event{when: t, fn: fn, ctx: s.ctx, pooled: true}
+		e = &Event{fn: fn, ctx: s.ctx, pooled: true}
 	}
-	e.seq = s.seq
-	s.seq++
-	heap.Push(&s.queue, e)
+	s.enqueue(e, s.nsSinceEpoch(t))
 }
 
 // Cancel removes e from the queue. Cancelling a nil, fired, or already
-// cancelled event is a no-op.
+// cancelled event is a no-op. The removal is lazy: the queue entry becomes
+// a tombstone reclaimed by the scheduler later, so Cancel is O(1).
+//
+//sttcp:hotpath
 func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.idx < 0 {
+	if e == nil || !e.live {
 		return
 	}
-	heap.Remove(&s.queue, e.idx)
+	e.live = false
+	e.gen++
+	s.sched.Cancel(e)
+}
+
+// take marks a popped event consumed: its queue entry is gone, so the
+// event may be re-scheduled (timer re-arm) from its callback onward.
+//
+//sttcp:hotpath
+func (s *Simulator) take(e *Event) {
+	e.live = false
+	e.gen++
+	s.nowNS = e.when
+	s.now = Epoch.Add(time.Duration(e.when))
+	s.fired++
 }
 
 // Stop makes the innermost Run return ErrStopped after the current event
@@ -229,24 +253,34 @@ func (s *Simulator) RunUntil(deadline time.Time) error {
 	s.running = true
 	defer func() { s.running = false }()
 	s.stopped = false
-	for len(s.queue) > 0 {
-		next := s.queue[0]
-		if next.when.After(deadline) {
-			s.now = deadline
+	deadlineNS := int64(deadline.Sub(Epoch))
+	for {
+		next := s.sched.Peek()
+		if next == nil {
+			break
+		}
+		if next.when > deadlineNS {
+			s.setIdleTime(deadline, deadlineNS)
 			return nil
 		}
-		heap.Pop(&s.queue)
-		s.now = next.when
-		s.fired++
+		s.sched.Pop()
+		s.take(next)
 		s.fire(next)
 		if s.stopped {
 			return ErrStopped
 		}
 	}
-	if s.now.Before(deadline) {
+	s.setIdleTime(deadline, deadlineNS)
+	return nil
+}
+
+// setIdleTime advances the clock to deadline when no event carried it
+// that far.
+func (s *Simulator) setIdleTime(deadline time.Time, deadlineNS int64) {
+	if s.nowNS < deadlineNS {
+		s.nowNS = deadlineNS
 		s.now = deadline
 	}
-	return nil
 }
 
 // RunUntilIdle executes events until the queue drains, with a safety cap on
@@ -260,30 +294,35 @@ func (s *Simulator) RunUntilIdle(maxEvents uint64) error {
 	defer func() { s.running = false }()
 	s.stopped = false
 	var fired uint64
-	for len(s.queue) > 0 {
-		if fired >= maxEvents {
-			return fmt.Errorf("sim: event cap %d reached at %v with %d pending", maxEvents, s.now, len(s.queue))
+	for {
+		next := s.sched.Pop()
+		if next == nil {
+			return nil
 		}
-		next := heap.Pop(&s.queue).(*Event)
-		s.now = next.when
-		s.fired++
+		if fired >= maxEvents {
+			// Undo the pop accounting is impossible (the entry is gone),
+			// so fire nothing and report with the event still counted as
+			// pending via re-enqueue.
+			s.sched.Schedule(next)
+			next.live = true
+			return fmt.Errorf("sim: event cap %d reached at %v with %d pending", maxEvents, s.now, s.sched.Len())
+		}
 		fired++
+		s.take(next)
 		s.fire(next)
 		if s.stopped {
 			return ErrStopped
 		}
 	}
-	return nil
 }
 
 // Step fires exactly one event if one is pending and reports whether it did.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
+	next := s.sched.Pop()
+	if next == nil {
 		return false
 	}
-	next := heap.Pop(&s.queue).(*Event)
-	s.now = next.when
-	s.fired++
+	s.take(next)
 	s.fire(next)
 	return true
 }

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"time"
-)
+import "time"
 
 // Timer is a reusable one-shot timer: the callback is bound once at
 // construction and the timer re-arms without allocating, reusing its single
@@ -12,6 +9,11 @@ import (
 // the sole owner of its event and stays valid across any number of
 // arm/fire/stop cycles, which is what lets per-connection RTO, persist, and
 // delayed-ACK timers run without per-segment heap churn.
+//
+// Re-arming and stopping are lazy: the superseded queue entry becomes a
+// tombstone (the event's generation moves on) and is reclaimed by the
+// scheduler later, so the RTO-reset-per-ACK pattern costs one O(1) insert
+// instead of a heap removal plus re-insert.
 //
 // The zero value is not usable; construct with Simulator.NewTimer.
 type Timer struct {
@@ -27,46 +29,44 @@ func (s *Simulator) NewTimer(fn func()) *Timer {
 	}
 	t := &Timer{s: s}
 	t.ev.fn = fn
-	t.ev.idx = -1
 	return t
 }
 
 // Arm schedules the callback after delay of virtual time, replacing any
 // pending arming. A negative delay is treated as zero.
+//
+//sttcp:hotpath
 func (t *Timer) Arm(delay time.Duration) {
 	if delay < 0 {
 		delay = 0
 	}
-	t.ArmAt(t.s.now.Add(delay))
+	whenNS := t.s.nowNS + int64(delay)
+	t.s.Cancel(&t.ev)
+	t.ev.ctx = t.s.ctx
+	t.s.enqueue(&t.ev, whenNS)
 }
 
 // ArmAt schedules the callback at virtual time tm, replacing any pending
 // arming. Times in the past are clamped to the present.
+//
+//sttcp:hotpath
 func (t *Timer) ArmAt(tm time.Time) {
-	if t.ev.idx >= 0 {
-		heap.Remove(&t.s.queue, t.ev.idx)
-	}
-	if tm.Before(t.s.now) {
-		tm = t.s.now
-	}
-	t.ev.when = tm
+	t.s.Cancel(&t.ev)
 	t.ev.ctx = t.s.ctx
-	t.ev.seq = t.s.seq
-	t.s.seq++
-	heap.Push(&t.s.queue, &t.ev)
+	t.s.enqueue(&t.ev, t.s.nsSinceEpoch(tm))
 }
 
 // Stop cancels a pending arming. Stopping an unarmed timer is a no-op; the
 // timer may be re-armed afterwards.
+//
+//sttcp:hotpath
 func (t *Timer) Stop() {
-	if t.ev.idx >= 0 {
-		heap.Remove(&t.s.queue, t.ev.idx)
-	}
+	t.s.Cancel(&t.ev)
 }
 
 // Armed reports whether the timer is scheduled and has not yet fired.
-func (t *Timer) Armed() bool { return t.ev.idx >= 0 }
+func (t *Timer) Armed() bool { return t.ev.live }
 
 // When reports the virtual time of the pending arming. It is only
 // meaningful while Armed.
-func (t *Timer) When() time.Time { return t.ev.when }
+func (t *Timer) When() time.Time { return t.ev.When() }
