@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet lint build test race bench bench-smoke bench-gate timeline chaos chaos-smoke clean
+.PHONY: all check vet lint build test race bench bench-smoke bench-gate timeline chaos chaos-smoke explore explore-smoke clean
 
 all: check
 
@@ -57,6 +57,18 @@ chaos:
 # CI-sized campaign: as many schedules as fit in 30 seconds of wall time.
 chaos-smoke:
 	$(GO) run ./cmd/sttcp-chaos -runs 0 -wall 30s
+
+# Exhaustive-interleaving exploration of a bounded failover window: every
+# tie-break order and fault placement, judged by the invariant registry
+# (see EXPERIMENTS.md "Exhaustive exploration"). This window fully closes.
+explore:
+	$(GO) run ./cmd/sttcp-explore -seed 7 -fault-span 4ms -grace 10ms -fault-points 2
+
+# CI-sized exploration: the closable window under both event queues, with
+# a wall budget as a backstop against pathological machines.
+explore-smoke:
+	$(GO) run ./cmd/sttcp-explore -seed 7 -fault-span 4ms -grace 10ms -fault-points 2 -wall 25s -require-closed
+	$(GO) run ./cmd/sttcp-explore -seed 7 -scheduler calendar -fault-span 4ms -grace 10ms -fault-points 2 -wall 25s -require-closed
 
 clean:
 	$(GO) clean ./...

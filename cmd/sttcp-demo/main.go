@@ -24,6 +24,8 @@ import (
 
 	"repro/cmd/internal/cliflags"
 	"repro/internal/experiment"
+	_ "repro/internal/explore" // registers the explore demo
+
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -164,6 +166,16 @@ func printResult(d experiment.Demo, res experiment.Result, showTrace, timeline b
 		fmt.Printf("%-22s %v\n", "detection:", s.DetectionTime.Round(time.Millisecond))
 		fmt.Printf("%-22s %v\n", "max client stall:", s.MaxStall.Round(time.Millisecond))
 		fmt.Printf("%-22s %d\n", "segments emitted:", s.SegmentsEmitted)
+	case res.Explore != nil:
+		e := res.Explore
+		fmt.Printf("%-16s %d across %d fault points\n", "interleavings:", e.Interleavings, e.FaultPoints)
+		fmt.Printf("%-16s %d (pruned %d, deduped %d)\n", "choice points:", e.ChoicePoints, e.Pruned, e.Deduped)
+		verdict := fmt.Sprintf("NOT closed (frontier %d)", e.Frontier)
+		if e.FullyClosed {
+			verdict = "FULLY CLOSED: every interleaving explored"
+		}
+		fmt.Printf("%-16s %s\n", "window:", verdict)
+		fmt.Printf("%-16s %d\n", "violations:", e.Violations)
 	case len(res.Capacity) > 0:
 		fmt.Printf("%-8s %-10s %-14s %-14s %s\n", "conns", "hb bytes", "mean interval", "max backlog", "saturated")
 		for _, r := range res.Capacity {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -35,10 +36,33 @@ var randConstructors = map[string]bool{
 // a goroutine breaks the single-threaded event-loop contract the whole
 // testbed (and its lock-free metrics) relies on. Wall-clock budget code
 // (the chaos campaign loop) carries audited //sttcp:allow directives.
+//
+// It also forbids implementing the sim.Scheduler interface outside
+// internal/sim: a second event queue is a second tie-break authority the
+// scheduler differential suite never sees. internal/explore is the one
+// audited carve-out — its forking wrapper exists precisely to surface
+// tie-break nondeterminism, and the differential and fuzz suites hold it
+// to the scheduler contract.
 var SimDeterminism = &Analyzer{
 	Name: "simdeterminism",
 	Doc:  "forbid wall-clock time, global randomness, and goroutines in sim-driven packages",
 	Run:  runSimDeterminism,
+}
+
+// simSchedulerInterface resolves the sim.Scheduler interface from the
+// package's direct imports, nil if unavailable.
+func simSchedulerInterface(pkg *Package) *types.Interface {
+	for _, imp := range pkg.Types.Imports() {
+		if pkgPathHasSuffix(imp.Path(), "internal/sim") {
+			tn, ok := imp.Scope().Lookup("Scheduler").(*types.TypeName)
+			if !ok {
+				return nil
+			}
+			i, _ := types.Unalias(tn.Type()).Underlying().(*types.Interface)
+			return i
+		}
+	}
+	return nil
 }
 
 func runSimDeterminism(pass *Pass) {
@@ -54,6 +78,31 @@ func runSimDeterminism(pass *Pass) {
 	// worker reading time.Now would decouple its runs from their seeds
 	// just like any other sim-driven code.
 	sweepBoundary := pkgPathHasSuffix(pkg.Path, "internal/sweep")
+
+	// internal/explore is the audited nondeterminism carve-out: its
+	// tie-break-forking wrapper is a sim.Scheduler by design, and its own
+	// test suite proves the wrapper preserves the scheduler contract.
+	// Everywhere else, implementing the interface is the violation — the
+	// implementation would order events without the differential tests
+	// ever seeing its tie-breaks.
+	if !inSim && !pkgPathHasSuffix(pkg.Path, "internal/explore") {
+		if iface := simSchedulerInterface(pkg); iface != nil {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() { // Names() is sorted: stable report order
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				named, ok := types.Unalias(tn.Type()).(*types.Named)
+				if !ok || types.IsInterface(named) {
+					continue
+				}
+				if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+					pass.Reportf(tn.Pos(), "type %s implements sim.Scheduler outside internal/sim: event ordering is the simulator's monopoly (internal/explore's audited wrapper is the only exception)", name)
+				}
+			}
+		}
+	}
 	for _, f := range pass.Files() {
 		// Event ordering is internal/sim's monopoly: every other package
 		// must schedule through the sim.Scheduler interface (Post, Timer,

@@ -22,3 +22,17 @@ func (s *Simulator) Run(horizon int) error { return nil }
 func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed)) //sttcp:allow simdeterminism corpus mirror of the audited seeding point
 }
+
+// Event mimics a scheduled event.
+type Event struct{}
+
+// Scheduler mimics the real event-queue interface whose implementations
+// the simdeterminism analyzer polices.
+type Scheduler interface {
+	Kind() int
+	Len() int
+	Schedule(e *Event)
+	Cancel(e *Event)
+	Peek() *Event
+	Pop() *Event
+}

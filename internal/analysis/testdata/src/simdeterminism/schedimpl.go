@@ -1,0 +1,29 @@
+// A sim-driven package shipping its own sim.Scheduler implementation: a
+// second event queue is a second tie-break authority the differential
+// suite never sees, so the type itself is flagged.
+package simdeterminism
+
+import "example.com/vet/internal/sim"
+
+type rogueQueue struct { // want `type rogueQueue implements sim\.Scheduler outside internal/sim`
+	evs []*sim.Event
+}
+
+func (q *rogueQueue) Kind() int             { return 0 }
+func (q *rogueQueue) Len() int              { return len(q.evs) }
+func (q *rogueQueue) Schedule(e *sim.Event) { q.evs = append(q.evs, e) }
+func (q *rogueQueue) Cancel(e *sim.Event)   {}
+func (q *rogueQueue) Peek() *sim.Event      { return nil }
+func (q *rogueQueue) Pop() *sim.Event       { return nil }
+
+// almostQueue misses a method, so it is not a Scheduler and not flagged.
+type almostQueue struct{}
+
+func (almostQueue) Kind() int             { return 0 }
+func (almostQueue) Len() int              { return 0 }
+func (almostQueue) Schedule(e *sim.Event) {}
+func (almostQueue) Cancel(e *sim.Event)   {}
+func (almostQueue) Peek() *sim.Event      { return nil }
+
+var _ = rogueQueue{}
+var _ = almostQueue{}

@@ -43,6 +43,13 @@ type Options struct {
 	// every run in the campaign. Runs are byte-identical across kinds, so
 	// a failure found under one scheduler replays under the other.
 	Scheduler sim.SchedulerKind
+	// CustomScheduler, when non-nil, supplies the run's event queue
+	// directly and Scheduler only documents the nominal kind. The factory
+	// is invoked once per run, at testbed build, and must return a fresh
+	// queue — the exhaustive-interleaving explorer injects its tie-break-
+	// forking wrapper here and keeps the returned instance to read the
+	// recorded choices back out.
+	CustomScheduler func() sim.Scheduler
 }
 
 // appServer is the slice of the app-server API the harness injects faults
@@ -137,10 +144,11 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 		appCrashed: make(map[*cluster.Host]bool),
 	}
 	h.tb = experiment.Build(experiment.Options{
-		Seed:           sc.Seed,
-		FlightRecorder: opts.FlightRecorder,
-		TraceDetail:    opts.TraceDetail,
-		Scheduler:      opts.Scheduler,
+		Seed:            sc.Seed,
+		FlightRecorder:  opts.FlightRecorder,
+		TraceDetail:     opts.TraceDetail,
+		Scheduler:       opts.Scheduler,
+		CustomScheduler: opts.CustomScheduler,
 	})
 	mutate := func(c *sttcp.Config) {
 		// Detection must outrun the gated-FIN auto-release: a silent
@@ -265,10 +273,9 @@ func (h *harness) onStateChange(n *sttcp.Node, s sttcp.NodeState) {
 	if s == sttcp.StateTakenOver || s == sttcp.StateStopped {
 		h.closeEra(n)
 	}
-	if who := h.transmitters(); len(who) > 1 {
-		h.violate("single-transmitter",
-			fmt.Sprintf("at %v (after %v became %v): %s all believe they own client output",
-				h.tb.Sim.Elapsed(), n.Host().Name(), s, strings.Join(who, " and ")))
+	cause := fmt.Sprintf("%v became %v", n.Host().Name(), s)
+	if v, bad := singleTransmitterViolation(h.tb.Sim.Elapsed(), cause, h.transmitters()); bad {
+		h.violate(v.Invariant, v.Detail)
 	}
 }
 
@@ -281,9 +288,8 @@ func (h *harness) transmitters() []string {
 		if n.Host().Crashed() {
 			continue
 		}
-		s := n.State()
-		if s == sttcp.StateTakenOver || (n.Role() == sttcp.RolePrimary && (s == sttcp.StateActive || s == sttcp.StateNonFT)) {
-			who = append(who, fmt.Sprintf("%s(%v/%v)", n.Host().Name(), n.Role(), s))
+		if transmitterEntitled(n.Role(), n.State()) {
+			who = append(who, fmt.Sprintf("%s(%v/%v)", n.Host().Name(), n.Role(), n.State()))
 		}
 	}
 	return who
@@ -301,10 +307,9 @@ func (h *harness) closeEra(n *sttcp.Node) {
 	for _, e := range h.eras {
 		if e.node == n && e.open {
 			e.open = false
-			if d := e.ctr.Value() - e.baseline; d > 0 {
-				h.violate("backup-silence",
-					fmt.Sprintf("%s sent %d TCP segments while holding the backup role (era %v–%v)",
-						n.Host().Name(), d, e.openedAt, h.tb.Sim.Elapsed()))
+			if v, bad := backupSilenceViolation(n.Host().Name(), e.ctr.Value()-e.baseline,
+				e.openedAt, h.tb.Sim.Elapsed()); bad {
+				h.violate(v.Invariant, v.Detail)
 			}
 		}
 	}

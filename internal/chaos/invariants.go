@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/sttcp"
 	"repro/internal/trace"
 )
 
@@ -56,6 +57,42 @@ func InvariantNames() []string {
 		"counter-trace",
 		"span-integrity",
 	}
+}
+
+// transmitterEntitled reports whether a node in (role, state) on a live
+// host is entitled to transmit to clients: an active or non-FT primary,
+// or a backup that has taken over.
+func transmitterEntitled(role sttcp.Role, state sttcp.NodeState) bool {
+	return state == sttcp.StateTakenOver ||
+		(role == sttcp.RolePrimary && (state == sttcp.StateActive || state == sttcp.StateNonFT))
+}
+
+// singleTransmitterViolation judges the transmitter set observed at a
+// node state change: more than one entitled node means split brain.
+// cause names the transition that triggered the check.
+func singleTransmitterViolation(elapsed time.Duration, cause string, who []string) (Violation, bool) {
+	if len(who) <= 1 {
+		return Violation{}, false
+	}
+	return Violation{
+		Invariant: "single-transmitter",
+		Detail: fmt.Sprintf("at %v (after %s): %s all believe they own client output",
+			elapsed, cause, strings.Join(who, " and ")),
+	}, true
+}
+
+// backupSilenceViolation judges one closed silence era: segments is the
+// era's delta of the node's live tcp.segments_sent counter, which must
+// be zero while the backup role is held.
+func backupSilenceViolation(name string, segments int64, openedAt, closedAt time.Duration) (Violation, bool) {
+	if segments <= 0 {
+		return Violation{}, false
+	}
+	return Violation{
+		Invariant: "backup-silence",
+		Detail: fmt.Sprintf("%s sent %d TCP segments while holding the backup role (era %v–%v)",
+			name, segments, openedAt, closedAt),
+	}, true
 }
 
 // ClientSummary reports one workload connection's outcome.

@@ -107,6 +107,19 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
 
+// ParseEventKind resolves a kind's command-line spelling (the String
+// form, e.g. "crash-serving"). The scan walks the consecutive kind
+// constants rather than ranging the name map, so candidate order — and
+// any error a caller renders from it — never depends on map iteration.
+func ParseEventKind(s string) (EventKind, error) {
+	for k := EvClientStart; k <= EvRejoin; k++ {
+		if eventKindNames[k] == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown event kind %q", s)
+}
+
 // Event is one scheduled injection.
 type Event struct {
 	// At is the injection time relative to run start.

@@ -20,6 +20,19 @@ type ShrinkResult struct {
 // Shrink returns it unchanged (zero extra runs) if the schedule is already
 // minimal.
 func Shrink(sc Schedule, opts Options, failing *RunResult, budget int) (ShrinkResult, error) {
+	return ShrinkWith(sc, failing, budget, func(cand Schedule) (*RunResult, error) {
+		return Run(cand, opts)
+	})
+}
+
+// ShrinkWith is Shrink with the re-execution step injected: rerun must
+// execute the candidate schedule under the caller's harness and options
+// (deterministically, or the shrink will not converge) and return its
+// invariant-checked result. The exhaustive-interleaving explorer passes a
+// rerun that replays a fixed tie-break choice prefix on top of the
+// candidate schedule, so the schedule shrinks while the interleaving
+// stays pinned.
+func ShrinkWith(sc Schedule, failing *RunResult, budget int, rerun func(Schedule) (*RunResult, error)) (ShrinkResult, error) {
 	best := ShrinkResult{Schedule: sc, Result: failing}
 	if budget <= 0 {
 		budget = 50
@@ -37,7 +50,7 @@ func Shrink(sc Schedule, opts Options, failing *RunResult, budget int) (ShrinkRe
 				return best, nil
 			}
 			cand := best.Schedule.WithoutEvent(i)
-			res, err := Run(cand, opts)
+			res, err := rerun(cand)
 			if err != nil {
 				return best, err
 			}

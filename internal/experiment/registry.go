@@ -89,6 +89,34 @@ type Result struct {
 	NICLoad []NICLoadResult
 	// Scale is the thousand-connection failover run (scale demo).
 	Scale *ScaleResult
+	// Explore is the exhaustive-interleaving exploration summary (the
+	// explore demo, registered by internal/explore).
+	Explore *ExploreSummary
+}
+
+// ExploreSummary is the registry-facing digest of an exhaustive
+// exploration of the failover window (internal/explore fills it in; the
+// field lives here so the demo registry does not import the explorer).
+type ExploreSummary struct {
+	// Interleavings is how many distinct runs were executed.
+	Interleavings int
+	// FaultPoints is how many fault placements the fault axis enumerated.
+	FaultPoints int
+	// ChoicePoints is the total number of multi-way tie-break decisions
+	// observed across all runs.
+	ChoicePoints int
+	// Pruned counts alternatives skipped by independence pruning, Deduped
+	// counts runs cut short because their fingerprint was already known.
+	Pruned  int
+	Deduped int
+	// Frontier is the number of unexplored alternatives remaining when
+	// the exploration stopped; FullyClosed reports that it is zero AND no
+	// budget truncation occurred — the window's schedule space is proven
+	// exhausted.
+	Frontier    int
+	FullyClosed bool
+	// Violations is how many interleavings broke an invariant.
+	Violations int
 }
 
 // Demo is one registered demonstration.
@@ -112,9 +140,30 @@ func defaultPeriods(p []time.Duration) []time.Duration {
 	return []time.Duration{200 * time.Millisecond, 500 * time.Millisecond, time.Second}
 }
 
+// extras holds demos registered by packages that sit above experiment in
+// the import graph (internal/explore registers its demo from an init so
+// the registry does not import the explorer). Appended to Demos() in
+// registration order.
+var extras []Demo
+
+// Register adds a demo to the registry. Call from an init function; the
+// name must not collide with a built-in demo.
+func Register(d Demo) {
+	for _, have := range Demos() {
+		if have.Name == d.Name {
+			panic("experiment: duplicate demo " + d.Name)
+		}
+	}
+	extras = append(extras, d)
+}
+
 // Demos returns every registered demonstration in presentation order.
 // The slice is freshly allocated; callers may reorder or filter it.
 func Demos() []Demo {
+	return append(builtinDemos(), extras...)
+}
+
+func builtinDemos() []Demo {
 	return []Demo{
 		{
 			Name:  "demo1",

@@ -1,0 +1,132 @@
+package experiment_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/explore"
+	"repro/internal/sim"
+)
+
+// This file extends the scheduler differential suite to the explorer's
+// tie-break-forking wrapper. The wrapper's contract is that with an empty
+// choice sequence it is invisible: a full chaos run — workload, crash,
+// takeover, recovery — produces byte-identical traces and metrics whether
+// the event queue is a bare heap, a bare calendar, or either one wrapped.
+// That identity is what lets exploration results transfer to production
+// runs. (It lives outside package experiment because explore imports
+// experiment for its demo registration.)
+
+func exploreDiffSchedule() chaos.Schedule {
+	return chaos.Schedule{
+		Seed:     23,
+		Workload: "echo",
+		Rounds:   300,
+		MsgSize:  512,
+		Horizon:  30 * time.Second,
+		Events: []chaos.Event{
+			{At: 0, Kind: chaos.EvClientStart},
+			{At: 500 * time.Millisecond, Kind: chaos.EvCrashServing},
+		},
+	}
+}
+
+func runExploreDiff(t *testing.T, kind sim.SchedulerKind, custom func() sim.Scheduler) *chaos.RunResult {
+	t.Helper()
+	res, err := chaos.Run(exploreDiffSchedule(), chaos.Options{
+		Scheduler:       kind,
+		TraceDetail:     true,
+		CustomScheduler: custom,
+	})
+	if err != nil {
+		t.Fatalf("%v run: %v", kind, err)
+	}
+	if res.Failed() {
+		t.Fatalf("%v run violated invariants:\n%s", kind, res.Report())
+	}
+	return res
+}
+
+// demandIdentical compares everything derived from the event stream: the
+// full detail trace, the rendered metric counters, and the client
+// outcomes.
+func demandIdentical(t *testing.T, label string, a, b *chaos.RunResult) {
+	t.Helper()
+	ae, be := a.Trace.Events(), b.Trace.Events()
+	if !reflect.DeepEqual(ae, be) {
+		n := len(ae)
+		if len(be) < n {
+			n = len(be)
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(ae[i], be[i]) {
+				t.Fatalf("%s: traces diverge at event %d:\n  a: %v\n  b: %v", label, i, ae[i], be[i])
+			}
+		}
+		t.Fatalf("%s: trace lengths diverge: %d vs %d events", label, len(ae), len(be))
+	}
+	if as, bs := a.Metrics.String(), b.Metrics.String(); as != bs {
+		t.Errorf("%s: metric snapshots diverged:\n--- a ---\n%s--- b ---\n%s", label, as, bs)
+	}
+	if !reflect.DeepEqual(a.Clients, b.Clients) {
+		t.Errorf("%s: client outcomes diverged:\n  a: %+v\n  b: %+v", label, a.Clients, b.Clients)
+	}
+}
+
+// TestExploreWrapperIsInvisibleWithEmptyPrefix runs the same failover
+// under each bare scheduler kind and under the explore wrapper decorating
+// each kind, and demands all four runs are byte-identical.
+func TestExploreWrapperIsInvisibleWithEmptyPrefix(t *testing.T) {
+	bareHeap := runExploreDiff(t, sim.SchedulerHeap, nil)
+	bareCal := runExploreDiff(t, sim.SchedulerCalendar, nil)
+	wrapHeap := runExploreDiff(t, sim.SchedulerHeap, func() sim.Scheduler {
+		return explore.NewScheduler(sim.SchedulerHeap, nil)
+	})
+	wrapCal := runExploreDiff(t, sim.SchedulerCalendar, func() sim.Scheduler {
+		return explore.NewScheduler(sim.SchedulerCalendar, nil)
+	})
+
+	demandIdentical(t, "bare heap vs bare calendar", bareHeap, bareCal)
+	demandIdentical(t, "bare heap vs wrapped heap", bareHeap, wrapHeap)
+	demandIdentical(t, "bare calendar vs wrapped calendar", bareCal, wrapCal)
+	demandIdentical(t, "wrapped heap vs wrapped calendar", wrapHeap, wrapCal)
+}
+
+// TestExploreWrapperForcedPrefixIsDeterministic forces a fixed non-empty
+// choice sequence and demands (a) the run reproduces exactly on rerun,
+// (b) the recorded choices reproduce too, and (c) the forced order is
+// identical whichever inner queue the wrapper decorates.
+func TestExploreWrapperForcedPrefixIsDeterministic(t *testing.T) {
+	prefix := []int{1, 0, 2, 1, 1, 0, 3}
+	run := func(kind sim.SchedulerKind) (*chaos.RunResult, []explore.Choice) {
+		var sched *explore.Scheduler
+		res := runExploreDiff(t, kind, func() sim.Scheduler {
+			sched = explore.NewScheduler(kind, prefix)
+			return sched
+		})
+		return res, sched.Choices()
+	}
+
+	h1, c1 := run(sim.SchedulerHeap)
+	h2, c2 := run(sim.SchedulerHeap)
+	cal, c3 := run(sim.SchedulerCalendar)
+
+	demandIdentical(t, "forced heap, rerun", h1, h2)
+	demandIdentical(t, "forced heap vs forced calendar", h1, cal)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("recorded choices diverged across reruns: %d vs %d", len(c1), len(c2))
+	}
+	if !reflect.DeepEqual(c1, c3) {
+		t.Errorf("recorded choices diverged across inner kinds: %d vs %d", len(c1), len(c3))
+	}
+	if len(c1) == 0 {
+		t.Fatalf("run recorded no tie-break choices; the differential proves nothing")
+	}
+	for i, ch := range c1 {
+		if ch.N < 2 || ch.Picked < 0 || ch.Picked >= ch.N || len(ch.Ctxs) != ch.N {
+			t.Fatalf("choice %d malformed: %+v", i, ch)
+		}
+	}
+}

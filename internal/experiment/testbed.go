@@ -57,6 +57,11 @@ type Options struct {
 	// byte-identical across kinds; the choice only affects wall-clock
 	// speed.
 	Scheduler sim.SchedulerKind
+	// CustomScheduler, when non-nil, supplies the simulator's event queue
+	// directly (it must be fresh — one factory call builds one testbed).
+	// The exhaustive-interleaving explorer injects its tie-break-forking
+	// wrapper here; Scheduler then only names the wrapped kind.
+	CustomScheduler func() sim.Scheduler
 	// LAN overrides the 100 Mbit/s default link configuration.
 	LAN *netem.LinkConfig
 	// TCP overrides stack options on every host.
@@ -121,7 +126,11 @@ type Testbed struct {
 
 // Build constructs the testbed of Figure 2.
 func Build(opts Options) *Testbed {
-	s := sim.NewWithConfig(sim.Config{Seed: opts.Seed, Scheduler: opts.Scheduler})
+	cfg := sim.Config{Seed: opts.Seed, Scheduler: opts.Scheduler}
+	if opts.CustomScheduler != nil {
+		cfg.Custom = opts.CustomScheduler()
+	}
+	s := sim.NewWithConfig(cfg)
 	tracer := trace.NewRecorder(s.Now)
 	// The recorder rides the simulator's ambient context, so spans follow
 	// causality across every scheduled hop (links, switch forwarding,
@@ -139,13 +148,16 @@ func Build(opts Options) *Testbed {
 	tb := &Testbed{Sim: s, Tracer: tracer, Metrics: reg, Switch: sw}
 	host := func(name string, ethNum uint32, addr ip.Addr) *cluster.Host {
 		return cluster.New(s, cluster.HostConfig{
-			Name:      name,
-			EthNum:    ethNum,
-			Addr:      addr,
-			TCP:       opts.TCP,
-			Tracer:    tracer,
-			Metrics:   reg,
-			Scheduler: opts.Scheduler.Resolve(),
+			Name:    name,
+			EthNum:  ethNum,
+			Addr:    addr,
+			TCP:     opts.TCP,
+			Tracer:  tracer,
+			Metrics: reg,
+			// The simulator's own resolved kind, not opts.Scheduler: with a
+			// custom (wrapper) queue injected the two can differ, and the
+			// cluster's coherence check compares against the simulator.
+			Scheduler: s.SchedulerKind(),
 		})
 	}
 	tb.Client = host("client", 1, ClientAddr)

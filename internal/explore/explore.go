@@ -1,0 +1,529 @@
+package explore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// Config bounds one exploration. The zero value explores a single-
+// connection echo workload around one serving-side crash with the
+// defaults below; every knob exists so tests and the CLI can trade
+// coverage for wall-clock.
+type Config struct {
+	// Seed drives the testbed simulation of every run.
+	Seed int64
+	// Scheduler is the inner event-queue kind the forking wrapper
+	// decorates (default resolves to the heap).
+	Scheduler sim.SchedulerKind
+
+	// Rounds and MsgSize parameterise the echo workload (defaults 300
+	// rounds of 512 B — long enough that the client is mid-workload
+	// through the whole takeover).
+	Rounds  int
+	MsgSize int
+
+	// FaultKinds lists the faults to place at each enumerated boundary
+	// (default: a serving-side machine crash).
+	FaultKinds []chaos.EventKind
+	// FaultAt and FaultSpan bound the fault-placement window
+	// [FaultAt, FaultAt+FaultSpan): a probe run collects the distinct
+	// event times inside it and each becomes a candidate injection point.
+	// Defaults 300 ms + 30 ms — the paper's connection-established,
+	// transfer-in-flight regime.
+	FaultAt   time.Duration
+	FaultSpan time.Duration
+	// MaxFaultPoints caps the boundary enumeration by even striding
+	// (default 6). Capping is reported, not silent: Result.Boundaries
+	// holds what was actually used.
+	MaxFaultPoints int
+
+	// Grace extends tie-break forking past the fault window so the
+	// takeover itself is explored: choices are forked in
+	// [FaultAt, FaultAt+FaultSpan+Grace). Default 1.4 s, the
+	// takeover-latency invariant bound (HB timeout + period + 600 ms).
+	Grace time.Duration
+
+	// MaxPrefix caps the choice-prefix length (default 64); deeper
+	// branch points are counted as truncations and void the closure
+	// claim rather than silently narrowing it.
+	MaxPrefix int
+	// MaxRuns caps total run executions (default 2000).
+	MaxRuns int
+	// MaxViolations stops the exploration after this many violating
+	// interleavings have been found and shrunk (default 1).
+	MaxViolations int
+	// Workers bounds the replay worker pool (0 = fully parallel, 1 =
+	// serial). The explored set and all counters are identical for every
+	// setting: batches merge in input order.
+	Workers int
+
+	// NoPrune disables independence pruning and NoDedup disables
+	// fingerprint dedup — the switches that re-verify a closure claim
+	// without the engineered approximations.
+	NoPrune bool
+	NoDedup bool
+
+	// ShrinkBudget bounds the re-runs spent minimising each violation
+	// (default 25, shared between schedule and prefix shrinking).
+	ShrinkBudget int
+
+	// Stop, when non-nil, is polled between batches; returning true
+	// abandons the frontier (reported, not FullyClosed). The CLI wires a
+	// wall-clock budget here so the package itself never reads the wall.
+	Stop func() bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 300
+	}
+	if c.MsgSize == 0 {
+		c.MsgSize = 512
+	}
+	if len(c.FaultKinds) == 0 {
+		c.FaultKinds = []chaos.EventKind{chaos.EvCrashServing}
+	}
+	if c.FaultAt == 0 {
+		c.FaultAt = 300 * time.Millisecond
+	}
+	if c.FaultSpan == 0 {
+		c.FaultSpan = 30 * time.Millisecond
+	}
+	if c.MaxFaultPoints == 0 {
+		c.MaxFaultPoints = 6
+	}
+	if c.Grace == 0 {
+		c.Grace = 1400 * time.Millisecond
+	}
+	if c.MaxPrefix == 0 {
+		c.MaxPrefix = 64
+	}
+	if c.MaxRuns == 0 {
+		c.MaxRuns = 2000
+	}
+	if c.MaxViolations == 0 {
+		c.MaxViolations = 1
+	}
+	if c.ShrinkBudget == 0 {
+		c.ShrinkBudget = 25
+	}
+	return c
+}
+
+// ViolationRun is one interleaving that broke an invariant, with its
+// minimised reproduction.
+type ViolationRun struct {
+	// Schedule and Prefix are the violating run as first found.
+	Schedule chaos.Schedule
+	Prefix   []int
+	// ShrunkSchedule and MinPrefix are the minimised reproduction:
+	// greedy event removal with the prefix pinned, then greedy trailing-
+	// prefix truncation on the shrunk schedule. Both are deterministic.
+	ShrunkSchedule chaos.Schedule
+	MinPrefix      []int
+	// Result is the minimal failing run (Report() renders its timeline).
+	Result *chaos.RunResult
+	// ShrinkRuns is how many re-executions the minimisation spent.
+	ShrinkRuns int
+}
+
+// Result is one exploration's outcome.
+type Result struct {
+	// Base is the fault-free schedule the probe ran.
+	Base chaos.Schedule
+	// Boundaries are the fault points actually enumerated (post-stride).
+	Boundaries []time.Duration
+
+	// Interleavings counts distinct executed runs (probe included,
+	// shrink re-runs excluded). FaultPoints is |Boundaries|×|FaultKinds|.
+	Interleavings int
+	FaultPoints   int
+	// ChoicePoints totals the in-window multi-way tie groups observed
+	// across all runs; Pruned counts alternatives skipped as
+	// independent, Deduped counts runs whose outcome fingerprint was
+	// already known, Truncated counts branch points beyond MaxPrefix.
+	ChoicePoints int
+	Pruned       int
+	Deduped      int
+	Truncated    int
+
+	// Frontier is the number of unexplored (schedule, prefix) candidates
+	// left when the exploration stopped; FullyClosed reports that the
+	// frontier drained with zero truncations and no early stop — the
+	// bounded window's interleaving space is exhausted.
+	Frontier    int
+	FullyClosed bool
+
+	Violations []ViolationRun
+}
+
+// job is one frontier entry: a schedule plus the choice prefix to force.
+type job struct {
+	sc     chaos.Schedule
+	prefix []int
+}
+
+// runOut is one executed run with the wrapper's recordings.
+type runOut struct {
+	res        *chaos.RunResult
+	choices    []Choice
+	boundaries []int64
+}
+
+type explorer struct {
+	cfg      Config
+	winLo    int64 // fault window start, ns
+	winHi    int64 // fault window end, ns
+	choiceHi int64 // forking window end (winHi + grace), ns
+	seen     map[uint64]bool
+}
+
+// Explore runs the systematic exploration and returns its results. The
+// whole exploration is deterministic in Config (Stop aside): the same
+// inputs enumerate the same interleavings in the same order.
+func Explore(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	e := &explorer{
+		cfg:      cfg,
+		winLo:    cfg.FaultAt.Nanoseconds(),
+		winHi:    (cfg.FaultAt + cfg.FaultSpan).Nanoseconds(),
+		choiceHi: (cfg.FaultAt + cfg.FaultSpan + cfg.Grace).Nanoseconds(),
+		seen:     make(map[uint64]bool),
+	}
+	base := BaseSchedule(cfg)
+	res := &Result{Base: base}
+
+	// Probe: the fault-free run that discovers the event boundaries
+	// inside the fault window. Its tie-breaks follow canonical order; the
+	// fault axis, not the probe, is what gets forked.
+	probe, err := e.execute(base, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Interleavings++
+	res.ChoicePoints += len(probe.choices)
+	if probe.res.Failed() {
+		// The baseline itself violates — the golden seeded-bug test's
+		// path. Minimise and report; there is no fault axis to explore.
+		if err := e.recordViolation(res, base, nil, probe); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
+	bounds := stride(probe.boundaries, cfg.MaxFaultPoints)
+	for _, b := range bounds {
+		res.Boundaries = append(res.Boundaries, time.Duration(b))
+	}
+	res.FaultPoints = len(bounds) * len(cfg.FaultKinds)
+
+	var frontier []job
+	for _, kind := range cfg.FaultKinds {
+		for _, b := range bounds {
+			sc := base
+			sc.Events = append(append([]chaos.Event{}, base.Events...),
+				chaos.Event{At: time.Duration(b), Kind: kind})
+			frontier = append(frontier, job{sc: sc})
+		}
+	}
+
+	for len(frontier) > 0 {
+		if cfg.Stop != nil && cfg.Stop() {
+			res.Frontier = len(frontier)
+			return res, nil
+		}
+		n := batchSize(cfg.Workers)
+		if room := cfg.MaxRuns - res.Interleavings; room < n {
+			n = room
+		}
+		if n <= 0 {
+			res.Frontier = len(frontier)
+			return res, nil
+		}
+		if n > len(frontier) {
+			n = len(frontier)
+		}
+		batch := frontier[:n]
+		frontier = frontier[n:]
+
+		outs, err := sweep.Run(cfg.Workers, sweep.Seeds(0, len(batch)), func(i int64) (*runOut, error) {
+			j := batch[int(i)]
+			return e.execute(j.sc, j.prefix)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, out := range outs {
+			j := batch[i]
+			res.Interleavings++
+			res.ChoicePoints += len(out.choices)
+
+			if out.res.Failed() {
+				if err := e.recordViolation(res, j.sc, j.prefix, out); err != nil {
+					return nil, err
+				}
+				if len(res.Violations) >= cfg.MaxViolations {
+					res.Frontier = len(frontier) + len(outs) - i - 1
+					return res, nil
+				}
+				continue
+			}
+			if !cfg.NoDedup {
+				fp := fingerprint(j.sc, out.res, out.choices)
+				if e.seen[fp] {
+					res.Deduped++
+					continue
+				}
+				e.seen[fp] = true
+			}
+			frontier = append(frontier, e.extend(res, j, out)...)
+		}
+	}
+	res.FullyClosed = res.Truncated == 0 && len(res.Violations) == 0
+	return res, nil
+}
+
+// extend enumerates the untaken alternatives of one passing run: for
+// every in-window multi-way tie group at or past the forced prefix, each
+// alternative index becomes a new frontier entry whose prefix replays
+// the run's actual picks up to that group and then diverges.
+func (e *explorer) extend(res *Result, j job, out *runOut) []job {
+	var next []job
+	for ci := len(j.prefix); ci < len(out.choices); ci++ {
+		c := out.choices[ci]
+		if !e.cfg.NoPrune && independent(out.res.Trace, c.Ctxs) {
+			res.Pruned += c.N - 1
+			continue
+		}
+		if ci+1 > e.cfg.MaxPrefix {
+			res.Truncated++
+			continue
+		}
+		for alt := 0; alt < c.N; alt++ {
+			if alt == c.Picked {
+				continue
+			}
+			prefix := make([]int, ci+1)
+			for k := 0; k < ci; k++ {
+				prefix[k] = out.choices[k].Picked
+			}
+			prefix[ci] = alt
+			next = append(next, job{sc: j.sc, prefix: prefix})
+		}
+	}
+	return next
+}
+
+// recordViolation minimises and records one violating run: the schedule
+// shrinks by greedy event removal with the choice prefix pinned
+// (chaos.ShrinkWith), then the prefix shrinks by greedy trailing
+// truncation on the minimal schedule. Both phases share ShrinkBudget.
+func (e *explorer) recordViolation(res *Result, sc chaos.Schedule, prefix []int, out *runOut) error {
+	vr := ViolationRun{
+		Schedule: sc,
+		Prefix:   append([]int{}, prefix...),
+		Result:   out.res,
+	}
+	shr, err := chaos.ShrinkWith(sc, out.res, e.cfg.ShrinkBudget, func(cand chaos.Schedule) (*chaos.RunResult, error) {
+		o, err := e.execute(cand, prefix)
+		if err != nil {
+			return nil, err
+		}
+		return o.res, nil
+	})
+	if err != nil {
+		return err
+	}
+	vr.ShrunkSchedule = shr.Schedule
+	vr.Result = shr.Result
+	vr.ShrinkRuns = shr.Runs
+
+	minPrefix := append([]int{}, prefix...)
+	for len(minPrefix) > 0 && vr.ShrinkRuns < e.cfg.ShrinkBudget {
+		cand := minPrefix[:len(minPrefix)-1]
+		o, err := e.execute(shr.Schedule, cand)
+		if err != nil {
+			return err
+		}
+		vr.ShrinkRuns++
+		if !o.res.Failed() {
+			break
+		}
+		minPrefix = cand
+		vr.Result = o.res
+	}
+	vr.MinPrefix = minPrefix
+	res.Violations = append(res.Violations, vr)
+	return nil
+}
+
+// execute runs one (schedule, prefix) candidate on a fresh testbed with
+// the forking wrapper injected, and returns the result plus the
+// wrapper's recorded choices and boundaries. Trace detail is always on:
+// independence pruning reads span components and violation reports
+// render the timeline.
+func (e *explorer) execute(sc chaos.Schedule, prefix []int) (*runOut, error) {
+	var sched *Scheduler
+	res, err := chaos.Run(sc, chaos.Options{
+		Scheduler:   e.cfg.Scheduler,
+		TraceDetail: true,
+		CustomScheduler: func() sim.Scheduler {
+			sched = NewScheduler(e.cfg.Scheduler, prefix)
+			sched.ForkWindow(e.winLo, e.choiceHi)
+			sched.RecordBoundaries(e.winLo, e.winHi)
+			return sched
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The wrapper doubles as a runtime checker of the inner queue's
+	// (when, seq) total-order contract; a breach joins the run's
+	// violations as the explorer-specific scheduler-order invariant.
+	for _, msg := range sched.OrderViolations() {
+		res.Violations = append(res.Violations, chaos.Violation{Invariant: "scheduler-order", Detail: msg})
+	}
+	return &runOut{res: res, choices: sched.Choices(), boundaries: sched.Boundaries()}, nil
+}
+
+// BaseSchedule is the fault-free single-connection schedule the
+// exploration is anchored on.
+func BaseSchedule(cfg Config) chaos.Schedule {
+	cfg = cfg.withDefaults()
+	return chaos.Schedule{
+		Seed:     cfg.Seed,
+		Workload: "echo",
+		Rounds:   cfg.Rounds,
+		MsgSize:  cfg.MsgSize,
+		Horizon:  30 * time.Second,
+		Events:   []chaos.Event{{At: 0, Kind: chaos.EvClientStart}},
+	}
+}
+
+// batchSize is how many frontier entries one sweep batch executes: a few
+// per worker keeps the pool busy without letting the in-flight set race
+// far ahead of violation/budget cutoffs.
+func batchSize(workers int) int {
+	if workers <= 0 {
+		workers = 8
+	}
+	return workers * 4
+}
+
+// stride evenly thins bounds down to max entries, keeping both
+// endpoints. The cap is visible to callers via Result.Boundaries.
+func stride(bounds []int64, max int) []int64 {
+	if max <= 0 || len(bounds) <= max {
+		return bounds
+	}
+	if max == 1 {
+		return bounds[:1]
+	}
+	out := make([]int64, 0, max)
+	for i := 0; i < max; i++ {
+		b := bounds[i*(len(bounds)-1)/(max-1)]
+		if len(out) == 0 || out[len(out)-1] != b {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// independent reports whether a tie group's members pairwise commute
+// under the DPOR-style heuristic: every member carries a causal context,
+// and the contexts' spans live on pairwise-distinct locations (the
+// component's first path segment — the host, or a link/switch name).
+// Same-instant events on disjoint locations cannot read or write the
+// same simulated state, so their relative order cannot matter; any
+// member without a context (or with an evicted span) disqualifies the
+// group. This is an engineered approximation — Config.NoPrune re-checks
+// a closure without it.
+func independent(tr *trace.Recorder, ctxs []uint64) bool {
+	if tr == nil {
+		return false
+	}
+	locs := make([]string, 0, len(ctxs))
+	for _, id := range ctxs {
+		if id == 0 {
+			return false
+		}
+		sp, ok := tr.SpanByID(trace.SpanID(id))
+		if !ok {
+			return false
+		}
+		loc := sp.Component
+		if i := strings.IndexByte(loc, '/'); i >= 0 {
+			loc = loc[:i]
+		}
+		for _, have := range locs {
+			if have == loc {
+				return false
+			}
+		}
+		locs = append(locs, loc)
+	}
+	return true
+}
+
+// fingerprint hashes a run's observable outcome: the schedule signature,
+// the full metrics snapshot, every client summary, violations, skips,
+// and an order-insensitive digest of the in-window tie groups. Two runs
+// with equal fingerprints behaved identically everywhere the system's
+// observability can see, so the second one's alternatives are assumed
+// covered by the first's — the dedup Config.NoDedup disables.
+func fingerprint(sc chaos.Schedule, res *chaos.RunResult, inWin []Choice) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, sc.Signature())
+	if res.Metrics != nil {
+		io.WriteString(h, "\x00")
+		io.WriteString(h, res.Metrics.String())
+	}
+	for _, c := range res.Clients {
+		fmt.Fprintf(h, "\x00c:%s|%v|%s|%s", c.Name, c.Done, c.Err, c.Progress)
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(h, "\x00v:%s", v)
+	}
+	for _, s := range res.Skipped {
+		fmt.Fprintf(h, "\x00s:%s", s)
+	}
+	var sum uint64
+	for _, c := range inWin {
+		g := fnv.New64a()
+		fmt.Fprintf(g, "%d/%d", c.WhenNS, c.N)
+		sum += g.Sum64()
+	}
+	fmt.Fprintf(h, "\x00m:%d", sum)
+	return h.Sum64()
+}
+
+// Report renders the exploration outcome for humans: the counters, the
+// closure verdict, and each violation's minimal reproduction with its
+// timeline.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explored %d interleavings across %d fault points (%d boundaries)\n",
+		r.Interleavings, r.FaultPoints, len(r.Boundaries))
+	fmt.Fprintf(&b, "choice points %d, pruned %d, deduped %d, truncated %d, frontier %d\n",
+		r.ChoicePoints, r.Pruned, r.Deduped, r.Truncated, r.Frontier)
+	if r.FullyClosed {
+		b.WriteString("window FULLY CLOSED: every interleaving explored, all invariants held\n")
+	} else if len(r.Violations) == 0 {
+		b.WriteString("window NOT closed (budget or stop reached); no violations found\n")
+	}
+	for i := range r.Violations {
+		v := &r.Violations[i]
+		fmt.Fprintf(&b, "VIOLATION %d (shrunk in %d runs): prefix %v (from %v)\n",
+			i+1, v.ShrinkRuns, v.MinPrefix, v.Prefix)
+		b.WriteString(v.Result.Report())
+	}
+	return b.String()
+}

@@ -70,6 +70,14 @@ type Config struct {
 	Seed int64
 	// Scheduler selects the event-queue implementation.
 	Scheduler SchedulerKind
+	// Custom, when non-nil, supplies the event queue directly and
+	// Scheduler is ignored. This is the injection point for scheduler
+	// wrappers — the exhaustive-interleaving explorer decorates a stock
+	// queue (see NewScheduler) to fork on same-timestamp tie-breaks.
+	// A custom scheduler must still honour the Scheduler contract for
+	// events at distinct timestamps: the simulator's clock follows pop
+	// order, so only exact ties are safely permutable.
+	Custom Scheduler
 }
 
 // Scheduler is the event-queue backend of a Simulator: a priority queue
@@ -112,6 +120,11 @@ func newScheduler(k SchedulerKind) Scheduler {
 	}
 	return &heapScheduler{}
 }
+
+// NewScheduler constructs a standalone event queue of kind k, for
+// wrappers that decorate a stock implementation and inject themselves
+// via Config.Custom. Everyone else lets NewWithConfig pick the queue.
+func NewScheduler(k SchedulerKind) Scheduler { return newScheduler(k) }
 
 // entry is one scheduled occurrence of an Event. The (when, seq) key is
 // copied out of the event so ordering never dereferences the event on

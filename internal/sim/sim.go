@@ -48,6 +48,20 @@ type Event struct {
 // When reports the virtual time at which the event will fire.
 func (e *Event) When() time.Time { return Epoch.Add(time.Duration(e.when)) }
 
+// SchedKey reports the (virtual time, sequence) key the event is ordered
+// by: nanoseconds since Epoch and the simulator-unique sequence number.
+// It exists for Scheduler implementations outside this package (injected
+// via Config.Custom), which must order pops by exactly this key — except
+// that entries sharing whenNS may be permuted, which is the explorer's
+// whole license to fork.
+func (e *Event) SchedKey() (whenNS int64, seq uint64) { return e.when, e.seq }
+
+// CausalContext reports the ambient causal context captured when the
+// event was scheduled (a trace span ID, or zero for none). Scheduler
+// wrappers use it to judge whether two same-timestamp events touch
+// disjoint components and therefore commute.
+func (e *Event) CausalContext() uint64 { return e.ctx }
+
 // Cancelled reports whether the event has been cancelled or already fired.
 func (e *Event) Cancelled() bool { return !e.live }
 
@@ -83,12 +97,17 @@ func New(seed int64) *Simulator {
 }
 
 // NewWithConfig returns a simulator built from cfg: clock at Epoch, random
-// source seeded with cfg.Seed, event queue per cfg.Scheduler.
+// source seeded with cfg.Seed, event queue per cfg.Scheduler (or
+// cfg.Custom verbatim when one is injected).
 func NewWithConfig(cfg Config) *Simulator {
+	sched := cfg.Custom
+	if sched == nil {
+		sched = newScheduler(cfg.Scheduler)
+	}
 	return &Simulator{
 		now:   Epoch,
 		rng:   NewRand(cfg.Seed),
-		sched: newScheduler(cfg.Scheduler),
+		sched: sched,
 	}
 }
 
