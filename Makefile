@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet lint build test race bench bench-smoke bench-gate timeline chaos chaos-smoke explore explore-smoke clean
+.PHONY: all check vet lint build test race bench bench-smoke bench-gate report-smoke timeline chaos chaos-smoke explore explore-smoke clean
 
 all: check
 
@@ -40,6 +40,18 @@ bench-smoke:
 # or failovers/sec (see EXPERIMENTS.md "Performance trajectory").
 bench-gate:
 	$(GO) run ./cmd/sttcp-bench -bench-out BENCH.json -bench-baseline BENCH_0.json
+
+# Cross-run regression observatory gate: run the 50-connection scale
+# failover with telemetry sampling, render its dashboard, and diff the
+# fresh run report against the committed REPORT_0.json baseline. Reports
+# hold only virtual-time figures, so a genuine pair diffs clean on any
+# machine; sttcp-report exits 1 when a latency series or failover phase
+# regressed beyond tolerance (see EXPERIMENTS.md "Run reports & the
+# regression observatory"). CI uploads REPORT.json as an artifact.
+report-smoke:
+	$(GO) run ./cmd/sttcp-demo -demo scale -conns 50 -seed 91 -report-out REPORT.json
+	$(GO) run ./cmd/sttcp-report -filter client. REPORT.json
+	$(GO) run ./cmd/sttcp-report -diff REPORT_0.json REPORT.json
 
 # Render the Demo 1 failover anatomy: phase report plus ASCII span timeline.
 # The same view ships as a golden (internal/scenario/testdata/golden); after

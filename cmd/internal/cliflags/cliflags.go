@@ -1,5 +1,5 @@
 // Package cliflags registers the flags the ST-TCP command-line tools
-// share — -seed, -metrics-out, -trace-out — so they are spelled,
+// share — -seed, -metrics-out, -trace-out, -report-out — so they are spelled,
 // documented, and behave identically across every CLI, and provides the
 // matching artifact writers.
 //
@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -76,6 +78,38 @@ func WriteMetrics(path string, snap *metrics.Snapshot) error {
 		return err
 	}
 	fmt.Printf("\n(metric snapshot written to %s)\n", path)
+	return nil
+}
+
+// ReportOut registers the canonical -report-out flag. subject names which
+// run's report is exported.
+func ReportOut(subject string) *string {
+	return flag.String("report-out", "",
+		"write "+subject+"'s unified run report (config, metrics, telemetry time series, failover anatomy) as JSON ('-' for stdout); inspect with sttcp-report")
+}
+
+// TelemetryWindow registers the canonical -telemetry-window flag. A zero
+// duration disables time-series sampling entirely.
+func TelemetryWindow(def time.Duration) *time.Duration {
+	return flag.Duration("telemetry-window", def,
+		"sample every metric into windowed time series at this period (0 disables telemetry)")
+}
+
+// WriteReport exports rep to path ("-" for stdout). A no-op when path is
+// empty; an error when the selected run produced no report.
+func WriteReport(path string, rep *telemetry.Report) error {
+	if path == "" {
+		return nil
+	}
+	if rep == nil {
+		return fmt.Errorf("-report-out: the selected run produced no report")
+	}
+	if err := telemetry.WriteFile(path, rep); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("\n(run report written to %s — render it with sttcp-report %s)\n", path, path)
+	}
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,13 +38,27 @@ func run() error {
 	sched := cliflags.Scheduler()
 	csvDir := flag.String("csv", "", "also write the series as CSV files into this directory")
 	metricsOut := cliflags.MetricsOut("the last testbed run")
+	reportOut := cliflags.ReportOut("the last testbed run")
+	telWindow := cliflags.TelemetryWindow(0)
 	benchOut := flag.String("bench-out", "", "run the reproducible capacity benchmark suite and write BENCH.json to this file ('-' for stdout)")
 	benchBaseline := flag.String("bench-baseline", "", "compare the -bench-out report against this committed baseline (BENCH_0.json) and fail on regression")
 	benchMaxRegress := flag.Float64("bench-max-regress", 15, "with -bench-baseline: max tolerated drop, percent, in segments/sec or failovers/sec")
 	flag.Parse()
 	benchSched = *sched
+	if *reportOut != "" && *telWindow == 0 {
+		*telWindow = 100 * time.Millisecond
+	}
+	benchTelWindow = *telWindow
 	if *benchOut != "" {
-		return benchSuite(*benchOut, *seed, *benchBaseline, *benchMaxRegress)
+		if err := benchSuite(*benchOut, *seed, *benchBaseline, *benchMaxRegress); err != nil {
+			return err
+		}
+		// The run report doubles as the machine-readable bench record:
+		// the suite's wall-clock rates ride along in the bench section.
+		if lastReport != nil {
+			lastReport.Bench = benchPoints
+		}
+		return cliflags.WriteReport(*reportOut, lastReport)
 	}
 	if *benchBaseline != "" {
 		return fmt.Errorf("-bench-baseline requires -bench-out")
@@ -87,6 +102,9 @@ func run() error {
 			return err
 		}
 	}
+	if err := cliflags.WriteReport(*reportOut, lastReport); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -100,6 +118,14 @@ var benchSched sim.SchedulerKind
 // lastSnapshot holds the metric snapshot of the most recent testbed run,
 // for -metrics-out.
 var lastSnapshot *metrics.Snapshot
+
+// benchTelWindow is the -telemetry-window selection, threaded into every
+// run; lastReport is the most recent run's report, for -report-out.
+var (
+	benchTelWindow time.Duration
+	lastReport     *telemetry.Report
+	benchPoints    []telemetry.BenchPoint
+)
 
 func noteSnapshot(s *metrics.Snapshot) {
 	if s != nil {
@@ -130,11 +156,13 @@ func runDemo(name string, p experiment.Params) (experiment.Result, error) {
 	if !ok {
 		return experiment.Result{}, fmt.Errorf("demo %q is not registered", name)
 	}
+	p.TelemetryWindow = benchTelWindow
 	res, err := d.Run(p)
 	if err != nil {
 		return res, fmt.Errorf("%s: %w", name, err)
 	}
 	noteSnapshot(res.Metrics)
+	lastReport = experiment.BuildReport(p, res)
 	return res, nil
 }
 

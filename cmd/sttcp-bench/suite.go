@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // The -bench-out suite: three reproducible capacity benchmarks whose
@@ -193,6 +194,14 @@ func benchSuite(path string, seed int64, baseline string, maxRegress float64) er
 	if !cmpSched.IdenticalVirtualRun {
 		return fmt.Errorf("bench suite: scale run diverged across schedulers: heap/calendar virtual-time figures differ (segments %d vs %d)",
 			sc.SegmentsEmitted, alt.SegmentsEmitted)
+	}
+
+	benchPoints = []telemetry.BenchPoint{
+		{Name: "segment_throughput", EventsPerSec: rep.Throughput.SegmentsPerSec},
+		{Name: "failover_rate", EventsPerSec: rep.Failover.FailoversPerSec},
+		{Name: "conns_at_scale", EventsPerSec: rep.Scale.SegmentsPerSec},
+		{Name: "scheduler_compare.calendar", EventsPerSec: rep.Schedulers.CalSegmentsPerSec},
+		{Name: "scheduler_compare.heap", EventsPerSec: rep.Schedulers.HeapSegmentsPerSec},
 	}
 
 	out := os.Stdout

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	sttcp-chaos [-seed N] [-runs N] [-wall DUR] [-shrink-budget N]
-//	            [-metrics-out FILE] [-trace-out FILE] [-trace-detail]
-//	            [-flight-recorder N] [-v]
+//	            [-metrics-out FILE] [-trace-out FILE] [-report-out FILE]
+//	            [-telemetry-window DUR] [-trace-detail] [-flight-recorder N] [-v]
 //
 // Examples:
 //
@@ -37,12 +37,18 @@ func main() {
 		shrinkBudget = flag.Int("shrink-budget", 50, "max re-executions the shrinker may spend on a failure")
 		metricsOut   = cliflags.MetricsOut("the last run")
 		traceOut     = cliflags.TraceOut("the last (or first failing) run")
+		reportOut    = cliflags.ReportOut("the last (or first failing) run")
+		telWindow    = cliflags.TelemetryWindow(0)
 		traceDetail  = flag.Bool("trace-detail", false, "record per-segment trace events and spans (heavier; pairs well with -trace-out)")
 		flightRec    = flag.Int("flight-recorder", 0, "bound trace memory to roughly N spans, keeping pinned failure windows (0: unbounded)")
 		verbose      = flag.Bool("v", false, "print every schedule and its outcome")
 	)
 	flag.Parse()
-	opts := chaos.Options{TraceDetail: *traceDetail, FlightRecorder: *flightRec, Scheduler: *sched}
+	if *reportOut != "" && *telWindow == 0 {
+		*telWindow = 100 * time.Millisecond
+	}
+	opts := chaos.Options{TraceDetail: *traceDetail, FlightRecorder: *flightRec, Scheduler: *sched,
+		TelemetryWindow: *telWindow}
 
 	if *runs == 0 && *wall == 0 {
 		fmt.Fprintln(os.Stderr, "sttcp-chaos: need -runs or -wall")
@@ -97,12 +103,14 @@ func main() {
 			}
 			writeMetrics(*metricsOut, res)
 			writeTrace(*traceOut, res)
+			writeReport(*reportOut, res)
 			os.Exit(1)
 		}
 	}
 
 	writeMetrics(*metricsOut, last)
 	writeTrace(*traceOut, last)
+	writeReport(*reportOut, last)
 	fmt.Printf("sttcp-chaos: %d runs in %v, all invariants held (%d takeovers, %d non-FT transitions, %d events skipped as unsurvivable)\n",
 		executed, //sttcp:allow simdeterminism campaign summary reports real elapsed time
 		time.Since(start).Round(time.Millisecond), takeovers, nonft, skipped)
@@ -127,6 +135,18 @@ func writeMetrics(path string, res *chaos.RunResult) {
 		return
 	}
 	if err := cliflags.WriteMetrics(path, res.Metrics); err != nil {
+		fmt.Fprintf(os.Stderr, "sttcp-chaos: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeReport exports a run's unified run report — on failure the failing
+// run's (with its invariant verdicts), otherwise the campaign's last run.
+func writeReport(path string, res *chaos.RunResult) {
+	if path == "" || res == nil {
+		return
+	}
+	if err := cliflags.WriteReport(path, res.RunReport()); err != nil {
 		fmt.Fprintf(os.Stderr, "sttcp-chaos: %v\n", err)
 		os.Exit(1)
 	}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -47,8 +48,24 @@ func run() error {
 	jsonPath := flag.String("json", "", "write demo1's ST-TCP event trace as JSON to this file")
 	metricsOut := cliflags.MetricsOut("the final demo")
 	traceOut := cliflags.TraceOut("the final demo")
+	reportOut := cliflags.ReportOut("the final demo")
+	telWindow := cliflags.TelemetryWindow(0)
+	conns := flag.Int("conns", 0, "override the demo's concurrent-connection count where applicable (scale demo)")
+	periodsFlag := flag.String("periods", "", "override the heartbeat-period sweep where applicable (demo2; comma-separated, e.g. 200ms,1s)")
 	timeline := flag.Bool("timeline", false, "render each failover's span timeline and phase anatomy")
 	flag.Parse()
+
+	var periods []time.Duration
+	for _, s := range strings.Split(*periodsFlag, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		p, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("-periods: %w", err)
+		}
+		periods = append(periods, p)
+	}
 
 	var selected []experiment.Demo
 	if *demo == "all" {
@@ -80,10 +97,21 @@ func run() error {
 	// detail spans that are otherwise switched off.
 	detail := *traceOut != "" || *timeline
 
+	// A report without time series is still useful, but when the user asks
+	// for one and never set a window, default the sampler on.
+	if *reportOut != "" && *telWindow == 0 {
+		*telWindow = 100 * time.Millisecond
+	}
+
 	var lastSnapshot *metrics.Snapshot
 	var lastTracer *trace.Recorder
+	var lastReport *telemetry.Report
 	for _, d := range selected {
-		res, err := d.Run(experiment.Params{Seed: *seed, Eager: *eager, TraceDetail: detail, Scheduler: *sched})
+		p := experiment.Params{
+			Seed: *seed, Eager: *eager, TraceDetail: detail, Scheduler: *sched,
+			Conns: *conns, Periods: periods, TelemetryWindow: *telWindow,
+		}
+		res, err := d.Run(p)
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.Name, err)
 		}
@@ -99,11 +127,15 @@ func run() error {
 		if t := resultTracer(res); t != nil {
 			lastTracer = t
 		}
+		lastReport = experiment.BuildReport(p, res)
 	}
 	if err := cliflags.WriteMetrics(*metricsOut, lastSnapshot); err != nil {
 		return err
 	}
 	if err := cliflags.WriteChromeTrace(*traceOut, lastTracer); err != nil {
+		return err
+	}
+	if err := cliflags.WriteReport(*reportOut, lastReport); err != nil {
 		return err
 	}
 	return nil

@@ -15,7 +15,7 @@
 //	              [-max-runs N] [-max-prefix N] [-wall DUR] [-workers N]
 //	              [-require-closed]
 //	              [-no-prune] [-no-dedup] [-shrink-budget N]
-//	              [-metrics-out FILE] [-trace-out FILE]
+//	              [-metrics-out FILE] [-trace-out FILE] [-report-out FILE]
 //
 // Examples:
 //
@@ -56,6 +56,7 @@ func main() {
 		requireClose = flag.Bool("require-closed", false, "exit nonzero unless the window fully closed (CI smoke asserts the closure, not just the absence of violations)")
 		metricsOut   = cliflags.MetricsOut("the first violating run")
 		traceOut     = cliflags.TraceOut("the first violating run")
+		reportOut    = cliflags.ReportOut("the first violating run")
 	)
 	flag.Parse()
 
@@ -111,6 +112,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sttcp-explore: %v\n", err)
 		}
 		if err := cliflags.WriteChromeTrace(*traceOut, v.Result.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "sttcp-explore: %v\n", err)
+		}
+		if err := cliflags.WriteReport(*reportOut, v.Result.RunReport()); err != nil {
 			fmt.Fprintf(os.Stderr, "sttcp-explore: %v\n", err)
 		}
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/cmd/internal/cliflags"
 	"repro/internal/scenario"
@@ -38,10 +39,15 @@ func run() error {
 	showTrace := flag.Bool("trace", false, "dump the full event trace after the run")
 	timeline := flag.Bool("timeline", false, "render the run's causal span timeline")
 	traceOut := cliflags.TraceOut("the run")
+	reportOut := cliflags.ReportOut("the run")
+	telWindow := cliflags.TelemetryWindow(0)
 	sched := cliflags.Scheduler()
 	flag.Parse()
 	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: sttcp-lab [-trace] [-timeline] [-trace-out FILE] <script.sttcp | ->")
+		return fmt.Errorf("usage: sttcp-lab [-trace] [-timeline] [-trace-out FILE] [-report-out FILE] <script.sttcp | ->")
+	}
+	if *reportOut != "" && *telWindow == 0 {
+		*telWindow = 100 * time.Millisecond
 	}
 	var text []byte
 	var err error
@@ -58,7 +64,10 @@ func run() error {
 		return err
 	}
 	// Exports want the per-segment detail spans that are off by default.
-	res, err := scenario.RunWith(sc, scenario.RunOptions{TraceDetail: *timeline || *traceOut != "", Scheduler: *sched})
+	res, err := scenario.RunWith(sc, scenario.RunOptions{
+		TraceDetail: *timeline || *traceOut != "", Scheduler: *sched,
+		TelemetryWindow: *telWindow,
+	})
 	if err != nil {
 		return err
 	}
@@ -91,6 +100,9 @@ func run() error {
 		fmt.Print(res.Tracer.RenderSpanTimeline(trace.TimelineOptions{Width: 100, Epoch: sim.Epoch}))
 	}
 	if err := cliflags.WriteChromeTrace(*traceOut, res.Tracer); err != nil {
+		return err
+	}
+	if err := cliflags.WriteReport(*reportOut, res.Report); err != nil {
 		return err
 	}
 	if failed > 0 || len(res.Errors) > 0 {

@@ -13,7 +13,9 @@ import (
 
 	"repro/cmd/internal/cliflags"
 	"repro/internal/experiment"
+	"repro/internal/sim"
 	"repro/internal/sttcp"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,18 +29,25 @@ func run() error {
 	seed := cliflags.Seed(42, "scenario i runs at seed+i")
 	sched := cliflags.Scheduler()
 	showTrace := flag.Bool("trace", false, "dump the event trace per scenario")
+	reportOut := cliflags.ReportOut("the last scenario")
+	telWindow := cliflags.TelemetryWindow(0)
 	flag.Parse()
+	if *reportOut != "" && *telWindow == 0 {
+		*telWindow = 100 * time.Millisecond
+	}
 
 	fmt.Println("Table 1: single failure scenarios (workload: continuous echo, failure injected at t=2s)")
 	fmt.Println()
 	fmt.Printf("%-32s %-12s %-44s %s\n", "scenario", "detection", "recovery action", "client ok")
 
 	failures := 0
+	var lastReport *telemetry.Report
 	for i, sc := range experiment.Scenarios {
-		res, err := experiment.RunScenarioWith(*seed+int64(i), sc, *sched)
+		res, err := experiment.RunScenarioOpts(*seed+int64(i), sc, *sched, *telWindow)
 		if err != nil {
 			return fmt.Errorf("%v: %w", sc, err)
 		}
+		lastReport = scenarioReport(*seed+int64(i), sc, *sched, res)
 		action := describeAction(res)
 		det := "-"
 		if res.DetectionTime > 0 {
@@ -57,7 +66,29 @@ func run() error {
 		return fmt.Errorf("%d scenario(s) disturbed the client", failures)
 	}
 	fmt.Println("All ten scenarios masked from the client.")
-	return nil
+	return cliflags.WriteReport(*reportOut, lastReport)
+}
+
+// scenarioReport assembles the run-report artifact for one Table 1 case.
+func scenarioReport(seed int64, sc experiment.Scenario, sched sim.SchedulerKind, res experiment.ScenarioResult) *telemetry.Report {
+	rep := &telemetry.Report{
+		Version:   telemetry.ReportVersion,
+		Demo:      "table1",
+		Seed:      seed,
+		Scheduler: sched.Resolve().String(),
+		Params:    map[string]string{"scenario": fmt.Sprint(sc)},
+		Metrics:   res.Metrics,
+		Telemetry: res.Telemetry,
+	}
+	if res.Metrics != nil {
+		rep.FinishedAt = res.Metrics.At
+	}
+	if res.Tracer != nil {
+		for _, a := range res.Tracer.Anatomy() {
+			rep.Anatomy = append(rep.Anatomy, telemetry.PhasesFromAnatomy(a))
+		}
+	}
+	return rep
 }
 
 func describeAction(res experiment.ScenarioResult) string {

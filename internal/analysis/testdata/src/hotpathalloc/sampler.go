@@ -1,0 +1,62 @@
+// Telemetry-sampling corpus: the per-window tick of a time-series
+// sampler is a hot path — it runs every virtual 100ms over every
+// registered instrument, so the ring writes and delta tracking must not
+// allocate. The violating variants below are the mistakes the analyzer
+// exists to catch: series growth, label formatting, or per-tick closures
+// inside the tick instead of on the cold registration path.
+package hotpathalloc
+
+import "fmt"
+
+// ring mimics one preallocated series ring from the telemetry layer.
+type ring struct {
+	cells []float64
+	name  string
+}
+
+// sampler mimics the windowed sampler: rings allocated at registration,
+// written in place every tick.
+type sampler struct {
+	rings   []ring
+	deltas  []int64
+	last    []int64
+	counter int64
+	windows int
+}
+
+//sttcp:hotpath
+func (sp *sampler) goodTick() {
+	// Delta tracking and modulo ring writes reuse storage registered on
+	// the cold path: nothing here allocates.
+	idx := sp.windows % len(sp.rings[0].cells)
+	for i := range sp.rings {
+		cur := sp.counter
+		sp.deltas[i] = cur - sp.last[i]
+		sp.last[i] = cur
+		sp.rings[i].cells[idx] = float64(sp.deltas[i])
+	}
+	sp.windows++
+}
+
+//sttcp:hotpath
+func (sp *sampler) badTick(labels string) {
+	idx := sp.windows % len(sp.rings[0].cells)
+	for i := range sp.rings {
+		// Growing a series mid-tick instead of at registration:
+		sp.rings[i].cells = append(sp.rings[i].cells, 0) // want `append without visible preallocated capacity in hotpath function badTick`
+		// Formatting the series name per tick instead of once:
+		sp.rings[i].name = fmt.Sprintf("tcp.%s.rate", labels) // want `fmt\.Sprintf in hotpath function badTick allocates`
+		sp.rings[i].cells[idx] = float64(sp.counter)
+	}
+	// A probe closure must be captured at AddProbe time, not per tick:
+	probe := func() float64 { return float64(sp.counter) } // want `closure in hotpath function badTick allocates`
+	sp.rings[0].cells[idx] = probe()
+	sp.windows++
+}
+
+// register is the cold path: allocation is expected and unflagged here.
+func (sp *sampler) register(name string, cells int) {
+	sp.rings = append(sp.rings, ring{cells: make([]float64, cells), name: name})
+	sp.deltas = append(sp.deltas, 0)
+	sp.last = append(sp.last, 0)
+}

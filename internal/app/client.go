@@ -7,6 +7,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -49,9 +50,11 @@ type StreamClient struct {
 	// OnDone fires once at completion or failure.
 	OnDone func(err error)
 
-	started  time.Time
-	finished time.Time
-	readBuf  []byte
+	started      time.Time
+	finished     time.Time
+	readBuf      []byte
+	telemetry    *telemetry.ClientTrack
+	lastDelivery time.Time
 }
 
 // ClientConfig configures a StreamClient. Name, Stack, Service, Port,
@@ -68,18 +71,23 @@ type ClientConfig struct {
 	Request int64
 	// Tracer receives progress and completion events; nil disables them.
 	Tracer *trace.Recorder
+	// Telemetry, when non-nil, receives per-delivery progress and
+	// client-visible response latency (the gap between consecutive
+	// deliveries — a failover stall shows up as one huge observation).
+	Telemetry *telemetry.ClientTrack
 }
 
 // NewStreamClient builds a client on the given host TCP stack.
 func NewStreamClient(cfg ClientConfig) *StreamClient {
 	return &StreamClient{
-		sim:     cfg.Stack.Sim(),
-		stack:   cfg.Stack,
-		tracer:  cfg.Tracer,
-		name:    cfg.Name,
-		service: cfg.Service,
-		port:    cfg.Port,
-		Request: cfg.Request,
+		sim:       cfg.Stack.Sim(),
+		stack:     cfg.Stack,
+		tracer:    cfg.Tracer,
+		name:      cfg.Name,
+		service:   cfg.Service,
+		port:      cfg.Port,
+		Request:   cfg.Request,
+		telemetry: cfg.Telemetry,
 	}
 }
 
@@ -135,7 +143,16 @@ func (cl *StreamClient) readable() {
 				}
 			}
 			cl.Received += int64(n)
-			cl.Samples = append(cl.Samples, ProgressSample{Time: cl.sim.Now(), Bytes: cl.Received})
+			now := cl.sim.Now()
+			var lat time.Duration
+			if !cl.lastDelivery.IsZero() {
+				lat = now.Sub(cl.lastDelivery)
+			} else if !cl.started.IsZero() {
+				lat = now.Sub(cl.started)
+			}
+			cl.lastDelivery = now
+			cl.telemetry.Deliver(n, lat)
+			cl.Samples = append(cl.Samples, ProgressSample{Time: now, Bytes: cl.Received})
 			if cl.tracer != nil {
 				cl.tracer.EmitValue(trace.KindAppProgress, cl.name, cl.Received, "received %d bytes", cl.Received)
 			}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ip"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -126,6 +127,10 @@ type EchoClient struct {
 	// Gap, when non-zero, inserts a pause between rounds (driven by a
 	// timer at the *client*, so server determinism is unaffected).
 	Gap time.Duration
+	// Telemetry, when non-nil, receives one progress/latency observation
+	// per completed round (the inter-round gap is the client-visible
+	// response latency).
+	Telemetry *telemetry.ClientTrack
 
 	conn *tcp.Conn
 
@@ -239,7 +244,13 @@ func (cl *EchoClient) readable() {
 		cl.echoed += int64(n)
 		if cl.echoed >= int64(cl.RoundsDone+1)*int64(cl.MsgSize) {
 			cl.RoundsDone++
-			cl.Samples = append(cl.Samples, ProgressSample{Time: cl.sim.Now(), Bytes: cl.echoed})
+			now := cl.sim.Now()
+			prev := cl.started
+			if len(cl.Samples) > 0 {
+				prev = cl.Samples[len(cl.Samples)-1].Time
+			}
+			cl.Telemetry.Deliver(cl.MsgSize, now.Sub(prev))
+			cl.Samples = append(cl.Samples, ProgressSample{Time: now, Bytes: cl.echoed})
 			if cl.tracer != nil {
 				cl.tracer.EmitValue(trace.KindAppProgress, cl.name, cl.echoed, "round %d echoed (%d bytes)", cl.RoundsDone, cl.echoed)
 			}

@@ -50,6 +50,12 @@ type Options struct {
 	// forking wrapper here and keeps the returned instance to read the
 	// recorded choices back out.
 	CustomScheduler func() sim.Scheduler
+	// TelemetryWindow, when > 0, samples every registered instrument into
+	// windowed time series at this period; the unwrapped timeline lands in
+	// RunResult.Telemetry. Sampling ticks consume no randomness and do not
+	// perturb protocol event order, so runs stay byte-identical with
+	// telemetry on or off.
+	TelemetryWindow time.Duration
 }
 
 // appServer is the slice of the app-server API the harness injects faults
@@ -149,6 +155,7 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 		TraceDetail:     opts.TraceDetail,
 		Scheduler:       opts.Scheduler,
 		CustomScheduler: opts.CustomScheduler,
+		TelemetryWindow: opts.TelemetryWindow,
 	})
 	mutate := func(c *sttcp.Config) {
 		// Detection must outrun the gated-FIN auto-release: a silent
@@ -211,11 +218,12 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 	h.tb.Tracer.FinalizeAutoSpans()
 
 	res := &RunResult{
-		Schedule: sc,
-		Opts:     opts,
-		Trace:    h.tb.Tracer,
-		Metrics:  h.tb.Metrics.Snapshot(),
-		Skipped:  h.skipped,
+		Schedule:  sc,
+		Opts:      opts,
+		Trace:     h.tb.Tracer,
+		Metrics:   h.tb.Metrics.Snapshot(),
+		Telemetry: h.tb.Telemetry.Timeline(),
+		Skipped:   h.skipped,
 	}
 	for _, r := range h.clients {
 		res.Clients = append(res.Clients, summarize(r))
@@ -677,6 +685,7 @@ func (h *harness) startClient(ev Event) {
 		ec := app.NewEchoClient(name, h.tb.Client.TCP(), experiment.ServiceAddr, experiment.ServicePort,
 			h.sc.Rounds, h.sc.MsgSize, h.tb.Tracer)
 		ec.Gap = 3 * time.Millisecond
+		ec.Telemetry = h.tb.Telemetry.NewClientTrack()
 		if err := ec.Start(); err != nil {
 			h.skip(ev, err.Error())
 			return
@@ -687,6 +696,7 @@ func (h *harness) startClient(ev Event) {
 			Name: name, Stack: h.tb.Client.TCP(),
 			Service: experiment.ServiceAddr, Port: experiment.ServicePort,
 			Request: h.sc.Bytes, Tracer: h.tb.Tracer,
+			Telemetry: h.tb.Telemetry.NewClientTrack(),
 		})
 		if err := dl.Start(); err != nil {
 			h.skip(ev, err.Error())

@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sttcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -127,7 +128,10 @@ type RunResult struct {
 	Opts     Options
 	Trace    *trace.Recorder
 	Metrics  *metrics.Snapshot
-	Clients  []ClientSummary
+	// Telemetry is the windowed time-series timeline, nil unless
+	// Options.TelemetryWindow was set.
+	Telemetry *telemetry.Timeline
+	Clients   []ClientSummary
 	// Violations is empty iff every invariant held.
 	Violations []Violation
 	// Skipped lists scheduled events the harness refused to inject (with

@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sttcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -61,6 +62,10 @@ type FailoverResult struct {
 
 	// Metrics is the testbed's metric snapshot at the end of the run.
 	Metrics *metrics.Snapshot
+
+	// Telemetry is the windowed time-series export, nil unless the run
+	// sampled telemetry (Params.TelemetryWindow).
+	Telemetry *telemetry.Timeline
 }
 
 func (r FailoverResult) String() string {
@@ -113,6 +118,7 @@ func fillFailoverTimes(r *FailoverResult, tb *Testbed, maxGap func() (time.Durat
 	}
 	r.Tracer = tb.Tracer
 	r.Metrics = tb.Metrics.Snapshot()
+	r.Telemetry = tb.Telemetry.Timeline()
 }
 
 // Demo1Result pairs the ST-TCP run with the conventional hot-backup
@@ -126,11 +132,11 @@ type Demo1Result struct {
 // the primary is crashed mid-transfer. Under ST-TCP the transfer survives
 // with at worst a brief stall; under the baseline the client must detect
 // the stall itself, reconnect to the backup server, and resume.
-func runDemo1(seed int64, transferSize int64, crashAfter time.Duration, detail bool, sched sim.SchedulerKind) (Demo1Result, error) {
+func runDemo1(seed int64, transferSize int64, crashAfter time.Duration, detail bool, sched sim.SchedulerKind, telWindow time.Duration) (Demo1Result, error) {
 	var out Demo1Result
 
 	// --- ST-TCP run ---
-	tb := Build(Options{Seed: seed, TraceDetail: detail, Scheduler: sched})
+	tb := Build(Options{Seed: seed, TraceDetail: detail, Scheduler: sched, TelemetryWindow: telWindow})
 	if err := tb.StartSTTCP(0, nil); err != nil {
 		return out, err
 	}
@@ -139,6 +145,7 @@ func runDemo1(seed int64, transferSize int64, crashAfter time.Duration, detail b
 		Name: "client/app", Stack: tb.Client.TCP(),
 		Service: ServiceAddr, Port: ServicePort,
 		Request: transferSize, Tracer: tb.Tracer,
+		Telemetry: tb.Telemetry.NewClientTrack(),
 	})
 	if err := cl.Start(); err != nil {
 		return out, err
@@ -165,7 +172,7 @@ func runDemo1(seed int64, transferSize int64, crashAfter time.Duration, detail b
 	// --- Baseline run: same workload, same crash schedule, no ST-TCP.
 	// Each server listens on its own address; the client carries the
 	// failover logic.
-	tb2 := Build(Options{Seed: seed, TraceDetail: detail, Scheduler: sched})
+	tb2 := Build(Options{Seed: seed, TraceDetail: detail, Scheduler: sched, TelemetryWindow: telWindow})
 	pSrv := app.NewDataServer("primary/app", tb2.Tracer)
 	bSrv := app.NewDataServer("backup/app", tb2.Tracer)
 	pl, err := tb2.Primary.TCP().Listen(PrimaryAddr, ServicePort)
@@ -211,10 +218,10 @@ func runDemo1(seed int64, transferSize int64, crashAfter time.Duration, detail b
 // and the client-observed gap is measured. eager enables the
 // retransmit-at-takeover extension (the paper's design waits for the next
 // retransmission).
-func runDemo2(seed int64, periods []time.Duration, eager, detail bool, sched sim.SchedulerKind) ([]FailoverResult, error) {
+func runDemo2(seed int64, periods []time.Duration, eager, detail bool, sched sim.SchedulerKind, telWindow time.Duration) ([]FailoverResult, error) {
 	results := make([]FailoverResult, 0, len(periods))
 	for i, p := range periods {
-		tb := Build(Options{Seed: seed + int64(i), TraceDetail: detail, Scheduler: sched})
+		tb := Build(Options{Seed: seed + int64(i), TraceDetail: detail, Scheduler: sched, TelemetryWindow: telWindow})
 		err := tb.StartSTTCP(p, func(c *sttcp.Config) {
 			c.EagerTakeoverRetransmit = eager
 		})
@@ -227,6 +234,7 @@ func runDemo2(seed int64, periods []time.Duration, eager, detail bool, sched sim
 			Name: "client/app", Stack: tb.Client.TCP(),
 			Service: ServiceAddr, Port: ServicePort,
 			Request: transferSize, Tracer: tb.Tracer,
+			Telemetry: tb.Telemetry.NewClientTrack(),
 		})
 		if err := cl.Start(); err != nil {
 			return nil, err
@@ -259,10 +267,10 @@ func runDemo2(seed int64, periods []time.Duration, eager, detail bool, sched sim
 // the crash it is the *client's* TCP that retransmits with exponential
 // backoff, and the post-detection gap is governed by the client's RTO
 // schedule rather than the backup's.
-func runDemo2Upload(seed int64, periods []time.Duration, detail bool, sched sim.SchedulerKind) ([]FailoverResult, error) {
+func runDemo2Upload(seed int64, periods []time.Duration, detail bool, sched sim.SchedulerKind, telWindow time.Duration) ([]FailoverResult, error) {
 	results := make([]FailoverResult, 0, len(periods))
 	for i, p := range periods {
-		tb := Build(Options{Seed: seed + int64(i), TraceDetail: detail, Scheduler: sched})
+		tb := Build(Options{Seed: seed + int64(i), TraceDetail: detail, Scheduler: sched, TelemetryWindow: telWindow})
 		if err := tb.StartSTTCP(p, nil); err != nil {
 			return nil, err
 		}
@@ -273,6 +281,7 @@ func runDemo2Upload(seed int64, periods []time.Duration, detail bool, sched sim.
 
 		cl := app.NewEchoClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 4000, 1024, tb.Tracer)
 		cl.Gap = time.Millisecond
+		cl.Telemetry = tb.Telemetry.NewClientTrack()
 		if err := cl.Start(); err != nil {
 			return nil, err
 		}
@@ -398,8 +407,8 @@ func (m AppCrashMode) String() string {
 // mid-transfer (in either of the two modes) while the OS and TCP layer stay
 // up; ST-TCP detects it via the application-lag criteria and migrates the
 // connection to the backup.
-func runDemo4(seed int64, mode AppCrashMode, detail bool, sched sim.SchedulerKind) (FailoverResult, error) {
-	tb := Build(Options{Seed: seed, TraceDetail: detail, Scheduler: sched})
+func runDemo4(seed int64, mode AppCrashMode, detail bool, sched sim.SchedulerKind, telWindow time.Duration) (FailoverResult, error) {
+	tb := Build(Options{Seed: seed, TraceDetail: detail, Scheduler: sched, TelemetryWindow: telWindow})
 	// Shrink MaxDelayFIN so the gated-FIN path is visible inside the
 	// run; detection is still expected to come from the lag criteria
 	// first.
@@ -416,6 +425,7 @@ func runDemo4(seed int64, mode AppCrashMode, detail bool, sched sim.SchedulerKin
 		Name: "client/app", Stack: tb.Client.TCP(),
 		Service: ServiceAddr, Port: ServicePort,
 		Request: transferSize, Tracer: tb.Tracer,
+		Telemetry: tb.Telemetry.NewClientTrack(),
 	})
 	if err := cl.Start(); err != nil {
 		return FailoverResult{}, err
@@ -459,6 +469,7 @@ type Demo5Result struct {
 	ClientErr error
 	Tracer    *trace.Recorder
 	Metrics   *metrics.Snapshot
+	Telemetry *telemetry.Timeline
 }
 
 // runDemo5 reproduces Demo 5: a NIC failure at the primary (first part) or
@@ -466,9 +477,9 @@ type Demo5Result struct {
 // serial link stays up; the servers diagnose which side lost its NIC using
 // the client-stream positions and gateway pings exchanged over the serial
 // heartbeat.
-func runDemo5(seed int64, failPrimary bool, detail bool, sched sim.SchedulerKind) (Demo5Result, error) {
+func runDemo5(seed int64, failPrimary bool, detail bool, sched sim.SchedulerKind, telWindow time.Duration) (Demo5Result, error) {
 	out := Demo5Result{FailedAtPrimary: failPrimary}
-	tb := Build(Options{Seed: seed, TraceDetail: detail, Scheduler: sched})
+	tb := Build(Options{Seed: seed, TraceDetail: detail, Scheduler: sched, TelemetryWindow: telWindow})
 	if err := tb.StartSTTCP(0, nil); err != nil {
 		return out, err
 	}
@@ -481,6 +492,7 @@ func runDemo5(seed int64, failPrimary bool, detail bool, sched sim.SchedulerKind
 	// directions, which is what the §4.3 diagnosis consumes.
 	cl := app.NewEchoClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 2000, 1024, tb.Tracer)
 	cl.Gap = 5 * time.Millisecond
+	cl.Telemetry = tb.Telemetry.NewClientTrack()
 	if err := cl.Start(); err != nil {
 		return out, err
 	}
@@ -506,5 +518,6 @@ func runDemo5(seed int64, failPrimary bool, detail bool, sched sim.SchedulerKind
 	out.ClientErr = cl.Err
 	out.Tracer = tb.Tracer
 	out.Metrics = tb.Metrics.Snapshot()
+	out.Telemetry = tb.Telemetry.Timeline()
 	return out, nil
 }

@@ -16,7 +16,7 @@ import (
 // the client's retransmission backoff.
 func TestDemo2Upload(t *testing.T) {
 	periods := []time.Duration{200 * time.Millisecond, time.Second}
-	results, err := runDemo2Upload(71, periods, false, sim.SchedulerDefault)
+	results, err := runDemo2Upload(71, periods, false, sim.SchedulerDefault, 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/serial"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // Params is the common parameter set every registered demo accepts.
@@ -40,6 +41,11 @@ type Params struct {
 	// The run itself is byte-identical across kinds; only wall-clock
 	// speed differs.
 	Scheduler sim.SchedulerKind
+	// TelemetryWindow, when > 0, attaches the windowed time-series
+	// sampler to every testbed the demo builds (the -report-out and
+	// -telemetry-window CLI flags set it). The run's virtual-time outcome
+	// is unchanged; the result gains a Telemetry timeline.
+	TelemetryWindow time.Duration
 
 	// Conns is the concurrent-connection count for the scale demo
 	// (default 2,000).
@@ -75,6 +81,9 @@ type Result struct {
 	Overhead  *Demo3Result
 	NIC       []Demo5Result
 	Metrics   *metrics.Snapshot
+	// Telemetry is the last (or only) run's windowed time-series export,
+	// nil unless Params.TelemetryWindow was set.
+	Telemetry *telemetry.Timeline
 
 	// Capacity is the heartbeat-link capacity series (capacity demo).
 	Capacity []SerialCapacityResult
@@ -177,7 +186,7 @@ func builtinDemos() []Demo {
 				if crashAfter == 0 {
 					crashAfter = 500 * time.Millisecond
 				}
-				d, err := runDemo1(p.Seed, size, crashAfter, p.TraceDetail, p.Scheduler)
+				d, err := runDemo1(p.Seed, size, crashAfter, p.TraceDetail, p.Scheduler, p.TelemetryWindow)
 				if err != nil {
 					return Result{Demo: "demo1"}, err
 				}
@@ -186,6 +195,7 @@ func builtinDemos() []Demo {
 					Failovers: []FailoverResult{d.STTCP},
 					Baseline:  &d.Baseline,
 					Metrics:   d.STTCP.Metrics,
+					Telemetry: d.STTCP.Telemetry,
 				}, nil
 			},
 		},
@@ -193,22 +203,22 @@ func builtinDemos() []Demo {
 			Name:  "demo2",
 			Title: "failover time vs. heartbeat period",
 			Run: func(p Params) (Result, error) {
-				rs, err := runDemo2(p.Seed, defaultPeriods(p.Periods), p.Eager, p.TraceDetail, p.Scheduler)
+				rs, err := runDemo2(p.Seed, defaultPeriods(p.Periods), p.Eager, p.TraceDetail, p.Scheduler, p.TelemetryWindow)
 				if err != nil {
 					return Result{Demo: "demo2"}, err
 				}
-				return Result{Demo: "demo2", Failovers: rs, Metrics: lastMetrics(rs)}, nil
+				return Result{Demo: "demo2", Failovers: rs, Metrics: lastMetrics(rs), Telemetry: lastTimeline(rs)}, nil
 			},
 		},
 		{
 			Name:  "demo2-upload",
 			Title: "failover time vs. heartbeat period, client as sender",
 			Run: func(p Params) (Result, error) {
-				rs, err := runDemo2Upload(p.Seed, defaultPeriods(p.Periods), p.TraceDetail, p.Scheduler)
+				rs, err := runDemo2Upload(p.Seed, defaultPeriods(p.Periods), p.TraceDetail, p.Scheduler, p.TelemetryWindow)
 				if err != nil {
 					return Result{Demo: "demo2-upload"}, err
 				}
-				return Result{Demo: "demo2-upload", Failovers: rs, Metrics: lastMetrics(rs)}, nil
+				return Result{Demo: "demo2-upload", Failovers: rs, Metrics: lastMetrics(rs), Telemetry: lastTimeline(rs)}, nil
 			},
 		},
 		{
@@ -236,7 +246,7 @@ func builtinDemos() []Demo {
 				}
 				out := Result{Demo: "demo4"}
 				for _, mode := range modes {
-					r, err := runDemo4(p.Seed, mode, p.TraceDetail, p.Scheduler)
+					r, err := runDemo4(p.Seed, mode, p.TraceDetail, p.Scheduler, p.TelemetryWindow)
 					if err != nil {
 						return out, fmt.Errorf("mode %v: %w", mode, err)
 					}
@@ -244,6 +254,7 @@ func builtinDemos() []Demo {
 					out.Failovers = append(out.Failovers, r)
 				}
 				out.Metrics = lastMetrics(out.Failovers)
+				out.Telemetry = lastTimeline(out.Failovers)
 				return out, nil
 			},
 		},
@@ -253,12 +264,13 @@ func builtinDemos() []Demo {
 			Run: func(p Params) (Result, error) {
 				out := Result{Demo: "demo5"}
 				for _, atPrimary := range []bool{true, false} {
-					r, err := runDemo5(p.Seed, atPrimary, p.TraceDetail, p.Scheduler)
+					r, err := runDemo5(p.Seed, atPrimary, p.TraceDetail, p.Scheduler, p.TelemetryWindow)
 					if err != nil {
 						return out, err
 					}
 					out.NIC = append(out.NIC, r)
 					out.Metrics = r.Metrics
+					out.Telemetry = r.Telemetry
 				}
 				return out, nil
 			},
@@ -356,11 +368,11 @@ func builtinDemos() []Demo {
 				if size == 0 {
 					size = 32 << 10
 				}
-				sc, err := runScaleFailover(p.Seed, conns, size, true, p.Scheduler)
+				sc, err := runScaleFailover(p.Seed, conns, size, true, p.Scheduler, p.TelemetryWindow)
 				if err != nil {
 					return Result{Demo: "scale"}, err
 				}
-				return Result{Demo: "scale", Scale: &sc, Metrics: sc.Metrics}, nil
+				return Result{Demo: "scale", Scale: &sc, Metrics: sc.Metrics, Telemetry: sc.Telemetry}, nil
 			},
 		},
 	}
@@ -391,4 +403,11 @@ func lastMetrics(rs []FailoverResult) *metrics.Snapshot {
 		return nil
 	}
 	return rs[len(rs)-1].Metrics
+}
+
+func lastTimeline(rs []FailoverResult) *telemetry.Timeline {
+	if len(rs) == 0 {
+		return nil
+	}
+	return rs[len(rs)-1].Telemetry
 }

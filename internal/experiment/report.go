@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// BuildReport assembles the run-report artifact for one demo result: the
+// identity of the run (demo, seed, scheduler, the params that deviated
+// from defaults), the final metrics snapshot, the telemetry timeline, and
+// the failover anatomy. Chaos runs add their section via
+// chaos.RunResult.Report; bench figures are appended by the bench CLI.
+//
+// Every field derives from virtual time, so two runs of the same demo at
+// the same seed produce byte-identical reports on any machine — that is
+// the property the cross-run regression observatory (sttcp-report -diff)
+// is built on.
+func BuildReport(p Params, res Result) *telemetry.Report {
+	r := &telemetry.Report{
+		Version:   telemetry.ReportVersion,
+		Demo:      res.Demo,
+		Seed:      p.Seed,
+		Scheduler: res.SchedulerName(p),
+		Params:    paramsMap(p),
+		Metrics:   res.Metrics,
+		Telemetry: res.Telemetry,
+	}
+	if res.Metrics != nil {
+		r.FinishedAt = res.Metrics.At
+	}
+	for _, f := range res.Failovers {
+		if f.Anatomy != nil {
+			r.Anatomy = append(r.Anatomy, telemetry.PhasesFromAnatomy(*f.Anatomy))
+		}
+	}
+	if res.Scale != nil && res.Scale.Anatomy != nil {
+		r.Anatomy = append(r.Anatomy, telemetry.PhasesFromAnatomy(*res.Scale.Anatomy))
+	}
+	return r
+}
+
+// SchedulerName renders the scheduler the run used, resolving the
+// default to its concrete kind so reports from explicit and defaulted
+// invocations compare equal.
+func (res Result) SchedulerName(p Params) string {
+	return p.Scheduler.Resolve().String()
+}
+
+// paramsMap records the knobs that shaped the run, skipping zero values
+// so defaulted and explicit-default invocations serialize identically
+// only when they truly matched.
+func paramsMap(p Params) map[string]string {
+	m := map[string]string{}
+	if p.Size != 0 {
+		m["size"] = strconv.FormatInt(p.Size, 10)
+	}
+	if p.CrashAfter != 0 {
+		m["crash_after"] = p.CrashAfter.String()
+	}
+	if len(p.Periods) > 0 {
+		m["periods"] = fmt.Sprint(p.Periods)
+	}
+	if p.Eager {
+		m["eager"] = "true"
+	}
+	if p.Mode != 0 {
+		m["mode"] = p.Mode.String()
+	}
+	if p.Conns != 0 {
+		m["conns"] = strconv.Itoa(p.Conns)
+	}
+	if len(p.ConnCounts) > 0 {
+		m["conn_counts"] = fmt.Sprint(p.ConnCounts)
+	}
+	if p.LinkBitsPerSecond != 0 {
+		m["link_bps"] = strconv.FormatInt(p.LinkBitsPerSecond, 10)
+	}
+	if p.Samples != 0 {
+		m["samples"] = strconv.Itoa(p.Samples)
+	}
+	if p.TelemetryWindow != 0 {
+		m["telemetry_window"] = p.TelemetryWindow.String()
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}

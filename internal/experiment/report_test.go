@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden dashboard file from the current run")
+
+// scaleReport runs the 25-connection failover under the given scheduler
+// and assembles its run report — the workload behind the cross-run
+// regression observatory's genuine-pair check.
+func scaleReport(t *testing.T, sched sim.SchedulerKind) *telemetry.Report {
+	t.Helper()
+	p := Params{Seed: 91, Conns: 25, Size: 256 << 10, Scheduler: sched,
+		TelemetryWindow: 100 * time.Millisecond}
+	d, ok := DemoByName("scale")
+	if !ok {
+		t.Fatal("scale demo not registered")
+	}
+	res, err := d.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildReport(p, res)
+}
+
+// TestGenuinePairDiffsClean is the observatory's soundness half: the same
+// run under the heap and calendar schedulers must produce reports that are
+// byte-identical up to the scheduler name, and sttcp-report's diff must
+// find nothing to flag. If this fails, either the schedulers diverged (a
+// simulator bug) or the report captured something non-deterministic (a
+// telemetry bug) — both make every cross-run comparison meaningless.
+func TestGenuinePairDiffsClean(t *testing.T) {
+	heap := scaleReport(t, sim.SchedulerHeap)
+	cal := scaleReport(t, sim.SchedulerCalendar)
+
+	d := telemetry.DiffReports(heap, cal, telemetry.DiffOptions{})
+	if !d.Ok() {
+		t.Fatalf("genuine pair flagged as regression:\n%v", d.Regressions)
+	}
+
+	// Byte-identical once the one legitimate difference is erased.
+	heap.Scheduler, cal.Scheduler = "", ""
+	hj, err := json.Marshal(heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := json.Marshal(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hj, cj) {
+		t.Errorf("heap and calendar reports differ beyond the scheduler name (%d vs %d bytes)", len(hj), len(cj))
+	}
+}
+
+// TestDegradedReportFailsDiff is the observatory's sensitivity half: take
+// a genuine report, worsen its latency series and failover anatomy the way
+// a real regression would, and the diff must flag it.
+func TestDegradedReportFailsDiff(t *testing.T) {
+	base := scaleReport(t, sim.SchedulerHeap)
+	degraded := scaleReport(t, sim.SchedulerHeap)
+
+	for i := range degraded.Telemetry.Series {
+		s := &degraded.Telemetry.Series[i]
+		if s.Name == "client.response_latency.p99" {
+			for j := range s.Points {
+				s.Points[j] *= 10
+			}
+		}
+	}
+	for i := range degraded.Anatomy {
+		degraded.Anatomy[i].Detection *= 3
+	}
+
+	d := telemetry.DiffReports(base, degraded, telemetry.DiffOptions{})
+	if d.Ok() {
+		t.Fatal("10x p99 and 3x detection latency slipped through the diff gate")
+	}
+}
+
+// TestDemo2DashboardGolden pins the rendered dashboard of the paper's
+// demo 2 at HB 200 ms: the sparkline rows, the failover anatomy table, and
+// the header must not drift unnoticed. Regenerate after an intentional
+// change with:
+//
+//	go test ./internal/experiment -run DashboardGolden -update
+func TestDemo2DashboardGolden(t *testing.T) {
+	p := Params{Seed: 42, Periods: []time.Duration{200 * time.Millisecond},
+		Scheduler: sim.SchedulerDefault, TelemetryWindow: 100 * time.Millisecond}
+	d, ok := DemoByName("demo2")
+	if !ok {
+		t.Fatal("demo2 not registered")
+	}
+	res, err := d.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(p, res)
+
+	var buf bytes.Buffer
+	if err := telemetry.RenderDashboard(&buf, rep, telemetry.RenderOptions{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "golden", "demo2-dashboard.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dashboard drifted from %s.\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}

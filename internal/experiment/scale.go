@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sttcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,11 @@ type ScaleResult struct {
 	// last client's completion.
 	VirtualElapsed time.Duration
 	Metrics        *metrics.Snapshot
+	// Telemetry is the windowed time-series export, nil unless sampling
+	// was enabled.
+	Telemetry *telemetry.Timeline
+	// Anatomy is the takeover's phase decomposition (nil without a crash).
+	Anatomy *trace.FailoverAnatomy
 }
 
 // runScaleFailover pushes the testbed to conns concurrent connections,
@@ -51,9 +57,9 @@ type ScaleResult struct {
 // 115.2 kbit/s serial line — and dials are staggered so the SYN burst
 // doesn't serialise into one instant. Reached through the "scale"
 // registry demo.
-func runScaleFailover(seed int64, conns int, bytesPerClient int64, crash bool, sched sim.SchedulerKind) (ScaleResult, error) {
+func runScaleFailover(seed int64, conns int, bytesPerClient int64, crash bool, sched sim.SchedulerKind, telWindow time.Duration) (ScaleResult, error) {
 	out := ScaleResult{Conns: conns, BytesPerClient: bytesPerClient, Crashed: crash}
-	tb := Build(Options{Seed: seed, SerialRate: 100_000_000, Scheduler: sched})
+	tb := Build(Options{Seed: seed, SerialRate: 100_000_000, Scheduler: sched, TelemetryWindow: telWindow})
 	if err := tb.StartSTTCP(0, nil); err != nil {
 		return out, err
 	}
@@ -75,6 +81,7 @@ func runScaleFailover(seed int64, conns int, bytesPerClient int64, crash bool, s
 				Name: "client/app", Stack: tb.Client.TCP(),
 				Service: ServiceAddr, Port: ServicePort,
 				Request: bytesPerClient, Tracer: tb.Tracer,
+				Telemetry: tb.Telemetry.NewClientTrack(),
 			})
 			cl.OnDone = func(error) {
 				lastDone = tb.Sim.Now()
@@ -149,5 +156,9 @@ func runScaleFailover(seed int64, conns int, bytesPerClient int64, crash bool, s
 	}
 	out.SegmentsEmitted = tb.Client.TCP().Emitted + tb.Primary.TCP().Emitted + tb.Backup.TCP().Emitted
 	out.Metrics = tb.Metrics.Snapshot()
+	out.Telemetry = tb.Telemetry.Timeline()
+	if anatomies := tb.Tracer.Anatomy(); len(anatomies) > 0 {
+		out.Anatomy = &anatomies[0]
+	}
 	return out, nil
 }

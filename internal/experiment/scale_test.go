@@ -13,7 +13,7 @@ import (
 // size cheap enough for -short: staggered dials, the 100 Mbit/s heartbeat
 // link, a mid-stream crash, and the aggregated result fields.
 func TestScaleFailoverSmoke(t *testing.T) {
-	res, err := runScaleFailover(91, 25, 1<<20, true, sim.SchedulerDefault)
+	res, err := runScaleFailover(91, 25, 1<<20, true, sim.SchedulerDefault, 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -40,7 +40,7 @@ func TestThousandConnectionsFailover(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test skipped in -short")
 	}
-	res, err := runScaleFailover(91, 1000, 64<<10, true, sim.SchedulerDefault)
+	res, err := runScaleFailover(91, 1000, 64<<10, true, sim.SchedulerDefault, 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

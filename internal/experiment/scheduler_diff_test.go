@@ -17,11 +17,11 @@ import (
 func TestSchedulerKindsProduceIdenticalExperiments(t *testing.T) {
 	t.Run("demo2", func(t *testing.T) {
 		periods := []time.Duration{200 * time.Millisecond}
-		heap, err := runDemo2(23, periods, false, false, sim.SchedulerHeap)
+		heap, err := runDemo2(23, periods, false, false, sim.SchedulerHeap, 0)
 		if err != nil {
 			t.Fatalf("heap run: %v", err)
 		}
-		cal, err := runDemo2(23, periods, false, false, sim.SchedulerCalendar)
+		cal, err := runDemo2(23, periods, false, false, sim.SchedulerCalendar, 0)
 		if err != nil {
 			t.Fatalf("calendar run: %v", err)
 		}
@@ -37,11 +37,11 @@ func TestSchedulerKindsProduceIdenticalExperiments(t *testing.T) {
 	})
 
 	t.Run("scale", func(t *testing.T) {
-		heap, err := runScaleFailover(23, 25, 256<<10, true, sim.SchedulerHeap)
+		heap, err := runScaleFailover(23, 25, 256<<10, true, sim.SchedulerHeap, 0)
 		if err != nil {
 			t.Fatalf("heap run: %v", err)
 		}
-		cal, err := runScaleFailover(23, 25, 256<<10, true, sim.SchedulerCalendar)
+		cal, err := runScaleFailover(23, 25, 256<<10, true, sim.SchedulerCalendar, 0)
 		if err != nil {
 			t.Fatalf("calendar run: %v", err)
 		}

@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sttcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -99,6 +101,10 @@ type ScenarioResult struct {
 	ClientErr error
 
 	Tracer *trace.Recorder
+	// Metrics and Telemetry feed the run-report artifact; Telemetry is
+	// nil unless a telemetry window was requested.
+	Metrics   *metrics.Snapshot
+	Telemetry *telemetry.Timeline
 }
 
 // ExpectTakeover reports whether the Table 1 recovery action for this
@@ -133,8 +139,14 @@ func RunScenario(seed int64, sc Scenario) (ScenarioResult, error) {
 
 // RunScenarioWith is RunScenario on an explicit scheduler kind.
 func RunScenarioWith(seed int64, sc Scenario, sched sim.SchedulerKind) (ScenarioResult, error) {
+	return RunScenarioOpts(seed, sc, sched, 0)
+}
+
+// RunScenarioOpts is RunScenarioWith with telemetry sampling at telWindow
+// (0 disables it).
+func RunScenarioOpts(seed int64, sc Scenario, sched sim.SchedulerKind, telWindow time.Duration) (ScenarioResult, error) {
 	out := ScenarioResult{Scenario: sc}
-	tb := Build(Options{Seed: seed, Scheduler: sched})
+	tb := Build(Options{Seed: seed, Scheduler: sched, TelemetryWindow: telWindow})
 	err := tb.StartSTTCP(0, func(c *sttcp.Config) {
 		c.MaxDelayFIN = 15 * time.Second
 	})
@@ -148,6 +160,7 @@ func RunScenarioWith(seed int64, sc Scenario, sched sim.SchedulerKind) (Scenario
 
 	cl := app.NewEchoClient("client/app", tb.Client.TCP(), ServiceAddr, ServicePort, 1500, 1024, tb.Tracer)
 	cl.Gap = 5 * time.Millisecond
+	cl.Telemetry = tb.Telemetry.NewClientTrack()
 	if err := cl.Start(); err != nil {
 		return out, err
 	}
@@ -178,6 +191,8 @@ func RunScenarioWith(seed int64, sc Scenario, sched sim.SchedulerKind) (Scenario
 	out.ClientOK = cl.Done && cl.Err == nil && cl.VerifyFailures == 0
 	out.ClientErr = cl.Err
 	out.Tracer = tb.Tracer
+	out.Metrics = tb.Metrics.Snapshot()
+	out.Telemetry = tb.Telemetry.Timeline()
 	return out, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sttcp"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -86,6 +87,12 @@ type Options struct {
 	// spans (and 8× as many events); the oldest closed spans are evicted
 	// first, pinned failure windows survive.
 	FlightRecorder int
+	// TelemetryWindow, when > 0, attaches a time-series sampler that
+	// closes one window per period: every registered instrument plus the
+	// derived scheduler/serial/heartbeat series. The sampler's ticker adds
+	// events but consumes no randomness and preserves the relative order
+	// of protocol events, so a run's virtual-time outcome is unchanged.
+	TelemetryWindow time.Duration
 }
 
 // Testbed is the assembled Figure 2 network.
@@ -94,6 +101,11 @@ type Testbed struct {
 	Tracer  *trace.Recorder
 	Metrics *metrics.Registry
 	Switch  *netem.Switch
+
+	// Telemetry is the windowed time-series sampler; nil unless
+	// Options.TelemetryWindow was set (a nil sampler is a no-op sink, so
+	// call sites never need to branch).
+	Telemetry *telemetry.Sampler
 
 	Client  *cluster.Host
 	Primary *cluster.Host
@@ -230,7 +242,43 @@ func Build(opts Options) *Testbed {
 	tb.PrimaryPower = cluster.NewPowerController(tb.Primary)
 	tb.BackupPower = cluster.NewPowerController(tb.Backup)
 
+	if opts.TelemetryWindow > 0 {
+		tb.Telemetry = telemetry.NewSampler(s, reg, telemetry.Config{Window: opts.TelemetryWindow})
+		tb.wireTelemetryProbes(rate)
+		tb.Telemetry.Start()
+	}
+
 	return tb
+}
+
+// wireTelemetryProbes registers the derived series the run report's
+// dashboard is built around: scheduler queue depth and event throughput,
+// and the utilization of the serial heartbeat link in each direction.
+func (tb *Testbed) wireTelemetryProbes(serialRate int64) {
+	s, sp := tb.Sim, tb.Telemetry
+	sp.AddProbe("sched.pending", "events", func() float64 {
+		return float64(s.Pending())
+	})
+	var lastFired uint64
+	sp.AddProbe("sched.fired", "events/window", func() float64 {
+		f := s.Fired()
+		d := f - lastFired
+		lastFired = f
+		return float64(d)
+	})
+	// Serial-link utilization: TX bytes this window × 10 bits/byte over
+	// the line capacity in one window.
+	windowBits := float64(serialRate) * sp.Window().Seconds()
+	serialUtil := func(p *serial.Port) func() float64 {
+		var last int64
+		return func() float64 {
+			d := p.TxBytes - last
+			last = p.TxBytes
+			return float64(d*serial.BitsPerByte) / windowBits
+		}
+	}
+	sp.AddProbe("serial.primary.utilization", "fraction", serialUtil(tb.SerialPrimary))
+	sp.AddProbe("serial.backup.utilization", "fraction", serialUtil(tb.SerialBackup))
 }
 
 // NodeConfig returns the ST-TCP configuration for one of the testbed's

@@ -32,9 +32,12 @@ type Sample struct {
 }
 
 // Snapshot is an immutable copy of every instrument in a registry,
-// sorted by (component, name, labels). Taking a snapshot does not
-// disturb the live instruments, and later updates to the registry do
-// not alter an already-taken snapshot.
+// sorted by (component, name, labels, type) — type breaks the tie when
+// one key holds several instrument kinds, so the order is total and two
+// snapshots of the same registry state serialize identically. WriteJSON
+// and WriteCSV emit samples in exactly this order. Taking a snapshot
+// does not disturb the live instruments, and later updates to the
+// registry do not alter an already-taken snapshot.
 type Snapshot struct {
 	At      time.Time `json:"at"` // virtual time the snapshot was taken
 	Samples []Sample  `json:"samples"`
@@ -81,9 +84,25 @@ func (r *Registry) Snapshot() *Snapshot {
 		if a.Name != b.Name {
 			return a.Name < b.Name
 		}
-		return a.Labels < b.Labels
+		if a.Labels != b.Labels {
+			return a.Labels < b.Labels
+		}
+		// sort.Slice is not stable: without the type tie-break a key
+		// holding both a counter and a gauge could serialize in either
+		// order run to run.
+		return a.Type < b.Type
 	})
 	return s
+}
+
+// ReadSnapshot parses a snapshot previously serialized with WriteJSON —
+// the inverse half of the round trip the run-report machinery depends on.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("metrics: read snapshot: %w", err)
+	}
+	return &s, nil
 }
 
 // CounterTotal sums every counter sample named name across all

@@ -64,6 +64,23 @@ type Registry struct {
 	order    []key // registration order, for stable iteration before sort
 }
 
+// noteKey records k in the registration order exactly once, even when one
+// key later grows a second instrument type (a counter and a gauge may
+// legally share a key). Without the dedupe, Snapshot and Instruments
+// would emit that key's samples twice.
+func (r *Registry) noteKey(k key) {
+	if _, ok := r.counters[k]; ok {
+		return
+	}
+	if _, ok := r.gauges[k]; ok {
+		return
+	}
+	if _, ok := r.histos[k]; ok {
+		return
+	}
+	r.order = append(r.order, k)
+}
+
 // New creates a registry. now supplies the virtual clock (pass
 // sim.Now); it may be nil, in which case snapshots carry a zero time.
 func New(now func() time.Time) *Registry {
@@ -225,6 +242,54 @@ func (h *Histogram) Sum() time.Duration {
 	return h.sum
 }
 
+// BucketCount returns the number of observations in bucket i, where
+// i == NumBounds() is the overflow bucket (0 on nil). It is read by the
+// telemetry sampler once per window, so like the update path it never
+// allocates.
+//
+//sttcp:hotpath
+func (h *Histogram) BucketCount(i int) int64 {
+	if h == nil || i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i]
+}
+
+// NumBounds returns the number of finite bucket upper bounds (0 on nil);
+// the histogram holds one extra overflow bucket beyond them.
+func (h *Histogram) NumBounds() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.bounds)
+}
+
+// Bound returns the i-th bucket upper bound (0 on nil or out of range).
+//
+//sttcp:hotpath
+func (h *Histogram) Bound(i int) time.Duration {
+	if h == nil || i < 0 || i >= len(h.bounds) {
+		return 0
+	}
+	return h.bounds[i]
+}
+
+// Min returns the smallest observation (0 on nil or empty).
+func (h *Histogram) Min() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 on nil or empty).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
 // Counter returns (creating if needed) the counter for
 // (component, name, labels). Nil registry returns nil.
 func (r *Registry) Counter(component, name string, labels ...Label) *Counter {
@@ -236,8 +301,8 @@ func (r *Registry) Counter(component, name string, labels ...Label) *Counter {
 		return c
 	}
 	c := &Counter{}
+	r.noteKey(k)
 	r.counters[k] = c
-	r.order = append(r.order, k)
 	return c
 }
 
@@ -252,8 +317,8 @@ func (r *Registry) Gauge(component, name string, labels ...Label) *Gauge {
 		return g
 	}
 	g := &Gauge{}
+	r.noteKey(k)
 	r.gauges[k] = g
-	r.order = append(r.order, k)
 	return g
 }
 
@@ -275,7 +340,54 @@ func (r *Registry) Histogram(component, name string, bounds []time.Duration, lab
 	bs := append([]time.Duration(nil), bounds...)
 	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
 	h := &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+	r.noteKey(k)
 	r.histos[k] = h
-	r.order = append(r.order, k)
 	return h
+}
+
+// Len reports how many distinct (component, name, labels) keys are
+// registered. The telemetry sampler polls it to detect instruments
+// registered after sampling began (0 on nil).
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.order)
+}
+
+// InstrumentRef is one registered key with direct handles to its live
+// instruments. At least one of Counter/Gauge/Histogram is non-nil; a key
+// that holds several instrument types (legal, if unusual) carries them
+// all in one ref.
+type InstrumentRef struct {
+	Component string
+	Name      string
+	Labels    string // canonical "k=v,k=v" form, empty for none
+
+	Counter   *Counter
+	Gauge     *Gauge
+	Histogram *Histogram
+}
+
+// Instruments returns one ref per registered key in registration order.
+// The slice is freshly allocated but the handles are the live
+// instruments, so a caller may keep them and read values later without
+// touching the registry again — that is how the telemetry sampler keeps
+// its per-window sampling loop allocation-free.
+func (r *Registry) Instruments() []InstrumentRef {
+	if r == nil {
+		return nil
+	}
+	out := make([]InstrumentRef, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, InstrumentRef{
+			Component: k.component,
+			Name:      k.name,
+			Labels:    k.labels,
+			Counter:   r.counters[k],
+			Gauge:     r.gauges[k],
+			Histogram: r.histos[k],
+		})
+	}
+	return out
 }

@@ -1,0 +1,64 @@
+// Gauge semantics under the simulator's pooled-event hot path: sim.Post
+// recycles Event records, so the same Event object carries many different
+// gauge updates over a run. The high-water mark must track the true peak
+// across recycles, and the combined Post+Set path must stay allocation-free
+// once the pool is warm. External test package: metrics must not depend on
+// sim, but the test may.
+package metrics_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func TestGaugeMaxUnderPooledEvents(t *testing.T) {
+	s := sim.New(1)
+	r := metrics.New(s.Now)
+	g := r.Gauge("tcp", "cwnd_bytes")
+
+	// A rise-fall-rise profile delivered through pooled events: the peak
+	// sits in the middle, so a max that tracked only the final value (or
+	// was reset when an Event was recycled) would miss it.
+	profile := []int64{10, 400, 250, 9000, 120, 5, 800}
+	for i, v := range profile {
+		v := v
+		s.Post(time.Duration(i)*time.Millisecond, func() { g.Set(v) })
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Max(); got != 9000 {
+		t.Errorf("Gauge.Max = %d after pooled-event profile, want 9000", got)
+	}
+	if got := g.Value(); got != 800 {
+		t.Errorf("Gauge.Value = %d, want 800 (last pooled update)", got)
+	}
+
+	// Add must move the high-water mark too, and the snapshot must agree
+	// with the live instrument.
+	g.Add(8300) // 800 + 8300 = 9100 > 9000
+	if got := g.Max(); got != 9100 {
+		t.Errorf("Gauge.Max = %d after Add past the old peak, want 9100", got)
+	}
+	snap := r.Snapshot()
+	if sm := snap.Find("cwnd_bytes"); len(sm) != 1 || sm[0].Max != 9100 {
+		t.Errorf("snapshot gauge max = %+v, want Max 9100", sm)
+	}
+
+	// Steady state: one pooled Post + fire + Set per step allocates
+	// nothing (the event comes from the simulator's free list).
+	update := func() { g.Set(7) }
+	s.Post(0, update)
+	s.Step() // warm the pool
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Post(0, update)
+		if !s.Step() {
+			t.Fatal("pooled event did not fire")
+		}
+	}); n != 0 {
+		t.Errorf("pooled Post+Set allocated %.1f times per run, want 0", n)
+	}
+}

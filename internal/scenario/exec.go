@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sttcp"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -28,6 +29,10 @@ type Result struct {
 	Clients []string // one status line per workload
 	Errors  []string // fault injections that failed at run time (e.g. rejoin with no takeover)
 	Tracer  *trace.Recorder
+	// Report is the run-report artifact: seed, scheduler, final metrics,
+	// telemetry timeline (when RunOptions.TelemetryWindow sampled one),
+	// and any failover anatomy the tracer assembled.
+	Report *telemetry.Report
 }
 
 // OK reports whether every expectation passed and every scheduled fault
@@ -67,6 +72,9 @@ type RunOptions struct {
 	// (sttcp-lab's -scheduler flag sets it). Scripts run byte-identically
 	// under either kind, so golden outputs never depend on it.
 	Scheduler sim.SchedulerKind
+	// TelemetryWindow, when > 0, samples every metric into windowed time
+	// series at this period; the timeline lands in Result.Report.
+	TelemetryWindow time.Duration
 }
 
 // Run executes a parsed script on a fresh simulated testbed.
@@ -75,7 +83,8 @@ func Run(sc *Script) (*Result, error) { return RunWith(sc, RunOptions{}) }
 // RunWith is Run with execution options.
 func RunWith(sc *Script, ro RunOptions) (*Result, error) {
 	// Pass 1: options and workload-kind validation.
-	opts := experiment.Options{Seed: 42, TraceDetail: ro.TraceDetail, Scheduler: ro.Scheduler}
+	opts := experiment.Options{Seed: 42, TraceDetail: ro.TraceDetail, Scheduler: ro.Scheduler,
+		TelemetryWindow: ro.TelemetryWindow}
 	hb := time.Duration(0)
 	maxDelayFIN := time.Duration(0)
 	kind := ""
@@ -152,6 +161,20 @@ func RunWith(sc *Script, ro RunOptions) (*Result, error) {
 		}
 	}
 	ex.summariseClients()
+	snap := tb.Metrics.Snapshot()
+	rep := &telemetry.Report{
+		Version:    telemetry.ReportVersion,
+		Demo:       "scenario",
+		Seed:       opts.Seed,
+		Scheduler:  ro.Scheduler.Resolve().String(),
+		FinishedAt: snap.At,
+		Metrics:    snap,
+		Telemetry:  tb.Telemetry.Timeline(),
+	}
+	for _, a := range tb.Tracer.Anatomy() {
+		rep.Anatomy = append(rep.Anatomy, telemetry.PhasesFromAnatomy(a))
+	}
+	ex.res.Report = rep
 	return ex.res, nil
 }
 
@@ -181,6 +204,7 @@ func (ex *executor) startClient(st Statement) error {
 			Name: "client/app", Stack: ex.tb.Client.TCP(),
 			Service: experiment.ServiceAddr, Port: experiment.ServicePort,
 			Request: st.Size, Tracer: ex.tb.Tracer,
+			Telemetry: ex.tb.Telemetry.NewClientTrack(),
 		})
 		if err := cl.Start(); err != nil {
 			return err
@@ -190,6 +214,7 @@ func (ex *executor) startClient(st Statement) error {
 		cl := app.NewEchoClient("client/app", ex.tb.Client.TCP(),
 			experiment.ServiceAddr, experiment.ServicePort, st.Rounds, int(st.Size), ex.tb.Tracer)
 		cl.Gap = 5 * time.Millisecond
+		cl.Telemetry = ex.tb.Telemetry.NewClientTrack()
 		if err := cl.Start(); err != nil {
 			return err
 		}

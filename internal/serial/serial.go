@@ -28,9 +28,9 @@ var (
 	ErrNotWired    = errors.New("serial: port not connected")
 )
 
-// bitsPerByte accounts for the RS-232 framing overhead: start bit, 8 data
+// BitsPerByte accounts for the RS-232 framing overhead: start bit, 8 data
 // bits, stop bit.
-const bitsPerByte = 10
+const BitsPerByte = 10
 
 // Port is one end of a null-modem connection. Messages are framed with a
 // 2-byte length prefix and delivered whole to the peer's handler after the
@@ -110,7 +110,7 @@ func (p *Port) Send(msg []byte) error {
 	if start.Before(p.busyTil) {
 		start = p.busyTil
 	}
-	bits := int64(len(framed)) * bitsPerByte
+	bits := int64(len(framed)) * BitsPerByte
 	txTime := time.Duration(bits * int64(time.Second) / p.rate)
 	p.busyTil = start.Add(txTime)
 	p.TxMessages++

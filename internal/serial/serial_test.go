@@ -49,7 +49,7 @@ func TestSerializationDelay(t *testing.T) {
 	b.SetHandler(func([]byte) { at = s.Now() })
 	_ = a.Send(make([]byte, 100))
 	_ = s.Run(time.Second)
-	want := time.Duration(int64(102*bitsPerByte) * int64(time.Second) / DefaultBitsPerSecond)
+	want := time.Duration(int64(102*BitsPerByte) * int64(time.Second) / DefaultBitsPerSecond)
 	if got := at.Sub(sim.Epoch); got != want {
 		t.Fatalf("delivery at %v, want %v", got, want)
 	}
@@ -74,7 +74,7 @@ func TestQueueingUnderLoad(t *testing.T) {
 	if len(times) != 2 {
 		t.Fatalf("delivered %d messages", len(times))
 	}
-	per := time.Duration(int64(102*bitsPerByte) * int64(time.Second) / DefaultBitsPerSecond)
+	per := time.Duration(int64(102*BitsPerByte) * int64(time.Second) / DefaultBitsPerSecond)
 	if gap := times[1].Sub(times[0]); gap != per {
 		t.Fatalf("second message arrived %v after first, want %v", gap, per)
 	}

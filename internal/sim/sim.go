@@ -43,6 +43,7 @@ type Event struct {
 	gen    uint32 // bumped on cancel and fire; queue entries snapshot it
 	live   bool   // a current-generation entry is in the queue
 	pooled bool   // created by Post/PostAt; recycled after firing
+	daemon bool   // background event: does not keep Run alive (see NewDaemonTicker)
 }
 
 // When reports the virtual time at which the event will fire.
@@ -77,6 +78,7 @@ type Simulator struct {
 	running bool
 	fired   uint64
 	ctx     uint64
+	fg      int      // live non-daemon events in the queue
 	free    []*Event // recycled Post/PostAt events
 }
 
@@ -169,6 +171,9 @@ func (s *Simulator) enqueue(e *Event, whenNS int64) {
 	e.seq = s.seq
 	s.seq++
 	e.live = true
+	if !e.daemon {
+		s.fg++
+	}
 	s.sched.Schedule(e)
 }
 
@@ -237,18 +242,28 @@ func (s *Simulator) Cancel(e *Event) {
 	}
 	e.live = false
 	e.gen++
+	if !e.daemon {
+		s.fg--
+	}
 	s.sched.Cancel(e)
 }
 
 // take marks a popped event consumed: its queue entry is gone, so the
 // event may be re-scheduled (timer re-arm) from its callback onward.
+// The clock never moves backwards: a daemon event stranded behind an
+// idle-time advance (see RunUntil) fires at the present instead.
 //
 //sttcp:hotpath
 func (s *Simulator) take(e *Event) {
 	e.live = false
 	e.gen++
-	s.nowNS = e.when
-	s.now = Epoch.Add(time.Duration(e.when))
+	if !e.daemon {
+		s.fg--
+	}
+	if e.when > s.nowNS {
+		s.nowNS = e.when
+		s.now = Epoch.Add(time.Duration(e.when))
+	}
 	s.fired++
 }
 
@@ -264,7 +279,10 @@ func (s *Simulator) Run(horizon time.Duration) error {
 }
 
 // RunUntil executes events in timestamp order until the queue is empty or
-// the next event is after deadline.
+// the next event is after deadline. Daemon events (telemetry sampling
+// ticks — see NewDaemonTicker) do not count as work: once only daemon
+// events remain the queue is treated as drained, so instrumentation never
+// extends a run past the point where the workload itself went quiet.
 func (s *Simulator) RunUntil(deadline time.Time) error {
 	if s.running {
 		return fmt.Errorf("sim: RunUntil called re-entrantly at %v", s.now)
@@ -273,7 +291,7 @@ func (s *Simulator) RunUntil(deadline time.Time) error {
 	defer func() { s.running = false }()
 	s.stopped = false
 	deadlineNS := int64(deadline.Sub(Epoch))
-	for {
+	for s.fg > 0 {
 		next := s.sched.Peek()
 		if next == nil {
 			break
@@ -302,9 +320,10 @@ func (s *Simulator) setIdleTime(deadline time.Time, deadlineNS int64) {
 	}
 }
 
-// RunUntilIdle executes events until the queue drains, with a safety cap on
-// the number of events to guard against runaway timer loops. It returns an
-// error if the cap is reached.
+// RunUntilIdle executes events until the queue drains (daemon events do
+// not count as work, as in RunUntil), with a safety cap on the number of
+// events to guard against runaway timer loops. It returns an error if the
+// cap is reached.
 func (s *Simulator) RunUntilIdle(maxEvents uint64) error {
 	if s.running {
 		return fmt.Errorf("sim: RunUntilIdle called re-entrantly at %v", s.now)
@@ -313,7 +332,7 @@ func (s *Simulator) RunUntilIdle(maxEvents uint64) error {
 	defer func() { s.running = false }()
 	s.stopped = false
 	var fired uint64
-	for {
+	for s.fg > 0 {
 		next := s.sched.Pop()
 		if next == nil {
 			return nil
@@ -333,6 +352,7 @@ func (s *Simulator) RunUntilIdle(maxEvents uint64) error {
 			return ErrStopped
 		}
 	}
+	return nil
 }
 
 // Step fires exactly one event if one is pending and reports whether it did.

@@ -248,6 +248,65 @@ func TestTickerReset(t *testing.T) {
 	}
 }
 
+// TestDaemonTickerDoesNotKeepRunAlive pins the daemon-event contract: a
+// daemon ticker interleaves with foreground work, but once the workload's
+// own queue drains the run ends — instrumentation alone never extends it.
+func TestDaemonTickerDoesNotKeepRunAlive(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	NewDaemonTicker(s, 100*time.Millisecond, func() { ticks++ })
+	s.Schedule(450*time.Millisecond, func() {}) // the workload's last event
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Ticks at 100..400ms fire alongside the workload; the 500ms tick is
+	// past the last foreground event and must not.
+	if ticks != 4 {
+		t.Fatalf("daemon ticker fired %d times, want 4 (run must end with the workload)", ticks)
+	}
+	// The idle clock still advances to the horizon, as for a drained queue.
+	if got := s.Now(); !got.Equal(Epoch.Add(10 * time.Second)) {
+		t.Fatalf("clock at %v, want horizon", got)
+	}
+
+	// New foreground work revives the run — and the stranded past tick
+	// fires at the present rather than rewinding the clock.
+	s.Schedule(200*time.Millisecond, func() {})
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if ticks <= 4 {
+		t.Fatalf("daemon ticker dead after revival: %d ticks", ticks)
+	}
+	if s.Now().Before(Epoch.Add(10 * time.Second)) {
+		t.Fatalf("clock rewound to %v", s.Now())
+	}
+}
+
+// TestDaemonCancelAccounting exercises the foreground counter against
+// cancelled daemon and foreground events: cancelling must not unbalance
+// the count that decides when Run treats the queue as drained.
+func TestDaemonCancelAccounting(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	tk := NewDaemonTicker(s, 10*time.Millisecond, func() { ticks++ })
+	ev := s.Schedule(50*time.Millisecond, func() { t.Error("cancelled event fired") })
+	s.Cancel(ev)
+	s.Schedule(35*time.Millisecond, func() { tk.Stop() })
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if ticks != 3 {
+		t.Fatalf("daemon ticker fired %d times before Stop at 35ms, want 3", ticks)
+	}
+	if err := s.Run(time.Second); err != nil {
+		t.Fatalf("idle run: %v", err)
+	}
+	if ticks != 3 {
+		t.Fatalf("stopped daemon ticker kept firing: %d", ticks)
+	}
+}
+
 func TestReentrantRunRejected(t *testing.T) {
 	s := New(1)
 	var innerErr error

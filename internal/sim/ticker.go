@@ -27,6 +27,23 @@ func NewTicker(s *Simulator, period time.Duration, fn func()) *Ticker {
 	return t
 }
 
+// NewDaemonTicker is NewTicker for background instrumentation: its ticks
+// fire normally while the simulation has other work, but do not count as
+// work themselves, so a perpetually re-arming ticker (telemetry sampling)
+// never keeps Run alive after the workload's own event queue drains. This
+// is what lets a run with sampling enabled finish at exactly the same
+// virtual instant as the same run without it.
+func NewDaemonTicker(s *Simulator, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewDaemonTicker with non-positive period")
+	}
+	t := &Ticker{period: period, fn: fn}
+	t.timer = s.NewTimer(t.tick)
+	t.timer.ev.daemon = true
+	t.timer.Arm(period)
+	return t
+}
+
 func (t *Ticker) tick() {
 	if t.stopped {
 		return

@@ -1,0 +1,8 @@
+package telemetry
+
+// TickForTest exposes the sampling tick so the alloc gate can drive it
+// directly without a simulator event per iteration.
+func (sp *Sampler) TickForTest() { sp.tick() }
+
+// WindowsForTest reports completed windows.
+func (sp *Sampler) WindowsForTest() int { return sp.windows }

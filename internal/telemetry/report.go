@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ReportVersion is the run-report schema version. Readers reject files
+// whose version they do not understand; bump it on incompatible changes
+// and teach Read about the old shape if migration matters.
+const ReportVersion = 1
+
+// Report is the single versioned artifact a run emits: everything a later
+// session (or CI) needs to reproduce, inspect, and diff the run. Every
+// figure in it derives from virtual time — no wall clocks, hostnames, or
+// toolchain versions — so reports are byte-comparable across machines.
+//
+// The package deliberately does not import the experiment or chaos
+// packages (they import telemetry); those layers fill the plain-typed
+// sections here.
+type Report struct {
+	Version int `json:"version"`
+
+	// Run identity: which demo/scenario, under what knobs.
+	Demo      string            `json:"demo,omitempty"`
+	Seed      int64             `json:"seed"`
+	Scheduler string            `json:"scheduler,omitempty"`
+	Params    map[string]string `json:"params,omitempty"`
+
+	// FinishedAt is the virtual instant the run ended.
+	FinishedAt time.Time `json:"finished_at"`
+
+	Metrics   *metrics.Snapshot `json:"metrics,omitempty"`
+	Telemetry *Timeline         `json:"telemetry,omitempty"`
+	Anatomy   []Phases          `json:"anatomy,omitempty"`
+	Chaos     *ChaosReport      `json:"chaos,omitempty"`
+	Bench     []BenchPoint      `json:"bench,omitempty"`
+}
+
+// Phases is the plain-typed mirror of trace.FailoverAnatomy: one
+// failover's phase decomposition, in a shape that serializes compactly
+// and diffs field-by-field.
+type Phases struct {
+	Component string `json:"component"`
+	FaultKind string `json:"fault_kind,omitempty"`
+
+	Detection      time.Duration `json:"detection"`
+	Takeover       time.Duration `json:"takeover"`
+	RetransmitWait time.Duration `json:"retransmit_wait"`
+
+	PipelineDrain   time.Duration `json:"pipeline_drain"`
+	DeliveryLatency time.Duration `json:"delivery_latency"`
+	ClientStall     time.Duration `json:"client_stall"`
+	Residual        time.Duration `json:"residual,omitempty"`
+}
+
+// PhasesFromAnatomy converts one recorded anatomy into its report form.
+func PhasesFromAnatomy(a trace.FailoverAnatomy) Phases {
+	return Phases{
+		Component:       a.Component,
+		FaultKind:       a.FaultKind.String(),
+		Detection:       a.Detection,
+		Takeover:        a.Takeover,
+		RetransmitWait:  a.RetransmitWait,
+		PipelineDrain:   a.PipelineDrain,
+		DeliveryLatency: a.DeliveryLatency,
+		ClientStall:     a.ClientStall,
+		Residual:        a.Residual(),
+	}
+}
+
+// ChaosReport captures a chaos run's schedule and invariant verdicts.
+type ChaosReport struct {
+	// Schedule is the human-readable fault schedule (chaos.Schedule.String).
+	Schedule string `json:"schedule"`
+	// Events is the number of scheduled fault events.
+	Events int `json:"events"`
+	// Invariants holds one verdict per system-wide invariant, in
+	// chaos.InvariantNames order.
+	Invariants []InvariantVerdict `json:"invariants"`
+	// Skipped lists events the harness could not apply (if any).
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// InvariantVerdict is one invariant's outcome: an empty Violations slice
+// means it held.
+type InvariantVerdict struct {
+	Name       string   `json:"name"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Violated reports whether any invariant in the chaos section failed.
+func (c *ChaosReport) Violated() bool {
+	if c == nil {
+		return false
+	}
+	for _, iv := range c.Invariants {
+		if len(iv.Violations) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchPoint is one benchmark figure carried along in the report. Bench
+// numbers are wall-clock and machine-dependent, so DiffReports treats
+// them as informational only.
+type BenchPoint struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// Write serializes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	if r.Version == 0 {
+		r.Version = ReportVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path ("-" for stdout).
+func WriteFile(path string, r *Report) error {
+	if path == "-" {
+		return r.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: write report: %w", err)
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a report and validates its version.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("telemetry: read report: %w", err)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("telemetry: report version %d, this build reads version %d", r.Version, ReportVersion)
+	}
+	return &r, nil
+}
+
+// ReadFile reads a report from path.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: read report: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
