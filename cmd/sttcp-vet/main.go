@@ -1,18 +1,23 @@
 // Command sttcp-vet runs the testbed's domain static-analysis suite
 // (internal/analysis) over the repository: simdeterminism, maporder,
-// spanpairing, hotpathalloc, and resulterrors — the compile-time guards
-// behind replay-by-seed chaos campaigns, golden traces, the span-anatomy
-// identity, and the zero-alloc hot path.
+// spanpairing, ctxpairing, poollifecycle, daemonhygiene, hotpathalloc,
+// and resulterrors — the compile-time guards behind replay-by-seed chaos
+// campaigns, golden traces, the span-anatomy identity, the two-context
+// scheduling contract, pooled-object ownership, and the zero-alloc hot
+// path.
 //
 // Usage:
 //
-//	sttcp-vet [-run a,b] [-format text|github] [-list] [patterns...]
+//	sttcp-vet [-run a,b] [-format text|github|json] [-list] [patterns...]
 //
 // Patterns default to ./... relative to the module root (found by
 // walking up from the working directory to go.mod). Exit status is 0
 // when the tree is clean, 1 when there are diagnostics, 2 on load or
 // usage errors. -format github emits GitHub Actions workflow
-// annotations so CI findings land on the offending lines.
+// annotations so CI findings land on the offending lines; -format json
+// emits a machine-readable report (an array, possibly empty, of
+// {file,line,col,analyzer,message} objects with module-relative paths)
+// for CI artifacts and tooling.
 //
 // Suppressions are audited in source, never on the command line:
 //
@@ -20,8 +25,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,10 +39,17 @@ import (
 func main() {
 	var (
 		run    = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		format = flag.String("format", "text", "diagnostic format: text or github")
+		format = flag.String("format", "text", "diagnostic format: text, github, or json")
 		list   = flag.Bool("list", false, "list the analyzers and exit")
 	)
 	flag.Parse()
+
+	switch *format {
+	case "text", "github", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "sttcp-vet: unknown format %q (text, github, or json)\n", *format)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
@@ -79,16 +93,18 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
+	if *format == "json" {
+		if err := writeJSON(os.Stdout, moduleDir, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "sttcp-vet:", err)
+			os.Exit(2)
+		}
+	}
 	for _, d := range diags {
 		switch *format {
 		case "github":
-			rel := d.Pos.Filename
-			if r, err := filepath.Rel(moduleDir, rel); err == nil {
-				rel = filepath.ToSlash(r)
-			}
 			fmt.Printf("::error file=%s,line=%d,col=%d,title=sttcp-vet %s::%s\n",
-				rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-		default:
+				relPath(moduleDir, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		case "text":
 			fmt.Println(d)
 		}
 	}
@@ -96,6 +112,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sttcp-vet: %d diagnostic(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is the machine-readable report row: module-relative
+// path, 1-based position, analyzer, message.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the diagnostics as a JSON array — always an array,
+// never null, so a clean run is `[]` and consumers need no null checks.
+func writeJSON(w io.Writer, moduleDir string, diags []analysis.Diagnostic) error {
+	rows := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		rows = append(rows, jsonDiagnostic{
+			File:     relPath(moduleDir, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// relPath renders a diagnostic path relative to the module root with
+// forward slashes, falling back to the absolute path outside the module.
+func relPath(moduleDir, file string) string {
+	if r, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return file
 }
 
 // findModuleRoot walks up from the working directory to the enclosing

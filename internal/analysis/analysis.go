@@ -48,12 +48,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check. Run inspects a single package through its
-// Pass and reports findings via Pass.Reportf.
+// Analyzer is one named check. Exactly one of Run and RunModule is set:
+// Run inspects a single package through its Pass, while RunModule sees
+// every loaded package at once plus the static call graph — the shape
+// interprocedural analyses (taint propagation, reachability) need.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (package, analyzer) execution: the parsed and
@@ -62,6 +65,7 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 
+	allows *allowTable
 	report func(Diagnostic)
 }
 
@@ -89,12 +93,62 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Allowed reports whether an //sttcp:allow directive for this analyzer
+// covers pos, marking the directive used. Analyzers call this to treat a
+// site as audited (and, say, stop taint there) without reporting; the
+// mark keeps such directives out of the unused-suppression audit.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	return p.allows.allowedAt(p.Pkg.Fset.Position(pos), p.Analyzer.Name)
+}
+
+// ModulePass carries one module-wide analyzer execution: every loaded
+// package, the static call graph over them, and the report sink. All
+// packages share one token.FileSet (the loader guarantees it), so any
+// token.Pos from any package resolves through Fset.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Graph    *callGraph
+
+	fset   *token.FileSet
+	allows *allowTable
+	report func(Diagnostic)
+}
+
+// Fset returns the file set shared by every loaded package.
+func (p *ModulePass) Fset() *token.FileSet { return p.fset }
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether an //sttcp:allow directive for this analyzer
+// covers pos, marking the directive used (see Pass.Allowed).
+func (p *ModulePass) Allowed(pos token.Pos) bool {
+	return p.allows.allowedAt(p.fset.Position(pos), p.Analyzer.Name)
+}
+
+// packagePass derives a per-package Pass view sharing this module pass's
+// suppression state and report sink, so module analyzers can reuse the
+// intraprocedural helpers unchanged.
+func (p *ModulePass) packagePass(pkg *Package) *Pass {
+	return &Pass{Analyzer: p.Analyzer, Pkg: pkg, allows: p.allows, report: p.report}
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		SimDeterminism,
 		MapOrder,
 		SpanPairing,
+		CtxPairing,
+		PoolLifecycle,
+		DaemonHygiene,
 		HotPathAlloc,
 		ResultErrors,
 	}
@@ -111,31 +165,63 @@ func ByName(name string) *Analyzer {
 }
 
 // Run executes the analyzers over the packages, applies //sttcp:allow
-// suppression, validates the directives themselves, and returns the
-// surviving diagnostics sorted by position.
+// suppression, validates the directives themselves, audits directives
+// that suppress nothing, and returns the surviving diagnostics sorted by
+// position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := map[string]bool{allowAnalyzerName: true}
 	for _, a := range Analyzers() { // directives may name any suite analyzer,
 		known[a.Name] = true // even one this run does not execute
 	}
 
+	// One directive table for the whole run: module passes cross package
+	// boundaries, so suppression state must too.
+	table := newAllowTable()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allows, dirDiags := collectAllows(pkg, known)
-		diags = append(diags, dirDiags...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				report: func(d Diagnostic) {
-					if !allows.suppresses(d) {
-						diags = append(diags, d)
-					}
-				},
-			}
-			a.Run(pass)
+		diags = append(diags, table.collect(pkg, known)...)
+	}
+	report := func(d Diagnostic) {
+		if !table.suppresses(d) {
+			diags = append(diags, d)
 		}
 	}
+
+	ran := map[string]bool{allowAnalyzerName: true}
+	var moduleAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, allows: table, report: report})
+		}
+	}
+	if len(moduleAnalyzers) > 0 && len(pkgs) > 0 {
+		graph := buildCallGraph(pkgs)
+		for _, a := range moduleAnalyzers {
+			a.RunModule(&ModulePass{
+				Analyzer: a,
+				Pkgs:     pkgs,
+				Graph:    graph,
+				fset:     pkgs[0].Fset,
+				allows:   table,
+				report:   report,
+			})
+		}
+	}
+
+	// Suppression rot: a well-formed directive whose analyzers all ran
+	// yet which never suppressed or audited anything is itself a finding.
+	// It goes through report() so an unused-allow diagnostic can carry its
+	// own //sttcp:allow allow audit during staged cleanups.
+	for _, d := range table.unused(ran) {
+		report(d)
+	}
+
+	diags = dedupeDiagnostics(diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -150,4 +236,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags
+}
+
+// dedupeDiagnostics drops exact repeats (same analyzer, position, and
+// message). Overlapping load patterns can visit a package twice, which
+// used to double-report malformed //sttcp:allow directives; identity
+// dedupe makes every finding print exactly once regardless of how the
+// package set was assembled.
+func dedupeDiagnostics(diags []Diagnostic) []Diagnostic {
+	seen := make(map[Diagnostic]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
 }

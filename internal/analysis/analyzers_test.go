@@ -19,25 +19,54 @@ func runCorpus(t *testing.T, pattern string, analyzers ...*Analyzer) {
 }
 
 func TestSimDeterminismCorpus(t *testing.T) {
+	t.Parallel()
 	runCorpus(t, "./simdeterminism/...", SimDeterminism)
 }
 
 func TestMapOrderCorpus(t *testing.T) {
+	t.Parallel()
 	runCorpus(t, "./maporder", MapOrder)
 }
 
 func TestSpanPairingCorpus(t *testing.T) {
+	t.Parallel()
 	runCorpus(t, "./spanpairing", SpanPairing)
 }
 
+func TestCtxPairingCorpus(t *testing.T) {
+	t.Parallel()
+	runCorpus(t, "./ctxpairing", CtxPairing)
+}
+
+func TestPoolLifecycleCorpus(t *testing.T) {
+	t.Parallel()
+	runCorpus(t, "./poollifecycle", PoolLifecycle)
+}
+
+func TestDaemonHygieneCorpus(t *testing.T) {
+	t.Parallel()
+	runCorpus(t, "./daemonhygiene", DaemonHygiene)
+}
+
 func TestHotPathAllocCorpus(t *testing.T) {
+	t.Parallel()
 	runCorpus(t, "./hotpathalloc", HotPathAlloc)
 }
 
 func TestResultErrorsCorpus(t *testing.T) {
+	t.Parallel()
 	runCorpus(t, "./resulterrors", ResultErrors)
 }
 
 func TestAllowDirectiveCorpus(t *testing.T) {
+	t.Parallel()
 	runCorpus(t, "./allowdir", SimDeterminism)
+}
+
+// TestUnusedAllowCorpus runs two analyzers so the staleness audit can
+// judge directives naming either (or both): a directive is only reported
+// stale when every analyzer it names actually executed.
+func TestUnusedAllowCorpus(t *testing.T) {
+	t.Parallel()
+	runCorpus(t, "./unusedallow", SimDeterminism, MapOrder)
 }

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the static call graph that turns the per-function
+// analyzers into interprocedural ones. The graph is deliberately simple —
+// and deliberately honest about it:
+//
+//   - Nodes are function declarations and function literals of the loaded
+//     packages. Literals get their own nodes because callbacks handed to
+//     the simulator (daemon ticks, scheduled events) are almost always
+//     literals, and daemonhygiene needs to reason about what is reachable
+//     from exactly one of them.
+//   - Edges are statically resolvable calls: direct function calls and
+//     method calls on concrete receivers. Calls through interfaces and
+//     plain function values are NOT edges — the analyzers built on the
+//     graph are "may miss", never "may invent".
+//   - A function that creates a literal gets a creates-edge to it (the
+//     closure may run with the creator's obligations), except when the
+//     literal is passed directly as a callback to one of the simulator's
+//     scheduling entry points — there the literal is a root of whichever
+//     execution context (foreground or daemon) the entry point mints,
+//     and the creates-edge would conflate setup code with tick code.
+type cgNode struct {
+	Fn   *types.Func   // nil for literals
+	Lit  *ast.FuncLit  // nil for declared functions
+	Decl *ast.FuncDecl // nil for literals
+	Pkg  *Package
+
+	Callees []*cgEdge
+	Callers []*cgEdge
+}
+
+// Name renders a human-readable identity: "pkg.Func", "pkg.(T).Method",
+// or "pkg.func-literal@line".
+func (n *cgNode) Name() string {
+	if n.Fn != nil {
+		if sig, ok := n.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named := namedOf(sig.Recv().Type()); named != nil {
+				return n.Pkg.Types.Name() + ".(" + named.Obj().Name() + ")." + n.Fn.Name()
+			}
+		}
+		return n.Pkg.Types.Name() + "." + n.Fn.Name()
+	}
+	return n.Pkg.Types.Name() + ".func-literal@" + n.Pkg.Fset.Position(n.Lit.Pos()).String()
+}
+
+// Body returns the node's own statement block: the declaration's body or
+// the literal's. Nested literals inside it are separate nodes — walk with
+// inspectShallow to stay inside this node's frame.
+func (n *cgNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Pos returns the node's declaration position.
+func (n *cgNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Exported reports whether the node is an exported declared function or
+// method — the module's public surface, which interprocedural analyses
+// must assume can be entered from anywhere (tests are not loaded).
+func (n *cgNode) Exported() bool {
+	return n.Fn != nil && n.Fn.Exported()
+}
+
+type cgEdgeKind int
+
+const (
+	edgeCall    cgEdgeKind = iota // a statically resolved call expression
+	edgeCreates                   // enclosing function creates a literal
+)
+
+type cgEdge struct {
+	Caller *cgNode
+	Callee *cgNode
+	Kind   cgEdgeKind
+	Call   *ast.CallExpr // the call site; nil for creates-edges
+	Pos    token.Pos
+}
+
+// callGraph indexes every node of the analyzed packages with
+// deterministic iteration order (declaration order within the sorted
+// file order the loader already guarantees).
+type callGraph struct {
+	decls map[*types.Func]*cgNode
+	lits  map[*ast.FuncLit]*cgNode
+	Nodes []*cgNode // deterministic order
+}
+
+// callbackArgIndex returns which argument of a recognized scheduling
+// entry point is the callback, or -1. These are the call shapes whose
+// literal arguments become execution-context roots instead of plain
+// closures of their creator (see the creates-edge rule above).
+func callbackArgIndex(fn *types.Func) int {
+	switch {
+	case isMethodOn(fn, "sim", "Simulator"):
+		switch fn.Name() {
+		case "Schedule", "At", "Post", "PostAt":
+			return 1
+		case "NewTimer":
+			return 0
+		}
+	case isTopLevelFuncOfSuffix(fn, "internal/sim"):
+		switch fn.Name() {
+		case "NewTicker", "NewDaemonTicker":
+			return 2
+		}
+	}
+	return -1
+}
+
+// buildCallGraph indexes the packages' functions and resolves their
+// static call edges.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		decls: map[*types.Func]*cgNode{},
+		lits:  map[*ast.FuncLit]*cgNode{},
+	}
+	// Pass 1: index declared functions so cross-package edges resolve no
+	// matter the load order.
+	for _, pkg := range pkgs {
+		for _, fd := range funcDecls(pkg) {
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &cgNode{Fn: obj, Decl: fd, Pkg: pkg}
+			g.decls[obj] = n
+			g.Nodes = append(g.Nodes, n)
+		}
+	}
+	// Pass 2: walk each declaration, splitting off literal nodes and
+	// recording edges.
+	for _, pkg := range pkgs {
+		for _, fd := range funcDecls(pkg) {
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.walkFrame(g.decls[obj], pkg)
+		}
+	}
+	return g
+}
+
+// walkFrame records the edges of one node's own frame, creating (and
+// recursing into) nodes for the literals it contains.
+func (g *callGraph) walkFrame(n *cgNode, pkg *Package) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	// Literals passed directly as callbacks to scheduling entry points:
+	// no creates-edge (they are context roots, found by the analyzers via
+	// the call expression itself).
+	callbackLits := map[*ast.FuncLit]bool{}
+	inspectShallow(body, func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil {
+			return
+		}
+		if i := callbackArgIndex(fn); i >= 0 && i < len(call.Args) {
+			if lit, ok := ast.Unparen(call.Args[i]).(*ast.FuncLit); ok {
+				callbackLits[lit] = true
+			}
+		}
+	})
+	var walk func(node ast.Node) bool
+	walk = func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			ln := &cgNode{Lit: m, Pkg: pkg}
+			g.lits[m] = ln
+			g.Nodes = append(g.Nodes, ln)
+			if !callbackLits[m] {
+				g.addEdge(&cgEdge{Caller: n, Callee: ln, Kind: edgeCreates, Pos: m.Pos()})
+			}
+			g.walkFrame(ln, pkg)
+			return false // the literal's frame walks itself
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg.Info, m); fn != nil {
+				if callee, ok := g.decls[fn]; ok {
+					g.addEdge(&cgEdge{Caller: n, Callee: callee, Kind: edgeCall, Call: m, Pos: m.Pos()})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if m == ast.Node(body) {
+			return true
+		}
+		return walk(m)
+	})
+	sortEdges(n.Callees)
+}
+
+func (g *callGraph) addEdge(e *cgEdge) {
+	e.Caller.Callees = append(e.Caller.Callees, e)
+	e.Callee.Callers = append(e.Callee.Callers, e)
+}
+
+func sortEdges(es []*cgEdge) {
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Pos < es[j].Pos })
+}
+
+// NodeForFunc resolves a declared function or method to its node, nil if
+// it is outside the analyzed packages (stdlib, dependency-only loads).
+func (g *callGraph) NodeForFunc(fn *types.Func) *cgNode { return g.decls[fn] }
+
+// NodeForExpr resolves a callback expression — a function literal, a
+// function identifier, or a method value — to its node, nil otherwise.
+func (g *callGraph) NodeForExpr(info *types.Info, e ast.Expr) *cgNode {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return g.lits[e]
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return g.decls[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return g.decls[fn]
+		}
+	}
+	return nil
+}
+
+// inspectShallow walks n without descending into nested function
+// literals: the callback sees only the current frame's nodes.
+func inspectShallow(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != root {
+			return false
+		}
+		fn(m)
+		return true
+	})
+}
+
+// isTopLevelFuncOfSuffix reports whether fn is a receiver-less function
+// of a package whose import path ends in the given suffix (module-path
+// agnostic, so corpus stand-in packages match like the real ones).
+func isTopLevelFuncOfSuffix(fn *types.Func, suffix string) bool {
+	if fn == nil || fn.Pkg() == nil || !pkgPathHasSuffix(fn.Pkg().Path(), suffix) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

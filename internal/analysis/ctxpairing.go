@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxPairing checks the causal-context save/restore discipline around
+// manual context switches: a function that captures the simulator's
+// ambient context (prev := s.Context()) and then switches it
+// (s.SetContext(other)) must restore the captured value
+// (s.SetContext(prev), possibly deferred) on every return path. This is
+// the causal analogue of spanpairing — the canonical site is the
+// per-frame restore around DeliverFrame in netem's link delivery, where
+// a missed restore on one early return would silently re-parent every
+// subsequent span in the run.
+//
+// Captures that never switch the context (reading s.Context() to stamp
+// a record) carry no obligation. The scan is the shared structured-path
+// walk (pathscan.go); only SetContext(prev) or returning prev resolves —
+// passing prev to arbitrary calls does not, because nothing but
+// SetContext can restore the ambient context.
+var CtxPairing = &Analyzer{
+	Name: "ctxpairing",
+	Doc:  "every captured sim context that is switched away from must be restored on all return paths",
+	Run:  runCtxPairing,
+}
+
+// isSimContextCall reports whether call invokes the named method on
+// sim.Simulator.
+func isSimContextCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	return isMethodOn(fn, "sim", "Simulator") && fn.Name() == name
+}
+
+func runCtxPairing(pass *Pass) {
+	for _, f := range pass.Files() {
+		parents := buildParents(f)
+		// Captures: prev := s.Context() bound to a plain local.
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isSimContextCall(pass, call, "Context") || i >= len(as.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				checkCtxCapture(pass, parents, as, call, id)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxCapture finds the first context switch after the capture and,
+// if there is one, demands a restore on every path from there out.
+func checkCtxCapture(pass *Pass, parents map[ast.Node]ast.Node, capture *ast.AssignStmt, call *ast.CallExpr, id *ast.Ident) {
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	body := enclosingFuncBody(parents, capture)
+	if body == nil {
+		return
+	}
+	// The obligation opens at the first SetContext whose argument is not
+	// the captured variable — the switch. A capture that is never
+	// switched away from (or whose only SetContext calls pass the capture
+	// itself) is a plain read and carries no obligation.
+	var switchStmt ast.Stmt
+	forEachStmtAfter(parents, capture, func(s ast.Stmt) bool {
+		found := false
+		ast.Inspect(s, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || found || !isSimContextCall(pass, call, "SetContext") {
+				return true
+			}
+			if len(call.Args) == 1 {
+				if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.ObjectOf(arg) == obj {
+					return true // restoring, not switching
+				}
+			}
+			found = true
+			return false
+		})
+		if found {
+			switchStmt = s
+			return false
+		}
+		return true
+	})
+	if switchStmt == nil {
+		return
+	}
+
+	restores := func(use *ast.Ident) bool {
+		// SetContext(prev) discharges the obligation; so does returning
+		// prev (the caller inherits the restore duty explicitly).
+		n := ast.Node(use)
+		for {
+			switch p := parents[n].(type) {
+			case *ast.ParenExpr:
+				n = p
+			case *ast.CallExpr:
+				return isSimContextCall(pass, p, "SetContext")
+			case *ast.ReturnStmt:
+				return true
+			default:
+				return false
+			}
+		}
+	}
+	c := &pathScanner{pass: pass, parents: parents, obj: obj, openPos: switchStmt.Pos(), resolves: restores}
+	c.leak = func(at token.Pos, how string) {
+		pass.Reportf(at, "context switched at line %d without restoring the captured context %q when %s: call SetContext(%s) on every path out",
+			pass.Fset().Position(switchStmt.Pos()).Line, obj.Name(), how, obj.Name())
+	}
+	// A deferred restore covers every exit at once.
+	deferred := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && c.resolvingUse(d) {
+			deferred = true
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+	c.scanFrom(switchStmt, body)
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DaemonHygiene polices the boundary between the simulator's two
+// execution contexts. Daemon ticks (NewDaemonTicker) exist so background
+// instrumentation never extends a run: RunUntil treats their events as
+// non-work. That guarantee dies silently if code reachable only from a
+// daemon tick schedules a foreground event — the "background" sampler
+// now keeps the run alive — or if a foreground event path mints a daemon
+// ticker mid-run, hiding real work from the run-length accounting.
+//
+// The analyzer is call-graph based: callbacks passed to NewDaemonTicker
+// are daemon roots; callbacks passed to Post/PostAt/Schedule/At,
+// NewTimer, and NewTicker are foreground roots. A function is
+// daemon-only when it is a daemon root (and not also a foreground root)
+// or when every static caller is daemon-only and it is unexported (an
+// exported function can be entered from anywhere, so it is never assumed
+// daemon-only). Daemon-only code must not call the foreground scheduling
+// entry points; code reachable from foreground roots must not call
+// NewDaemonTicker. internal/sim itself is exempt — it is the mechanism
+// being policed, not a client of it.
+var DaemonHygiene = &Analyzer{
+	Name:      "daemonhygiene",
+	Doc:       "daemon-tick-only code must not schedule foreground events; foreground paths must not mint daemon tickers",
+	RunModule: runDaemonHygiene,
+}
+
+// isSimFunc reports whether fn is the named top-level function of
+// internal/sim.
+func isSimFunc(fn *types.Func, name string) bool {
+	return fn != nil && fn.Name() == name && isTopLevelFuncOfSuffix(fn, "internal/sim")
+}
+
+// fgSchedulingCall classifies a callee as a foreground scheduling entry
+// point, returning a display name ("" if it is not one): the Simulator's
+// event-posting methods, foreground timers/tickers, and re-arms.
+func fgSchedulingCall(fn *types.Func) string {
+	switch {
+	case isMethodOn(fn, "sim", "Simulator"):
+		switch fn.Name() {
+		case "Schedule", "At", "Post", "PostAt", "NewTimer":
+			return "Simulator." + fn.Name()
+		}
+	case isMethodOn(fn, "sim", "Timer"):
+		switch fn.Name() {
+		case "Arm", "ArmAt":
+			return "Timer." + fn.Name()
+		}
+	case isSimFunc(fn, "NewTicker"):
+		return "NewTicker"
+	}
+	return ""
+}
+
+// fgCallbackIndex returns which argument of a foreground scheduling call
+// is the event callback, -1 if the callee takes none.
+func fgCallbackIndex(fn *types.Func) int {
+	if isMethodOn(fn, "sim", "Simulator") {
+		switch fn.Name() {
+		case "Schedule", "At", "Post", "PostAt":
+			return 1
+		case "NewTimer":
+			return 0
+		}
+	}
+	if isSimFunc(fn, "NewTicker") {
+		return 2
+	}
+	return -1
+}
+
+func runDaemonHygiene(mp *ModulePass) {
+	g := mp.Graph
+
+	daemonRoot := map[*cgNode]bool{}
+	fgRoot := map[*cgNode]bool{}
+	for _, n := range g.Nodes {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		inspectShallow(body, func(m ast.Node) {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := calleeFunc(n.Pkg.Info, call)
+			if fn == nil {
+				return
+			}
+			if isSimFunc(fn, "NewDaemonTicker") && len(call.Args) > 2 {
+				if cb := g.NodeForExpr(n.Pkg.Info, call.Args[2]); cb != nil {
+					daemonRoot[cb] = true
+				}
+				return
+			}
+			if i := fgCallbackIndex(fn); i >= 0 && i < len(call.Args) {
+				if cb := g.NodeForExpr(n.Pkg.Info, call.Args[i]); cb != nil {
+					fgRoot[cb] = true
+				}
+			}
+		})
+	}
+
+	// Daemon-only set: daemon roots, then the fixpoint of unexported
+	// functions all of whose callers are daemon-only. A node that is also
+	// a foreground root runs in both contexts and is excluded.
+	inDaemon := map[*cgNode]bool{}
+	for _, n := range g.Nodes {
+		if daemonRoot[n] && !fgRoot[n] {
+			inDaemon[n] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if inDaemon[n] || n.Exported() || fgRoot[n] || daemonRoot[n] || len(n.Callers) == 0 {
+				continue
+			}
+			all := true
+			for _, e := range n.Callers {
+				if !inDaemon[e.Caller] {
+					all = false
+					break
+				}
+			}
+			if all {
+				inDaemon[n] = true
+				changed = true
+			}
+		}
+	}
+
+	// Foreground-reachable set: forward closure from foreground roots
+	// through calls and closure creation.
+	inFg := map[*cgNode]bool{}
+	var stack []*cgNode
+	for _, n := range g.Nodes {
+		if fgRoot[n] {
+			inFg[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Callees {
+			if !inFg[e.Callee] {
+				inFg[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if pkgPathHasSuffix(n.Pkg.Path, "internal/sim") {
+			continue // the mechanism itself: tickers re-arm their own timers
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		if inDaemon[n] {
+			inspectShallow(body, func(m ast.Node) {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if name := fgSchedulingCall(calleeFunc(n.Pkg.Info, call)); name != "" {
+					mp.Reportf(call.Pos(), "%s called from daemon-tick-only code (%s): a daemon tick scheduling foreground work extends the run it promised not to; use daemon facilities or move this to foreground setup", name, n.Name())
+				}
+			})
+		}
+		if inFg[n] {
+			inspectShallow(body, func(m ast.Node) {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if isSimFunc(calleeFunc(n.Pkg.Info, call), "NewDaemonTicker") {
+					mp.Reportf(call.Pos(), "NewDaemonTicker called on a foreground event path (%s): work spawned by the workload must count as work; use NewTicker or start the daemon in setup", n.Name())
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module on disk for loader tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	return dir
+}
+
+// TestLoadTypeCheckFailureMidModule loads a module where one package
+// type-checks and a later one does not: Load must surface the failing
+// package's import path in the error instead of succeeding partially or
+// panicking mid-walk.
+func TestLoadTypeCheckFailureMidModule(t *testing.T) {
+	t.Parallel()
+	dir := writeModule(t, map[string]string{
+		"go.mod":       "module example.com/broken\n\ngo 1.22\n",
+		"aaa/ok.go":    "package aaa\n\nfunc Fine() int { return 1 }\n",
+		"zzz/bad.go":   "package zzz\n\nvar oops int = \"not an int\"\n",
+		"zzz/other.go": "package zzz\n\nfunc Unaffected() {}\n",
+	})
+	loader, err := NewLoader(dir, "")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = loader.Load("./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with a type error")
+	}
+	if !strings.Contains(err.Error(), "analysis: type-checking example.com/broken/zzz") {
+		t.Errorf("error %q does not name the failing package", err)
+	}
+}
+
+// TestLoadHealthySubsetUnaffected: the same loader can still load the
+// packages that do type-check.
+func TestLoadHealthySubsetUnaffected(t *testing.T) {
+	t.Parallel()
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module example.com/broken\n\ngo 1.22\n",
+		"aaa/ok.go":  "package aaa\n\nfunc Fine() int { return 1 }\n",
+		"zzz/bad.go": "package zzz\n\nvar oops int = \"not an int\"\n",
+	})
+	loader, err := NewLoader(dir, "")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("./aaa")
+	if err != nil {
+		t.Fatalf("Load(./aaa): %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/broken/aaa" {
+		t.Fatalf("Load(./aaa) = %v, want the one healthy package", pkgs)
+	}
+}
+
+// TestModulePathFromGoMod: an empty modulePath argument is read from
+// go.mod.
+func TestModulePathFromGoMod(t *testing.T) {
+	t.Parallel()
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module example.com/frommod\n\ngo 1.22\n",
+		"p/p.go":   "package p\n",
+		"q/q.go":   "package q\n",
+		"q/no.txt": "not go\n",
+	})
+	loader, err := NewLoader(dir, "")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModulePath != "example.com/frommod" {
+		t.Fatalf("ModulePath = %q, want example.com/frommod", loader.ModulePath)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load(./...) returned %d packages, want 2", len(pkgs))
+	}
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared structured-path machinery behind spanpairing,
+// ctxpairing, and poollifecycle. It is a statement-tree walk, not a full
+// CFG: branches are merged pessimistically for obligations ("resolved
+// only if resolved on every arm") and optimistically for loops ("a
+// resolution anywhere in the body counts"), which matches how the
+// repository writes its resource-shaped code and keeps the scan linear.
+
+// buildParents maps every node in the file to its syntactic parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingFuncBody returns the body of the innermost function containing n.
+func enclosingFuncBody(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
+	for cur := n; cur != nil; cur = parents[cur] {
+		switch fn := cur.(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// pathScanner checks that an obligation attached to one local variable
+// (a span to close, a captured context to restore) is resolved on every
+// path out of the function. The client provides the two policy hooks:
+// resolves classifies one identifier use as discharging the obligation,
+// leak reports one escaping path.
+type pathScanner struct {
+	pass    *Pass
+	parents map[ast.Node]ast.Node
+	obj     types.Object
+	openPos token.Pos
+
+	resolves func(id *ast.Ident) bool
+	leak     func(at token.Pos, how string)
+}
+
+// scanFrom walks the statements after the opening statement, ascending
+// through enclosing if/switch statements until the function body (or a
+// loop boundary) is reached, and reports any exit the obligation can
+// leak through.
+func (c *pathScanner) scanFrom(openStmt ast.Stmt, body *ast.BlockStmt) {
+	cur := ast.Node(openStmt)
+	resolved := false
+	for {
+		container := c.parents[cur]
+		list := stmtListOf(container)
+		if list == nil {
+			return // open in an if-init or other exotic position: give up quietly
+		}
+		idx := -1
+		for i, s := range list {
+			if ast.Node(s) == cur {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		r, term := c.seq(list[idx+1:], resolved)
+		if term {
+			return
+		}
+		resolved = r
+
+		owner := c.parents[container]
+		switch container.(type) {
+		case *ast.CaseClause, *ast.CommClause:
+			owner = c.parents[owner] // clause -> switch/select body -> the statement
+		}
+		switch owner := owner.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if !resolved {
+				c.leak(body.Rbrace, "the function falls off the end")
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			if !resolved {
+				c.leak(c.openPos, "the loop iteration ends")
+			}
+			return
+		case *ast.IfStmt:
+			cur = topOfElseChain(c.parents, owner)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			cur = owner
+		case *ast.BlockStmt:
+			cur = container
+		case *ast.LabeledStmt:
+			cur = owner
+		default:
+			return
+		}
+	}
+}
+
+// seq evaluates a straight-line statement list. It returns whether the
+// obligation is resolved at the end of the list and whether every path
+// through the list terminated (returned or branched away).
+func (c *pathScanner) seq(stmts []ast.Stmt, resolved bool) (bool, bool) {
+	for _, s := range stmts {
+		r, term := c.stmt(s, resolved)
+		resolved = r
+		if term {
+			return resolved, true
+		}
+	}
+	return resolved, false
+}
+
+func (c *pathScanner) stmt(s ast.Stmt, resolved bool) (bool, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if c.resolvingUse(s) {
+			resolved = true
+		}
+		if !resolved {
+			c.leak(s.Pos(), "this return executes")
+		}
+		return resolved, true
+	case *ast.BranchStmt:
+		return resolved, true // leaves this statement list
+	case *ast.DeferStmt:
+		if c.resolvingUse(s) {
+			resolved = true // covers every later exit
+		}
+		return resolved, false
+	case *ast.BlockStmt:
+		return c.seq(s.List, resolved)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, resolved)
+	case *ast.IfStmt:
+		rThen, tThen := c.seq(s.Body.List, resolved)
+		rElse, tElse := resolved, false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			rElse, tElse = c.seq(e.List, resolved)
+		case *ast.IfStmt:
+			rElse, tElse = c.stmt(e, resolved)
+		}
+		switch {
+		case tThen && tElse:
+			return resolved, true
+		case tThen:
+			return rElse, false
+		case tElse:
+			return rThen, false
+		default:
+			return rThen && rElse, false
+		}
+	case *ast.ForStmt:
+		if c.resolvingUse(s.Body) {
+			resolved = true // optimistic: assume the loop runs
+		}
+		return resolved, false
+	case *ast.RangeStmt:
+		if c.resolvingUse(s.Body) {
+			resolved = true
+		}
+		return resolved, false
+	case *ast.SwitchStmt:
+		return c.clauses(s.Body.List, resolved)
+	case *ast.TypeSwitchStmt:
+		return c.clauses(s.Body.List, resolved)
+	case *ast.SelectStmt:
+		return c.clauses(s.Body.List, resolved)
+	default:
+		if c.resolvingUse(s) {
+			resolved = true
+		}
+		return resolved, false
+	}
+}
+
+// clauses merges the paths of a switch/select: the obligation is resolved
+// after the statement only if a default clause exists and every clause
+// that can fall out resolved it.
+func (c *pathScanner) clauses(list []ast.Stmt, resolved bool) (bool, bool) {
+	hasDefault := false
+	allResolve, allTerm := true, true
+	for _, cl := range list {
+		var bodyStmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			bodyStmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			bodyStmts = cl.Body
+		default:
+			continue
+		}
+		r, t := c.seq(bodyStmts, resolved)
+		if !t {
+			allTerm = false
+			if !r {
+				allResolve = false
+			}
+		}
+	}
+	after := resolved
+	if hasDefault && allResolve {
+		after = true
+	}
+	return after, hasDefault && allTerm
+}
+
+// resolvingUse reports whether n contains a use of the tracked variable
+// that the client's resolves hook accepts.
+func (c *pathScanner) resolvingUse(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || found || c.pass.ObjectOf(id) != c.obj {
+			return true
+		}
+		if c.resolves(id) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// rootIdent returns the base identifier being assigned through, e.g. m
+// for m[k] and x for x.f.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// stmtListOf extracts the statement list a statement lives in.
+func stmtListOf(container ast.Node) []ast.Stmt {
+	switch c := container.(type) {
+	case *ast.BlockStmt:
+		return c.List
+	case *ast.CaseClause:
+		return c.Body
+	case *ast.CommClause:
+		return c.Body
+	}
+	return nil
+}
+
+// topOfElseChain ascends else-if links to the outermost IfStmt, which is
+// the statement that actually sits in its parent's list.
+func topOfElseChain(parents map[ast.Node]ast.Node, s *ast.IfStmt) ast.Node {
+	var cur ast.Node = s
+	for {
+		p, ok := parents[cur].(*ast.IfStmt)
+		if !ok {
+			return cur
+		}
+		cur = p
+	}
+}
+
+// forEachStmtAfter visits the statements that may execute after stmt on
+// its fallthrough continuation, in source order: the remainder of stmt's
+// own list, then — unless that remainder unconditionally left the list —
+// the statements following each enclosing if/switch/block, up to the
+// function body. Loops are not re-entered. The dual of pathScanner:
+// where the scanner proves something happens before every exit,
+// this enumerates what may happen next (use-after-put, put-after-escape).
+// fn returning false stops the walk.
+func forEachStmtAfter(parents map[ast.Node]ast.Node, stmt ast.Stmt, fn func(ast.Stmt) bool) {
+	cur := ast.Node(stmt)
+	for {
+		container := parents[cur]
+		list := stmtListOf(container)
+		if list == nil {
+			return
+		}
+		idx := -1
+		for i, s := range list {
+			if ast.Node(s) == cur {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		for _, s := range list[idx+1:] {
+			if !fn(s) {
+				return
+			}
+			switch s.(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				return // the path leaves this list before later statements
+			}
+		}
+		owner := parents[container]
+		switch container.(type) {
+		case *ast.CaseClause, *ast.CommClause:
+			owner = parents[owner]
+		}
+		switch owner := owner.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return
+		case *ast.IfStmt:
+			cur = topOfElseChain(parents, owner)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+			*ast.ForStmt, *ast.RangeStmt:
+			cur = owner
+		case *ast.BlockStmt:
+			cur = container
+		case *ast.LabeledStmt:
+			cur = owner
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolLifecycle checks the ownership discipline around the repository's
+// free-list pools — the sim event/timer free list and netem's delivery
+// records, frame buffers, and forwarding jobs. Pools are recognized
+// structurally: any named type whose name ends in "pool" (any case) with
+// get/put (or Get/Put) methods. Three path-shaped bugs are flagged:
+//
+//   - use-after-put: a local is returned to the pool and then read,
+//     written through, or passed on — the pool may have re-issued it.
+//   - double-put: the same local is returned twice on one path, which
+//     corrupts the free list into handing one object to two owners.
+//   - escape-then-put: a pooled value obtained from get is stored into
+//     longer-lived state (a field, slice slot, or global) and then put
+//     back — the stored alias now points into the free pool.
+//
+// Ownership handoffs are legal and common (transmit stores a pooled
+// frame into a delivery record and deliverNow puts it later); only a
+// store followed by a put in the same function is the bug. The scan is
+// the forward walk from pathscan.go: statements that may execute after
+// the put/store, branches included, loops not re-entered.
+var PoolLifecycle = &Analyzer{
+	Name: "poollifecycle",
+	Doc:  "flag use-after-put, double-put, and escaped-then-put pooled objects",
+	Run:  runPoolLifecycle,
+}
+
+// poolMethod reports whether call invokes a get/put method on a
+// *pool-named type, returning the canonical lowercase method name.
+func poolMethod(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || !hasPoolSuffix(named.Obj().Name()) {
+		return ""
+	}
+	switch fn.Name() {
+	case "get", "Get":
+		return "get"
+	case "put", "Put":
+		return "put"
+	}
+	return ""
+}
+
+func hasPoolSuffix(name string) bool {
+	if len(name) < 4 {
+		return false
+	}
+	tail := name[len(name)-4:]
+	return tail == "pool" || tail == "Pool" || tail == "POOL"
+}
+
+// putArgObj returns the local variable object a put call returns to the
+// pool, nil when the argument is not a plain local identifier.
+func putArgObj(pass *Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.ObjectOf(id)
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+func runPoolLifecycle(pass *Pass) {
+	for _, f := range pass.Files() {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch poolMethod(pass, call) {
+			case "put":
+				if obj := putArgObj(pass, call); obj != nil {
+					checkAfterPut(pass, parents, call, obj)
+				}
+			case "get":
+				checkGetEscape(pass, parents, call)
+			}
+			return true
+		})
+	}
+}
+
+// stmtOf ascends to the statement directly containing n.
+func stmtOf(parents map[ast.Node]ast.Node, n ast.Node) ast.Stmt {
+	for cur := n; cur != nil; cur = parents[cur] {
+		if s, ok := cur.(ast.Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// checkAfterPut walks the statements that may follow one put(x) and
+// reports the first use of x: another put is a double-put, anything else
+// is a use-after-put. A reassignment of x ends the tracking — the name
+// now holds a different object.
+func checkAfterPut(pass *Pass, parents map[ast.Node]ast.Node, put *ast.CallExpr, obj types.Object) {
+	putStmt := stmtOf(parents, put)
+	if putStmt == nil {
+		return
+	}
+	done := false
+	forEachStmtAfter(parents, putStmt, func(s ast.Stmt) bool {
+		ast.Inspect(s, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok || done || pass.ObjectOf(id) != obj {
+				return true
+			}
+			switch classifyPoolUse(pass, parents, id) {
+			case poolUseReassign:
+				done = true
+			case poolUsePut:
+				pass.Reportf(id.Pos(), "%s is returned to the pool twice on this path (first put at line %d): the free list would hand it to two owners",
+					obj.Name(), pass.Fset().Position(put.Pos()).Line)
+				done = true
+			default:
+				pass.Reportf(id.Pos(), "%s is used after being returned to the pool at line %d: the pool may already have re-issued it",
+					obj.Name(), pass.Fset().Position(put.Pos()).Line)
+				done = true
+			}
+			return !done
+		})
+		return !done
+	})
+}
+
+type poolUseKind int
+
+const (
+	poolUsePlain poolUseKind = iota
+	poolUsePut
+	poolUseReassign
+)
+
+// classifyPoolUse decides what one occurrence of the tracked identifier
+// means: the argument of another pool put, the direct target of a
+// reassignment (x = ... / x := ...), or a plain use.
+func classifyPoolUse(pass *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) poolUseKind {
+	if as, ok := parents[id].(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if ast.Unparen(l) == ast.Expr(id) {
+				return poolUseReassign
+			}
+		}
+	}
+	n := ast.Node(id)
+	for {
+		p, ok := parents[n].(ast.Expr)
+		if !ok {
+			return poolUsePlain
+		}
+		if call, ok := p.(*ast.CallExpr); ok {
+			for _, a := range call.Args {
+				if ast.Unparen(a) == n && poolMethod(pass, call) == "put" {
+					return poolUsePut
+				}
+			}
+			return poolUsePlain
+		}
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return poolUsePlain
+		}
+		n = p
+	}
+}
+
+// checkGetEscape tracks a local born from a pool get: if it is stored
+// into a field, slice/map slot, dereference target, or package variable
+// and then put back in the same function, the stored alias dangles.
+func checkGetEscape(pass *Pass, parents map[ast.Node]ast.Node, get *ast.CallExpr) {
+	// x := p.get(...) (or x = p.get(...)) with a plain local target.
+	as, ok := parents[get].(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	var obj types.Object
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) == ast.Expr(get) && i < len(as.Lhs) {
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+				obj = pass.ObjectOf(id)
+			}
+		}
+	}
+	if obj == nil {
+		return
+	}
+	// Find stores of x into longer-lived state after the get.
+	done := false
+	forEachStmtAfter(parents, ast.Stmt(as), func(s ast.Stmt) bool {
+		store, ok := s.(*ast.AssignStmt)
+		if !ok || done {
+			return !done
+		}
+		for i, rhs := range store.Rhs {
+			if i >= len(store.Lhs) {
+				break
+			}
+			id, ok := ast.Unparen(rhs).(*ast.Ident)
+			if !ok || pass.ObjectOf(id) != obj {
+				continue
+			}
+			if !isLongLivedDest(pass, store.Lhs[i]) {
+				continue
+			}
+			checkPutAfterEscape(pass, parents, s, store, obj)
+			done = true
+			break
+		}
+		return !done
+	})
+}
+
+// isLongLivedDest reports whether an assignment target outlives the
+// function: a field, slot, or dereference (whose owner lives elsewhere)
+// or a package-level variable.
+func isLongLivedDest(pass *Pass, dst ast.Expr) bool {
+	switch d := ast.Unparen(dst).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.ObjectOf(d)
+		if v, ok := obj.(*types.Var); ok {
+			return v.Parent() == pass.Pkg.Types.Scope() // package-level variable
+		}
+	}
+	return false
+}
+
+// checkPutAfterEscape reports a put of obj on any path after the store.
+func checkPutAfterEscape(pass *Pass, parents map[ast.Node]ast.Node, storeStmt ast.Stmt, store *ast.AssignStmt, obj types.Object) {
+	done := false
+	forEachStmtAfter(parents, storeStmt, func(s ast.Stmt) bool {
+		ast.Inspect(s, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok || done || pass.ObjectOf(id) != obj {
+				return true
+			}
+			switch classifyPoolUse(pass, parents, id) {
+			case poolUseReassign:
+				done = true
+			case poolUsePut:
+				pass.Reportf(id.Pos(), "%s escaped into longer-lived state at line %d and is returned to the pool here: the stored alias now points into the free pool",
+					obj.Name(), pass.Fset().Position(store.Pos()).Line)
+				done = true
+			}
+			return !done
+		})
+		return !done
+	})
+}

@@ -3,6 +3,8 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
+	"strconv"
 	"strings"
 )
 
@@ -31,11 +33,19 @@ var randConstructors = map[string]bool{
 
 // SimDeterminism forbids wall-clock time, global math/rand state, ad-hoc
 // rand constructors, and raw goroutine spawns in sim-driven packages —
-// any package that imports internal/sim (or is internal/sim itself). One
-// stray time.Now or rand.Intn silently decouples a run from its seed;
-// a goroutine breaks the single-threaded event-loop contract the whole
-// testbed (and its lock-free metrics) relies on. Wall-clock budget code
-// (the chaos campaign loop) carries audited //sttcp:allow directives.
+// any package in the transitive import closure of internal/sim (or
+// internal/sim itself). One stray time.Now or rand.Intn silently
+// decouples a run from its seed; a goroutine breaks the single-threaded
+// event-loop contract the whole testbed (and its lock-free metrics)
+// relies on. Wall-clock budget code (the chaos campaign loop) carries
+// audited //sttcp:allow directives.
+//
+// v2 is interprocedural: a sim-driven package calling a helper in a
+// non-sim-driven package whose call chain reaches time.Now is flagged at
+// the boundary call site, with the taint's root named in the message. An
+// //sttcp:allow simdeterminism directive on the root operation declares
+// the source audited and stops the taint (and counts as a used
+// suppression).
 //
 // It also forbids implementing the sim.Scheduler interface outside
 // internal/sim: a second event queue is a second tie-break authority the
@@ -44,9 +54,42 @@ var randConstructors = map[string]bool{
 // tie-break nondeterminism, and the differential and fuzz suites hold it
 // to the scheduler contract.
 var SimDeterminism = &Analyzer{
-	Name: "simdeterminism",
-	Doc:  "forbid wall-clock time, global randomness, and goroutines in sim-driven packages",
-	Run:  runSimDeterminism,
+	Name:      "simdeterminism",
+	Doc:       "forbid wall-clock time, global randomness, and goroutines in sim-driven packages, including through call chains",
+	RunModule: runSimDeterminism,
+}
+
+// simDrivenSet computes which loaded packages are sim-driven: internal/sim
+// itself plus everything that transitively imports it. The transitive
+// closure is the point of v2 — a command driving chaos campaigns is as
+// replay-sensitive as the campaign package it imports.
+func simDrivenSet(pkgs []*Package) map[*Package]bool {
+	memo := map[*types.Package]bool{}
+	var reaches func(p *types.Package) bool
+	reaches = func(p *types.Package) bool {
+		if v, ok := memo[p]; ok {
+			return v
+		}
+		memo[p] = false // cycle guard; import graphs are acyclic anyway
+		if pkgPathHasSuffix(p.Path(), "internal/sim") {
+			memo[p] = true
+			return true
+		}
+		for _, imp := range p.Imports() {
+			if reaches(imp) {
+				memo[p] = true
+				return true
+			}
+		}
+		return false
+	}
+	driven := map[*Package]bool{}
+	for _, pkg := range pkgs {
+		if reaches(pkg.Types) {
+			driven[pkg] = true
+		}
+	}
+	return driven
 }
 
 // simSchedulerInterface resolves the sim.Scheduler interface from the
@@ -65,12 +108,22 @@ func simSchedulerInterface(pkg *Package) *types.Interface {
 	return nil
 }
 
-func runSimDeterminism(pass *Pass) {
-	pkg := pass.Pkg
-	inSim := pkgPathHasSuffix(pkg.Path, "internal/sim")
-	if !inSim && !importsPkgSuffix(pkg, "internal/sim") {
-		return
+func runSimDeterminism(mp *ModulePass) {
+	driven := simDrivenSet(mp.Pkgs)
+	for _, pkg := range mp.Pkgs {
+		if driven[pkg] {
+			checkSimDirect(mp, pkg)
+		}
 	}
+	reportDeterminismTaint(mp, driven)
+}
+
+// checkSimDirect runs the intraprocedural rules over one sim-driven
+// package: no direct wall-clock/rand/goroutine use, no private event
+// ordering.
+func checkSimDirect(mp *ModulePass, pkg *Package) {
+	inSim := pkgPathHasSuffix(pkg.Path, "internal/sim")
+
 	// internal/sweep is the audited parallelism boundary: it fans whole
 	// sealed simulations across worker goroutines and merges results by
 	// seed order, so goroutine spawns are legal there — but only there.
@@ -98,12 +151,12 @@ func runSimDeterminism(pass *Pass) {
 					continue
 				}
 				if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
-					pass.Reportf(tn.Pos(), "type %s implements sim.Scheduler outside internal/sim: event ordering is the simulator's monopoly (internal/explore's audited wrapper is the only exception)", name)
+					mp.Reportf(tn.Pos(), "type %s implements sim.Scheduler outside internal/sim: event ordering is the simulator's monopoly (internal/explore's audited wrapper is the only exception)", name)
 				}
 			}
 		}
 	}
-	for _, f := range pass.Files() {
+	for _, f := range pkg.Files {
 		// Event ordering is internal/sim's monopoly: every other package
 		// must schedule through the sim.Scheduler interface (Post, Timer,
 		// RunUntil). A private container/heap next to the simulator is a
@@ -112,7 +165,7 @@ func runSimDeterminism(pass *Pass) {
 		if !inSim {
 			for _, imp := range f.Imports {
 				if strings.Trim(imp.Path.Value, `"`) == "container/heap" {
-					pass.Reportf(imp.Pos(), "container/heap imported in sim-driven package %s: event ordering must go through the sim.Scheduler interface, not a private priority queue", pkg.Types.Name())
+					mp.Reportf(imp.Pos(), "container/heap imported in sim-driven package %s: event ordering must go through the sim.Scheduler interface, not a private priority queue", pkg.Types.Name())
 				}
 			}
 		}
@@ -122,7 +175,7 @@ func runSimDeterminism(pass *Pass) {
 				if sweepBoundary {
 					return true
 				}
-				pass.Reportf(n.Pos(), "goroutine spawned in sim-driven package %s: all concurrency must be sim events on the single-threaded loop", pkg.Types.Name())
+				mp.Reportf(n.Pos(), "goroutine spawned in sim-driven package %s: all concurrency must be sim events on the single-threaded loop", pkg.Types.Name())
 			case *ast.CallExpr:
 				fn := calleeFunc(pkg.Info, n)
 				if fn == nil {
@@ -130,16 +183,108 @@ func runSimDeterminism(pass *Pass) {
 				}
 				switch {
 				case isTopLevelFuncOf(fn, "time") && forbiddenTimeFuncs[fn.Name()]:
-					pass.Reportf(n.Pos(), "time.%s in sim-driven code: use the simulator's virtual clock (sim.Now/Since or a scheduled event)", fn.Name())
+					mp.Reportf(n.Pos(), "time.%s in sim-driven code: use the simulator's virtual clock (sim.Now/Since or a scheduled event)", fn.Name())
 				case isTopLevelFuncOf(fn, "math/rand") || isTopLevelFuncOf(fn, "math/rand/v2"):
 					if randConstructors[fn.Name()] {
-						pass.Reportf(n.Pos(), "rand.%s outside the audited seeding point: construct randomness via sim.NewRand so every run derives from one seed", fn.Name())
+						mp.Reportf(n.Pos(), "rand.%s outside the audited seeding point: construct randomness via sim.NewRand so every run derives from one seed", fn.Name())
 					} else {
-						pass.Reportf(n.Pos(), "global rand.%s in sim-driven code: draw from an injected *rand.Rand (sim.Rand or sim.NewRand)", fn.Name())
+						mp.Reportf(n.Pos(), "global rand.%s in sim-driven code: draw from an injected *rand.Rand (sim.Rand or sim.NewRand)", fn.Name())
 					}
 				}
 			}
 			return true
 		})
 	}
+}
+
+// reportDeterminismTaint is the interprocedural half: nondeterminism
+// roots in non-sim-driven packages taint their functions, taint
+// propagates up the call graph through the non-sim-driven region, and
+// every call from sim-driven code into a tainted non-sim-driven function
+// is a diagnostic at the boundary call site. (Roots inside sim-driven
+// packages are already reported in place by checkSimDirect, so taint
+// only needs to cover the region that check cannot see.)
+func reportDeterminismTaint(mp *ModulePass, driven map[*Package]bool) {
+	taint := map[*cgNode]string{}
+	var queue []*cgNode
+	for _, n := range mp.Graph.Nodes {
+		if driven[n.Pkg] {
+			continue
+		}
+		if w := directNondeterminism(mp, n); w != "" {
+			taint[n] = w
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Callers {
+			caller := e.Caller
+			if driven[caller.Pkg] {
+				continue // report at the boundary instead of propagating past it
+			}
+			if _, ok := taint[caller]; ok {
+				continue
+			}
+			taint[caller] = taint[n]
+			queue = append(queue, caller)
+		}
+	}
+	for _, n := range mp.Graph.Nodes {
+		if !driven[n.Pkg] {
+			continue
+		}
+		for _, e := range n.Callees {
+			if e.Kind != edgeCall || driven[e.Callee.Pkg] {
+				continue
+			}
+			if w, ok := taint[e.Callee]; ok {
+				mp.Reportf(e.Pos, "call to %s from sim-driven package %s reaches %s: route time and randomness through the simulator or audit the root with //sttcp:allow", e.Callee.Name(), n.Pkg.Types.Name(), w)
+			}
+		}
+	}
+}
+
+// directNondeterminism scans one function frame (not its nested
+// literals) for an unaudited nondeterminism root and returns a witness
+// description, or "" if the frame is clean. An //sttcp:allow
+// simdeterminism directive on the root's line stops the taint there.
+func directNondeterminism(mp *ModulePass, n *cgNode) string {
+	body := n.Body()
+	if body == nil {
+		return ""
+	}
+	witness := ""
+	at := func(op ast.Node) string {
+		pos := mp.Fset().Position(op.Pos())
+		return filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+	}
+	inspectShallow(body, func(m ast.Node) {
+		if witness != "" {
+			return
+		}
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			if !mp.Allowed(m.Pos()) {
+				witness = "a goroutine spawn (" + at(m) + ")"
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(n.Pkg.Info, m)
+			if fn == nil {
+				return
+			}
+			switch {
+			case isTopLevelFuncOf(fn, "time") && forbiddenTimeFuncs[fn.Name()]:
+				if !mp.Allowed(m.Pos()) {
+					witness = "time." + fn.Name() + " (" + at(m) + ")"
+				}
+			case isTopLevelFuncOf(fn, "math/rand") || isTopLevelFuncOf(fn, "math/rand/v2"):
+				if !mp.Allowed(m.Pos()) {
+					witness = "rand." + fn.Name() + " (" + at(m) + ")"
+				}
+			}
+		}
+	})
+	return witness
 }

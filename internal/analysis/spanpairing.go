@@ -3,7 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 )
 
 // SpanPairing checks that every non-auto trace span a function opens is
@@ -13,12 +12,13 @@ import (
 // span-integrity invariant — but only when a campaign happens to walk
 // through the leaky path. This makes it structural.
 //
-// The check is a structured-path scan, not a full CFG: a span counts as
-// resolved on a path once it is closed (trace.CloseSpan), passed to any
-// call, returned, stored into a composite/field/map, or covered by a
-// defer that mentions it. Auto spans (OpenAutoSpan*) are exempt — they
-// are finalized administratively. Loops are treated optimistically: a
-// close anywhere in a loop body resolves it.
+// The check is a structured-path scan (see pathscan.go), not a full CFG:
+// a span counts as resolved on a path once it is closed
+// (trace.CloseSpan), passed to any call, returned, stored into a
+// composite/field/map, or covered by a defer that mentions it. Auto
+// spans (OpenAutoSpan*) are exempt — they are finalized
+// administratively. Loops are treated optimistically: a close anywhere
+// in a loop body resolves it.
 var SpanPairing = &Analyzer{
 	Name: "spanpairing",
 	Doc:  "every opened trace span must be closed or handed off on all return paths",
@@ -41,37 +41,6 @@ func runSpanPairing(pass *Pass) {
 			return true
 		})
 	}
-}
-
-// buildParents maps every node in the file to its syntactic parent.
-func buildParents(f *ast.File) map[ast.Node]ast.Node {
-	parents := map[ast.Node]ast.Node{}
-	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return false
-		}
-		if len(stack) > 0 {
-			parents[n] = stack[len(stack)-1]
-		}
-		stack = append(stack, n)
-		return true
-	})
-	return parents
-}
-
-// enclosingFuncBody returns the body of the innermost function containing n.
-func enclosingFuncBody(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
-	for cur := n; cur != nil; cur = parents[cur] {
-		switch fn := cur.(type) {
-		case *ast.FuncDecl:
-			return fn.Body
-		case *ast.FuncLit:
-			return fn.Body
-		}
-	}
-	return nil
 }
 
 // checkOpenSpanUse classifies what happens to the value of one OpenSpan
@@ -149,7 +118,12 @@ func checkSpanDest(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr
 	if obj.Pos() < body.Pos() || obj.Pos() > body.End() {
 		return // captured or global variable: a handoff
 	}
-	c := &spanChecker{pass: pass, parents: parents, obj: obj, open: call}
+	c := &pathScanner{pass: pass, parents: parents, obj: obj, openPos: call.Pos()}
+	c.resolves = func(id *ast.Ident) bool { return spanUseResolves(parents, id) }
+	c.leak = func(at token.Pos, how string) {
+		pass.Reportf(at, "span %q opened at line %d is still open when %s: close it, dissolve it, or hand it off",
+			obj.Name(), pass.Fset().Position(call.Pos()).Line, how)
+	}
 	// A defer anywhere in the function that mentions the span (a deferred
 	// CloseSpan, or a deferred closure doing the close) covers every
 	// return path at once.
@@ -166,216 +140,15 @@ func checkSpanDest(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr
 	c.scanFrom(openStmt, body)
 }
 
-type spanChecker struct {
-	pass    *Pass
-	parents map[ast.Node]ast.Node
-	obj     types.Object
-	open    *ast.CallExpr
-}
-
-// scanFrom walks the statements after the open, ascending through
-// enclosing if/switch statements until the function body (or a loop
-// boundary) is reached, and reports any exit the span can leak through.
-func (c *spanChecker) scanFrom(openStmt ast.Stmt, body *ast.BlockStmt) {
-	cur := ast.Node(openStmt)
-	resolved := false
-	for {
-		container := c.parents[cur]
-		list := stmtListOf(container)
-		if list == nil {
-			return // open in an if-init or other exotic position: give up quietly
-		}
-		idx := -1
-		for i, s := range list {
-			if ast.Node(s) == cur {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			return
-		}
-		r, term := c.seq(list[idx+1:], resolved)
-		if term {
-			return
-		}
-		resolved = r
-
-		owner := c.parents[container]
-		switch container.(type) {
-		case *ast.CaseClause, *ast.CommClause:
-			owner = c.parents[owner] // clause -> switch/select body -> the statement
-		}
-		switch owner := owner.(type) {
-		case *ast.FuncDecl, *ast.FuncLit:
-			if !resolved {
-				c.reportLeak(body.Rbrace, "the function falls off the end")
-			}
-			return
-		case *ast.ForStmt, *ast.RangeStmt:
-			if !resolved {
-				c.reportLeak(c.open.Pos(), "the loop iteration ends")
-			}
-			return
-		case *ast.IfStmt:
-			cur = topOfElseChain(c.parents, owner)
-		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-			cur = owner
-		case *ast.BlockStmt:
-			cur = container
-		case *ast.LabeledStmt:
-			cur = owner
-		default:
-			return
-		}
-	}
-}
-
-// reportLeak reports one escaping path.
-func (c *spanChecker) reportLeak(at token.Pos, how string) {
-	c.pass.Reportf(at, "span %q opened at line %d is still open when %s: close it, dissolve it, or hand it off",
-		c.obj.Name(), c.pass.Fset().Position(c.open.Pos()).Line, how)
-}
-
-// seq evaluates a straight-line statement list. It returns whether the
-// span is resolved at the end of the list and whether every path through
-// the list terminated (returned or branched away).
-func (c *spanChecker) seq(stmts []ast.Stmt, resolved bool) (bool, bool) {
-	for _, s := range stmts {
-		r, term := c.stmt(s, resolved)
-		resolved = r
-		if term {
-			return resolved, true
-		}
-	}
-	return resolved, false
-}
-
-func (c *spanChecker) stmt(s ast.Stmt, resolved bool) (bool, bool) {
-	switch s := s.(type) {
-	case *ast.ReturnStmt:
-		if c.resolvingUse(s) {
-			resolved = true
-		}
-		if !resolved {
-			c.reportLeak(s.Pos(), "this return executes")
-		}
-		return resolved, true
-	case *ast.BranchStmt:
-		return resolved, true // leaves this statement list
-	case *ast.DeferStmt:
-		if c.resolvingUse(s) {
-			resolved = true // covers every later exit
-		}
-		return resolved, false
-	case *ast.BlockStmt:
-		return c.seq(s.List, resolved)
-	case *ast.LabeledStmt:
-		return c.stmt(s.Stmt, resolved)
-	case *ast.IfStmt:
-		rThen, tThen := c.seq(s.Body.List, resolved)
-		rElse, tElse := resolved, false
-		switch e := s.Else.(type) {
-		case *ast.BlockStmt:
-			rElse, tElse = c.seq(e.List, resolved)
-		case *ast.IfStmt:
-			rElse, tElse = c.stmt(e, resolved)
-		}
-		switch {
-		case tThen && tElse:
-			return resolved, true
-		case tThen:
-			return rElse, false
-		case tElse:
-			return rThen, false
-		default:
-			return rThen && rElse, false
-		}
-	case *ast.ForStmt:
-		if c.resolvingUse(s.Body) {
-			resolved = true // optimistic: assume the loop runs
-		}
-		return resolved, false
-	case *ast.RangeStmt:
-		if c.resolvingUse(s.Body) {
-			resolved = true
-		}
-		return resolved, false
-	case *ast.SwitchStmt:
-		return c.clauses(s.Body.List, resolved)
-	case *ast.TypeSwitchStmt:
-		return c.clauses(s.Body.List, resolved)
-	case *ast.SelectStmt:
-		return c.clauses(s.Body.List, resolved)
-	default:
-		if c.resolvingUse(s) {
-			resolved = true
-		}
-		return resolved, false
-	}
-}
-
-// clauses merges the paths of a switch/select: the span is resolved after
-// the statement only if a default clause exists and every clause that can
-// fall out resolved it.
-func (c *spanChecker) clauses(list []ast.Stmt, resolved bool) (bool, bool) {
-	hasDefault := false
-	allResolve, allTerm := true, true
-	for _, cl := range list {
-		var bodyStmts []ast.Stmt
-		switch cl := cl.(type) {
-		case *ast.CaseClause:
-			if cl.List == nil {
-				hasDefault = true
-			}
-			bodyStmts = cl.Body
-		case *ast.CommClause:
-			if cl.Comm == nil {
-				hasDefault = true
-			}
-			bodyStmts = cl.Body
-		default:
-			continue
-		}
-		r, t := c.seq(bodyStmts, resolved)
-		if !t {
-			allTerm = false
-			if !r {
-				allResolve = false
-			}
-		}
-	}
-	after := resolved
-	if hasDefault && allResolve {
-		after = true
-	}
-	return after, hasDefault && allTerm
-}
-
-// resolvingUse reports whether n contains a use of the span variable that
-// closes it or hands it off: an argument to any call, a return value, a
+// spanUseResolves reports whether one use of the span variable closes it
+// or hands it off: an argument to any call, a return value, a
 // composite-literal element, a channel send, a map/slice store, or the
 // right-hand side of an assignment. Mere comparisons (sp != 0) and
 // reassignments of the variable itself do not count.
-func (c *spanChecker) resolvingUse(n ast.Node) bool {
-	found := false
-	ast.Inspect(n, func(m ast.Node) bool {
-		id, ok := m.(*ast.Ident)
-		if !ok || found || c.pass.ObjectOf(id) != c.obj {
-			return true
-		}
-		if c.useResolves(id) {
-			found = true
-		}
-		return true
-	})
-	return found
-}
-
-func (c *spanChecker) useResolves(id *ast.Ident) bool {
+func spanUseResolves(parents map[ast.Node]ast.Node, id *ast.Ident) bool {
 	var cur ast.Node = id
 	for {
-		switch p := c.parents[cur].(type) {
+		switch p := parents[cur].(type) {
 		case *ast.ParenExpr, *ast.UnaryExpr, *ast.StarExpr, *ast.SliceExpr:
 			cur = p
 		case *ast.IndexExpr:
@@ -393,50 +166,5 @@ func (c *spanChecker) useResolves(id *ast.Ident) bool {
 		default:
 			return false
 		}
-	}
-}
-
-// rootIdent returns the base identifier being assigned through, e.g. m
-// for m[k] and x for x.f.
-func rootIdent(e ast.Expr) *ast.Ident {
-	for {
-		switch t := ast.Unparen(e).(type) {
-		case *ast.Ident:
-			return t
-		case *ast.SelectorExpr:
-			e = t.X
-		case *ast.IndexExpr:
-			e = t.X
-		case *ast.StarExpr:
-			e = t.X
-		default:
-			return nil
-		}
-	}
-}
-
-// stmtListOf extracts the statement list a statement lives in.
-func stmtListOf(container ast.Node) []ast.Stmt {
-	switch c := container.(type) {
-	case *ast.BlockStmt:
-		return c.List
-	case *ast.CaseClause:
-		return c.Body
-	case *ast.CommClause:
-		return c.Body
-	}
-	return nil
-}
-
-// topOfElseChain ascends else-if links to the outermost IfStmt, which is
-// the statement that actually sits in its parent's list.
-func topOfElseChain(parents map[ast.Node]ast.Node, s *ast.IfStmt) ast.Node {
-	var cur ast.Node = s
-	for {
-		p, ok := parents[cur].(*ast.IfStmt)
-		if !ok {
-			return cur
-		}
-		cur = p
 	}
 }

@@ -1,0 +1,80 @@
+// Corpus for the ctxpairing analyzer: a captured simulator context that
+// is switched away from must be restored on every return path. Captures
+// that are never switched away from carry no obligation.
+package ctxpairing
+
+import "example.com/vet/internal/sim"
+
+func work() {}
+
+func stash(c sim.Ctx) {}
+
+func good(s *sim.Simulator, c sim.Ctx) {
+	prev := s.Context()
+	s.SetContext(c)
+	work()
+	s.SetContext(prev)
+}
+
+func earlyReturn(s *sim.Simulator, c sim.Ctx, skip bool) {
+	prev := s.Context()
+	s.SetContext(c)
+	if skip {
+		return // want `context switched at line \d+ without restoring the captured context "prev" when this return executes: call SetContext\(prev\) on every path out`
+	}
+	s.SetContext(prev)
+}
+
+func fallsOff(s *sim.Simulator, c sim.Ctx) {
+	prev := s.Context()
+	_ = prev
+	s.SetContext(c)
+	work()
+} // want `context switched at line \d+ without restoring the captured context "prev" when the function falls off the end`
+
+func passedNotRestored(s *sim.Simulator, c sim.Ctx, skip bool) {
+	prev := s.Context()
+	s.SetContext(c)
+	stash(prev) // passing the capture to an arbitrary call restores nothing
+	if skip {
+		return // want `context switched at line \d+ without restoring the captured context "prev" when this return executes`
+	}
+	s.SetContext(prev)
+}
+
+func deferredRestore(s *sim.Simulator, c sim.Ctx, skip bool) {
+	prev := s.Context()
+	defer s.SetContext(prev)
+	s.SetContext(c)
+	if skip {
+		return // ok: the deferred restore covers every exit
+	}
+	work()
+}
+
+func pureRead(s *sim.Simulator) sim.Ctx {
+	prev := s.Context()
+	return prev // ok: never switched away, no obligation
+}
+
+func returnBeforeSwitch(s *sim.Simulator, c sim.Ctx, bail bool) {
+	prev := s.Context()
+	if bail {
+		return // ok: nothing has been switched yet
+	}
+	s.SetContext(c)
+	s.SetContext(prev)
+}
+
+func handoffToCaller(s *sim.Simulator, c sim.Ctx) sim.Ctx {
+	prev := s.Context()
+	s.SetContext(c)
+	return prev // ok: the caller inherits the restore duty explicitly
+}
+
+func auditedOneWay(s *sim.Simulator, c sim.Ctx) {
+	prev := s.Context()
+	_ = prev
+	s.SetContext(c)
+	work()
+} //sttcp:allow ctxpairing corpus demo of an audited one-way context switch

@@ -1,0 +1,69 @@
+// Corpus for the daemonhygiene analyzer: daemon-tick-only code must not
+// schedule foreground events, and foreground event paths must not mint
+// daemon tickers.
+package daemonhygiene
+
+import "example.com/vet/internal/sim"
+
+var s *sim.Simulator
+
+func sample() {}
+
+func probe() {}
+
+func tick() {}
+
+func setup() {
+	sim.NewDaemonTicker(s, 10, func() {
+		sample()
+		s.Post(1, probe) // want `Simulator\.Post called from daemon-tick-only code \(daemonhygiene\.func-literal@.*\): a daemon tick scheduling foreground work extends the run it promised not to`
+	})
+	sim.NewTicker(s, 5, func() {
+		s.Post(1, probe) // ok: a foreground tick scheduling foreground work
+	})
+}
+
+func setupChain() {
+	sim.NewDaemonTicker(s, 20, func() {
+		drain()
+	})
+}
+
+// drain is unexported and called only from a daemon tick, so the
+// fixpoint marks it daemon-only.
+func drain() {
+	s.Schedule(1, probe) // want `Simulator\.Schedule called from daemon-tick-only code \(daemonhygiene\.drain\)`
+}
+
+func launch() {
+	s.Post(1, func() {
+		sim.NewDaemonTicker(s, 5, tick) // want `NewDaemonTicker called on a foreground event path \(daemonhygiene\.func-literal@.*\): work spawned by the workload must count as work`
+	})
+}
+
+func setupShared() {
+	sim.NewDaemonTicker(s, 30, func() { record() })
+	record()
+}
+
+// record runs from a daemon tick AND from plain setup code, so it is not
+// daemon-only and may schedule foreground work.
+func record() {
+	s.Post(1, probe)
+}
+
+func setupExported() {
+	sim.NewDaemonTicker(s, 50, func() { Flush() })
+}
+
+// Flush is exported: it can be entered from anywhere, so it is never
+// assumed daemon-only.
+func Flush() {
+	s.Post(1, probe)
+}
+
+func setupAudited() {
+	sim.NewDaemonTicker(s, 40, func() {
+		s.Post(1, probe) //sttcp:allow daemonhygiene corpus demo of an audited daemon-side post
+	})
+}

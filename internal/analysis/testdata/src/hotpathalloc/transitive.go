@@ -1,0 +1,35 @@
+// Transitive cases for hotpathalloc v2: an annotated function calling an
+// unannotated helper whose call chain allocates is flagged at the call
+// site, naming the root construct. Annotating the callee moves the check
+// into it; an audited allow on the root stops the propagation.
+package hotpathalloc
+
+import "fmt"
+
+//sttcp:hotpath
+func transHot(v int) {
+	_ = helperFmt(v)     // want `hotpath function transHot calls hotpathalloc\.helperFmt, which reaches fmt\.Sprintf \(transitive\.go:\d+\)`
+	_ = helperChain(v)   // want `hotpath function transHot calls hotpathalloc\.helperChain, which reaches fmt\.Sprintf \(transitive\.go:\d+\)`
+	_ = helperAudited(v) // ok: the root construct carries an audited allow
+	_ = helperClean(v)   // ok: nothing below allocates
+	annotatedCallee(v)   // ok: the callee is itself hotpath-annotated and checked in place
+}
+
+func helperFmt(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+func helperChain(v int) string {
+	return helperFmt(v + 1)
+}
+
+func helperAudited(v int) string {
+	return fmt.Sprintf("%d", v) //sttcp:allow hotpathalloc corpus demo of an audited cold path
+}
+
+func helperClean(v int) int {
+	return v * 2
+}
+
+//sttcp:hotpath
+func annotatedCallee(v int) {}

@@ -1,0 +1,68 @@
+// Corpus for the poollifecycle analyzer: ownership discipline around
+// free-list pools. The pool is recognized structurally — a named type
+// ending in "pool" with get/put methods — so this stand-in exercises the
+// same paths as the sim event pool and netem's buffer pools.
+package poollifecycle
+
+type buf struct{ n int }
+
+type bufpool struct{ free []*buf }
+
+func (p *bufpool) get() *buf {
+	if len(p.free) > 0 {
+		b := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		return b
+	}
+	return &buf{}
+}
+
+func (p *bufpool) put(b *buf) {
+	p.free = append(p.free, b)
+}
+
+type holder struct{ b *buf }
+
+func useAfterPut(p *bufpool, b *buf) {
+	p.put(b)
+	b.n = 1 // want `b is used after being returned to the pool at line \d+: the pool may already have re-issued it`
+}
+
+func doublePut(p *bufpool, b *buf) {
+	p.put(b)
+	p.put(b) // want `b is returned to the pool twice on this path \(first put at line \d+\): the free list would hand it to two owners`
+}
+
+func maybePut(p *bufpool, b *buf, drop bool) {
+	if drop {
+		p.put(b)
+	}
+	b.n = 3 // want `b is used after being returned to the pool at line \d+`
+}
+
+func escapeThenPut(p *bufpool, h *holder) {
+	b := p.get()
+	h.b = b
+	p.put(b) // want `b escaped into longer-lived state at line \d+ and is returned to the pool here: the stored alias now points into the free pool`
+}
+
+func reassignAfterPut(p *bufpool, b *buf) {
+	p.put(b)
+	b = p.get()
+	b.n = 2 // ok: b now names a fresh object
+}
+
+func putThenReturn(p *bufpool, b *buf) *bufpool {
+	p.put(b)
+	return p // ok: only the pool receiver is touched afterwards
+}
+
+func handoff(p *bufpool, h *holder) {
+	b := p.get()
+	h.b = b // ok: ownership moves to the holder, which puts it back later
+}
+
+func auditedTailRead(p *bufpool, b *buf) {
+	p.put(b)
+	_ = b.n //sttcp:allow poollifecycle corpus demo of an audited post-put read
+}

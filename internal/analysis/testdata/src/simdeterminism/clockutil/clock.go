@@ -1,0 +1,36 @@
+// Package clockutil is a helper package that does NOT import the
+// simulator: on its own it is free to read the wall clock, and the v1
+// analyzer never looked inside it. Its functions are the taint sources
+// the v2 call-graph propagation exists to catch when sim-driven code
+// calls them.
+package clockutil
+
+import "time"
+
+// Stamp reads the wall clock: a taint source for any sim-driven caller.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// StampIndirect hides the wall clock one call deeper: taint must
+// propagate through the intermediate frame.
+func StampIndirect() int64 {
+	return Stamp()
+}
+
+// AuditedStamp reads the wall clock behind an audited allow: the
+// directive stops the taint at its source, so sim-driven callers are
+// clean.
+func AuditedStamp() int64 {
+	return time.Now().UnixNano() //sttcp:allow simdeterminism corpus demo of an audited taint source
+}
+
+// Pure computes without touching the clock: no taint.
+func Pure(a, b int64) int64 {
+	return a + b
+}
+
+// SpawnHelper leaks a goroutine: also a taint source.
+func SpawnHelper() {
+	go func() {}()
+}

@@ -1,0 +1,36 @@
+// Corpus for simdeterminism v2 taint propagation: this package imports
+// the simulator, so calling a helper whose call chain reaches the wall
+// clock is flagged at the boundary call site even though no forbidden
+// call appears here directly.
+package clockwrap
+
+import (
+	"example.com/vet/internal/sim"
+	"example.com/vet/simdeterminism/clockutil"
+)
+
+var s sim.Simulator
+
+func direct() int64 {
+	return clockutil.Stamp() // want `call to clockutil\.Stamp from sim-driven package clockwrap reaches time\.Now \(clock\.go:\d+\)`
+}
+
+func indirect() int64 {
+	return clockutil.StampIndirect() // want `call to clockutil\.StampIndirect from sim-driven package clockwrap reaches time\.Now \(clock\.go:\d+\)`
+}
+
+func spawning() {
+	clockutil.SpawnHelper() // want `call to clockutil\.SpawnHelper from sim-driven package clockwrap reaches a goroutine spawn \(clock\.go:\d+\)`
+}
+
+func audited() int64 {
+	return clockutil.AuditedStamp() // the source carries an audited allow: clean
+}
+
+func pure() int64 {
+	return clockutil.Pure(1, 2) // no taint anywhere below: clean
+}
+
+func suppressedBoundary() int64 {
+	return clockutil.Stamp() //sttcp:allow simdeterminism corpus demo of an audited boundary call
+}

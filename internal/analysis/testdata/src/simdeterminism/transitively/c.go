@@ -1,0 +1,15 @@
+// Corpus for the v2 sim-driven definition: this package never imports
+// the simulator directly, but it imports clockwrap, which does — the
+// transitive import closure makes it sim-driven, so direct wall-clock
+// reads are flagged here just like in a direct importer.
+package transitively
+
+import (
+	"time"
+
+	_ "example.com/vet/simdeterminism/clockwrap"
+)
+
+func readsClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in sim-driven code`
+}

@@ -97,7 +97,7 @@ func (c *calendarScheduler) Schedule(e *Event) {
 		// Only possible when a run stopped at a deadline short of a
 		// re-anchored ring and new work was scheduled in the gap; pull
 		// the ring back so the new event is inside it.
-		c.rewind(e.when)
+		c.rewind(e.when) //sttcp:allow hotpathalloc rewind is the rare re-anchor-gap path; its appends reuse bucket/overflow backing arrays
 	}
 	if e.when >= c.ringEnd {
 		//sttcp:allow hotpathalloc amortized overflow growth; steady state reuses capacity (TestCalendarSteadyStateAllocs)
@@ -119,7 +119,7 @@ func (c *calendarScheduler) Cancel(e *Event) {
 	c.live--
 	c.dead++
 	if c.dead > 64 && c.dead > 4*c.live {
-		c.compact()
+		c.compact() //sttcp:allow hotpathalloc amortized tombstone compaction reuses the overflow backing array
 	}
 }
 
@@ -177,7 +177,7 @@ func (c *calendarScheduler) settle() bool {
 		c.drained = 0
 		c.sorted = false
 		if c.ring == 0 {
-			if !c.reanchor() {
+			if !c.reanchor() { //sttcp:allow hotpathalloc re-anchoring is the between-bursts slow path; compaction reuses backing arrays
 				return false
 			}
 			continue

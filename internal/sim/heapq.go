@@ -25,7 +25,7 @@ func (h *heapScheduler) Schedule(e *Event) {
 func (h *heapScheduler) Cancel(e *Event) {
 	h.dead++
 	if h.dead > 64 && h.dead > len(h.q)-h.dead {
-		h.compact()
+		h.compact() //sttcp:allow hotpathalloc amortized tombstone compaction reuses the heap backing array
 	}
 }
 

@@ -902,10 +902,10 @@ func (c *Conn) sendSegmentRaw(flags Flags, off int64, payload []byte, isSYN bool
 	}
 	if c.suppressed {
 		c.SuppressedSegments++
-		c.stack.noteSuppressed(&seg, c)
+		c.stack.noteSuppressed(&seg, c) //sttcp:allow hotpathalloc trace boxing is behind the Detail() gate; off in measured runs
 		return
 	}
-	c.stack.emit(c, &seg)
+	c.stack.emit(c, &seg) //sttcp:allow hotpathalloc trace boxing is behind the Detail() gate; off in measured runs
 }
 
 func (c *Conn) sendRST() {

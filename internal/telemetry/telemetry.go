@@ -232,7 +232,7 @@ func (sp *Sampler) refresh() {
 //sttcp:hotpath
 func (sp *Sampler) tick() {
 	if sp.reg.Len() != sp.regLen {
-		sp.refresh() // cold: only when instruments were added mid-run
+		sp.refresh() //sttcp:allow hotpathalloc cold: runs only when instruments were added mid-run
 	}
 	idx := sp.windows % sp.cfg.MaxWindows
 	for i := range sp.tracks {
