@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet lint build test race bench bench-smoke bench-gate report-smoke timeline chaos chaos-smoke explore explore-smoke clean
+.PHONY: all check vet lint build test race bench bench-smoke bench-gate report-smoke timeline chaos chaos-gray chaos-smoke explore explore-smoke clean
 
 all: check
 
@@ -65,6 +65,13 @@ timeline:
 # system-wide invariant registry (see EXPERIMENTS.md "Chaos campaigns").
 chaos:
 	$(GO) run ./cmd/sttcp-chaos -runs 200
+
+# Gray-failure campaign: every schedule carries at least one slow-not-dead,
+# asymmetric-partition, corruption, flapping, or clock-skew fault, judged
+# by the gray invariants on top of the crisp ones (see EXPERIMENTS.md
+# "Gray failures").
+chaos-gray:
+	$(GO) run ./cmd/sttcp-chaos -gray -runs 200
 
 # CI-sized campaign: as many schedules as fit in 30 seconds of wall time.
 chaos-smoke:

@@ -41,6 +41,7 @@ func main() {
 		telWindow    = cliflags.TelemetryWindow(0)
 		traceDetail  = flag.Bool("trace-detail", false, "record per-segment trace events and spans (heavier; pairs well with -trace-out)")
 		flightRec    = flag.Int("flight-recorder", 0, "bound trace memory to roughly N spans, keeping pinned failure windows (0: unbounded)")
+		gray         = flag.Bool("gray", false, "generate gray-failure schedules (starvation, asymmetric cuts, corruption, flapping, clock skew) instead of crisp Table 1 faults")
 		verbose      = flag.Bool("v", false, "print every schedule and its outcome")
 	)
 	flag.Parse()
@@ -71,7 +72,11 @@ func main() {
 			break
 		}
 		s := *seed + int64(i)
-		sc := chaos.Generate(s)
+		spec := chaos.DefaultSpec(s)
+		if *gray {
+			spec = chaos.GraySpec(s)
+		}
+		sc := chaos.Generate(spec)
 		if *verbose {
 			fmt.Printf("--- run %d ---\n%v", i, sc)
 		}

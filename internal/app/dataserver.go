@@ -34,6 +34,10 @@ type DataServer struct {
 	crashedSilent bool
 	conns         map[*tcp.Conn]*serveState
 
+	// cpu models scheduler starvation (SetCPU), as on EchoServer.
+	cpu *sim.Clock
+	sm  *sim.Simulator
+
 	// BytesServed totals response bytes written across connections.
 	BytesServed int64
 	// RequestsServed counts parsed requests.
@@ -45,6 +49,7 @@ type serveState struct {
 	writeOff int64 // absolute stream offset of the next response byte
 	remain   int64 // response bytes still to write
 	started  bool
+	deferred bool // a starved pump is already scheduled
 }
 
 // NewDataServer builds a server; attach it with Accept (typically
@@ -60,12 +65,35 @@ func NewDataServer(name string, tracer *trace.Recorder) *DataServer {
 // Name returns the server's trace name.
 func (s *DataServer) Name() string { return s.name }
 
+// SetCPU attaches the host's CPU clock so injected starvation stretches
+// this server's processing time. Call before traffic starts.
+func (s *DataServer) SetCPU(sm *sim.Simulator, cpu *sim.Clock) {
+	s.sm, s.cpu = sm, cpu
+}
+
+// schedule runs fn inline at nominal CPU rate, or defers it by the
+// starvation stretch, coalescing wakeups per connection.
+func (s *DataServer) schedule(st *serveState, fn func()) {
+	if s.cpu.Rate() == 1 || s.sm == nil {
+		fn()
+		return
+	}
+	if st.deferred {
+		return
+	}
+	st.deferred = true
+	s.sm.Schedule(s.cpu.Stretch(procQuantum)-procQuantum, func() {
+		st.deferred = false
+		fn()
+	})
+}
+
 // Accept adopts an established connection.
 func (s *DataServer) Accept(c *tcp.Conn) {
 	st := &serveState{}
 	s.conns[c] = st
-	c.OnReadable = func() { s.readable(c, st) }
-	c.OnWritable = func() { s.writable(c, st) }
+	c.OnReadable = func() { s.schedule(st, func() { s.readable(c, st) }) }
+	c.OnWritable = func() { s.schedule(st, func() { s.writable(c, st) }) }
 	c.OnClose = func(error) { delete(s.conns, c) }
 	// Data may already be buffered (replica force-established or request
 	// segment processed before accept).

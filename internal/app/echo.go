@@ -22,27 +22,65 @@ type EchoServer struct {
 	crashed bool
 	conns   map[*tcp.Conn]*echoState
 
+	// cpu models scheduler starvation on the host (SetCPU): at rates
+	// above 1 each processing quantum is deferred by the stretch, so
+	// responses slow down while the host's timers — and heartbeats —
+	// stay on schedule. Nil or rate 1 keeps the pump fully inline.
+	cpu *sim.Clock
+	sm  *sim.Simulator
+
 	// BytesEchoed totals bytes written back.
 	BytesEchoed int64
 }
 
 type echoState struct {
-	pending []byte // read but not yet written back
+	pending  []byte // read but not yet written back
+	deferred bool   // a starved pump is already scheduled
 }
+
+// procQuantum is the nominal processing time one pump invocation stands
+// for. At CPU rate r a pump is deferred by (r-1)×procQuantum; at rate 1
+// it runs inline with zero deferral, bit-for-bit as before.
+const procQuantum = time.Millisecond
 
 // NewEchoServer builds an echo server.
 func NewEchoServer(name string, tracer *trace.Recorder) *EchoServer {
 	return &EchoServer{name: name, tracer: tracer, conns: make(map[*tcp.Conn]*echoState)}
 }
 
+// SetCPU attaches the host's CPU clock so injected starvation stretches
+// this server's processing time. Call before traffic starts.
+func (s *EchoServer) SetCPU(sm *sim.Simulator, cpu *sim.Clock) {
+	s.sm, s.cpu = sm, cpu
+}
+
+// schedulePump runs the pump inline at nominal CPU rate, or defers it by
+// the starvation stretch otherwise. Deferred pumps coalesce per
+// connection: however many readable/writable wakeups arrive during the
+// wait, the starved process gets one quantum at the end of it.
+func (s *EchoServer) schedulePump(c *tcp.Conn, st *echoState) {
+	if s.cpu.Rate() == 1 || s.sm == nil {
+		s.pump(c, st)
+		return
+	}
+	if st.deferred {
+		return
+	}
+	st.deferred = true
+	s.sm.Schedule(s.cpu.Stretch(procQuantum)-procQuantum, func() {
+		st.deferred = false
+		s.pump(c, st)
+	})
+}
+
 // Accept adopts an established connection.
 func (s *EchoServer) Accept(c *tcp.Conn) {
 	st := &echoState{}
 	s.conns[c] = st
-	c.OnReadable = func() { s.pump(c, st) }
-	c.OnWritable = func() { s.pump(c, st) }
+	c.OnReadable = func() { s.schedulePump(c, st) }
+	c.OnWritable = func() { s.schedulePump(c, st) }
 	c.OnClose = func(error) { delete(s.conns, c) }
-	s.pump(c, st)
+	s.schedulePump(c, st)
 }
 
 // CrashSilent stops the echo loop without closing sockets (no FIN).

@@ -10,6 +10,7 @@ import (
 var (
 	chaosRuns = flag.Int("chaos.runs", 50, "number of randomized chaos schedules TestChaos executes")
 	chaosSeed = flag.Int64("chaos.seed", 0, "when non-zero, TestChaos replays exactly this one seed, verbosely")
+	chaosGray = flag.Bool("chaos.gray", false, "run TestChaos (campaign or -chaos.seed replay) on gray-failure schedules instead of crisp ones")
 )
 
 // TestChaos is the main campaign: N seed-derived schedules, every one of
@@ -37,7 +38,11 @@ func TestChaos(t *testing.T) {
 
 func runOne(t *testing.T, seed int64, verbose bool) Schedule {
 	t.Helper()
-	sc := Generate(seed)
+	spec := DefaultSpec(seed)
+	if *chaosGray {
+		spec = GraySpec(seed)
+	}
+	sc := Generate(spec)
 	if verbose {
 		t.Logf("schedule:\n%v", sc)
 	}
@@ -69,7 +74,7 @@ func runOne(t *testing.T, seed int64, verbose bool) Schedule {
 func TestChaosDeterministic(t *testing.T) {
 	for _, seed := range []int64{3, 17, 40} {
 		run := func() (string, string) {
-			res, err := Run(Generate(seed), Options{})
+			res, err := Run(Generate(DefaultSpec(seed)), Options{})
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
@@ -199,12 +204,136 @@ func TestChaosShrinksBrokenDetection(t *testing.T) {
 	t.Logf("shrunk in %d runs to:\n%v", shr.Runs, shr.Schedule)
 }
 
+// TestChaosGray is the gray-failure campaign: 50 seed-derived schedules
+// drawn from GraySpec — starvation, asymmetric cuts, corrupting links,
+// flapping interfaces, clock skew — every one judged by the full
+// invariant registry including the gray invariants (quiescence under
+// noise, detection bounds on verdict faults, fingerprint evidence,
+// flap containment). Replay one seed with
+//
+//	go test ./internal/chaos -run TestChaos -chaos.seed=<seed> -chaos.gray
+func TestChaosGray(t *testing.T) {
+	verdicts, noise := 0, 0
+	for seed := int64(1); seed <= 50; seed++ {
+		sc := Generate(GraySpec(seed))
+		if !sc.HasGray() {
+			t.Fatalf("seed %d: GraySpec schedule has no gray fault:\n%v", seed, sc)
+		}
+		if sc.DriftObservable() && sc.HasGray() {
+			noise++
+		} else {
+			verdicts++
+		}
+		res, err := Run(sc, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if res.Failed() {
+			shr, serr := Shrink(sc, Options{}, res, 50)
+			if serr != nil {
+				t.Logf("shrink error: %v", serr)
+			}
+			t.Fatalf("gray seed %d violated invariants.\n--- original ---\n%s--- shrunk (%d runs) ---\n%s",
+				seed, res.Report(), shr.Runs, shr.Result.Report())
+		}
+	}
+	// The generator must exercise both halves of the gray fault model:
+	// schedules the detectors must act on and schedules they must ride
+	// out.
+	if verdicts == 0 || noise == 0 {
+		t.Errorf("campaign shape degenerate: %d verdict-carrying schedules, %d noise-only", verdicts, noise)
+	}
+}
+
+// TestChaosGrayDeterministic is the gray twin of TestChaosDeterministic:
+// identical seeds must reproduce byte-identical traces and metrics even
+// with the suspicion scorer, flap closures, and corruption RNG in play.
+func TestChaosGrayDeterministic(t *testing.T) {
+	for _, seed := range []int64{2, 30, 42} {
+		run := func() (string, string) {
+			res, err := Run(Generate(GraySpec(seed)), Options{})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return res.Trace.Dump(), res.Metrics.String()
+		}
+		tr1, m1 := run()
+		tr2, m2 := run()
+		if tr1 != tr2 {
+			t.Errorf("gray seed %d: traces differ between identical runs", seed)
+		}
+		if m1 != m2 {
+			t.Errorf("gray seed %d: metrics snapshots differ between identical runs", seed)
+		}
+	}
+}
+
+// TestGrayStarveDetected pins the tentpole behavior end to end on a
+// hand-built schedule: a deep CPU starve of the serving host under an
+// echo workload must end in a takeover within the injector's declared
+// bound, driven by the suspicion scorer (no crisp detector fires — the
+// host's heartbeats keep flowing).
+func TestGrayStarveDetected(t *testing.T) {
+	sc := Schedule{
+		Seed:     99,
+		Workload: "echo",
+		Rounds:   1000,
+		MsgSize:  512,
+		Horizon:  30 * time.Second,
+		Events: []Event{
+			{At: 0, Kind: EvClientStart},
+			{At: 1 * time.Second, Kind: EvStarveServing, Scale: 500, Dur: 8 * time.Second},
+		},
+	}
+	res, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("starve schedule violated invariants:\n%s", res.Report())
+	}
+	if got := res.Metrics.CounterTotal("sttcp.takeovers"); got != 1 {
+		t.Errorf("takeovers = %d, want exactly 1 (suspicion verdict on the starved primary)", got)
+	}
+}
+
+// TestGrayCorruptionRiddenOut pins the flip side: checksum noise alone,
+// however dense, must never cause a takeover — the gray-quiescence
+// invariant enforces it, and this test double-checks the counter.
+func TestGrayCorruptionRiddenOut(t *testing.T) {
+	sc := Schedule{
+		Seed:     98,
+		Workload: "echo",
+		Rounds:   1000,
+		MsgSize:  512,
+		Horizon:  30 * time.Second,
+		Events: []Event{
+			{At: 0, Kind: EvClientStart},
+			{At: 800 * time.Millisecond, Kind: EvCorruptServing, Rate: 0.10, Dur: 1500 * time.Millisecond},
+			{At: 1 * time.Second, Kind: EvCorruptSerial, Rate: 0.40, Dur: 3 * time.Second},
+		},
+	}
+	res, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("corruption noise schedule violated invariants:\n%s", res.Report())
+	}
+	if got := res.Metrics.CounterTotal("sttcp.takeovers"); got != 0 {
+		t.Errorf("takeovers = %d, want 0 (checksum noise must be ridden out)", got)
+	}
+	if res.Injected["corrupt-serving"] != 1 || res.Injected["corrupt-serial"] != 1 {
+		t.Errorf("injected = %v, want both corruption events applied", res.Injected)
+	}
+}
+
 // TestGenerateShapes sanity-checks the generator's structural guarantees
 // over many seeds: a client always starts at t=0, events are sorted, at
 // least one fault exists, and String/Signature round out stably.
 func TestGenerateShapes(t *testing.T) {
 	for seed := int64(1); seed <= 500; seed++ {
-		sc := Generate(seed)
+		sc := Generate(DefaultSpec(seed))
 		if len(sc.Events) < 2 {
 			t.Fatalf("seed %d: schedule has no fault events:\n%v", seed, sc)
 		}
@@ -219,7 +348,7 @@ func TestGenerateShapes(t *testing.T) {
 		if sc.Workload != "download" && sc.Workload != "echo" {
 			t.Fatalf("seed %d: unknown workload %q", seed, sc.Workload)
 		}
-		if a, b := Generate(seed).Signature(), sc.Signature(); a != b {
+		if a, b := Generate(DefaultSpec(seed)).Signature(), sc.Signature(); a != b {
 			t.Fatalf("seed %d: Generate is not deterministic", seed)
 		}
 		if fmt.Sprint(sc) == "" {

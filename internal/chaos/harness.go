@@ -64,6 +64,7 @@ type appServer interface {
 	Accept(*tcp.Conn)
 	CrashSilent()
 	CrashCleanup(abort bool)
+	SetCPU(sm *sim.Simulator, cpu *sim.Clock)
 }
 
 // clientRec tracks one workload connection.
@@ -95,6 +96,22 @@ type silenceEra struct {
 	open     bool
 }
 
+// grayExpect is one recorded detection obligation: the gray fault just
+// applied must cause a takeover whose span starts at or before deadline
+// (run-relative). Judged by the gray-detection-bound invariant.
+type grayExpect struct {
+	deadline time.Duration
+	what     string
+}
+
+// grayEvidence is one end-of-run predicate proving an injected gray fault
+// actually bit (corruption counters advanced, the drift note fired).
+// Judged by the gray-evidence invariant.
+type grayEvidence struct {
+	desc string
+	ok   func() bool
+}
+
 // harness owns one chaos run.
 type harness struct {
 	sc   Schedule
@@ -116,7 +133,7 @@ type harness struct {
 	appCrashed map[*cluster.Host]bool
 	serialCut  bool
 	// lossUntil is when the latest loss window on a *server* link ends;
-	// serial cuts are deferred past it (see fire).
+	// serial cuts are deferred past it (see serialCutInjector).
 	lossUntil time.Duration
 	// standbyRiskUntil is when the standby's link was last dropping
 	// inbound client bytes, plus a recovery grace period. Killing the
@@ -130,6 +147,15 @@ type harness struct {
 	haveRejoined bool
 	lastRejoin   time.Time
 	lastEventAt  time.Duration
+
+	// Gray-failure bookkeeping (recorded by the gray injectors through
+	// Env, judged by endInvariants).
+	injected      map[EventKind]int
+	fatalInjected bool
+	grayNoise     int
+	flapApplied   bool
+	grayExpects   []grayExpect
+	grayEvidence  []grayEvidence
 
 	// cfg is the primary's filled-in config, for invariant bounds.
 	cfg sttcp.Config
@@ -148,6 +174,7 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 		servers:    make(map[*cluster.Host]appServer),
 		nicFailed:  make(map[*cluster.Host]bool),
 		appCrashed: make(map[*cluster.Host]bool),
+		injected:   make(map[EventKind]int),
 	}
 	h.tb = experiment.Build(experiment.Options{
 		Seed:            sc.Seed,
@@ -163,6 +190,12 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 		// would be released on trust (MaxDelayFIN).
 		c.MaxDelayFIN = 10 * time.Second
 		c.AppMaxLagTime = 3 * time.Second
+		// Schedules that carry gray faults get the gray-failure
+		// detector suite; crisp schedules keep it off so legacy seeds
+		// replay byte-identically.
+		if sc.HasGray() {
+			c.Suspicion.Enabled = true
+		}
 		if opts.SabotageBlindDetectors {
 			blindDetectors(c)
 		}
@@ -173,8 +206,8 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 	h.lc = experiment.NewLifecycle(h.tb)
 	h.cfg = h.tb.PrimaryNode.Config()
 
-	h.servers[h.tb.Primary] = h.newServer("primary/app")
-	h.servers[h.tb.Backup] = h.newServer("backup/app")
+	h.servers[h.tb.Primary] = h.newServer(h.tb.Primary, "primary/app")
+	h.servers[h.tb.Backup] = h.newServer(h.tb.Backup, "backup/app")
 	h.tb.PrimaryNode.OnAccept = h.servers[h.tb.Primary].Accept
 	h.tb.BackupNode.OnAccept = h.servers[h.tb.Backup].Accept
 	h.hookNode(h.tb.PrimaryNode)
@@ -183,8 +216,11 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 	for _, ev := range sc.Events {
 		ev := ev
 		h.tb.Sim.Schedule(ev.At, func() { h.fire(ev) })
-		if ev.At > h.lastEventAt {
-			h.lastEventAt = ev.At
+		// The run must outlast every fault *window*, not just the last
+		// injection instant — gray evidence (drift notes, corruption
+		// counters) accumulates across the whole window.
+		if end := ev.At + ev.Dur; end > h.lastEventAt {
+			h.lastEventAt = end
 		}
 	}
 
@@ -224,6 +260,10 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 		Metrics:   h.tb.Metrics.Snapshot(),
 		Telemetry: h.tb.Telemetry.Timeline(),
 		Skipped:   h.skipped,
+		Injected:  make(map[string]int, len(h.injected)),
+	}
+	for k, n := range h.injected {
+		res.Injected[k.String()] = n
 	}
 	for _, r := range h.clients {
 		res.Clients = append(res.Clients, summarize(r))
@@ -233,11 +273,48 @@ func Run(sc Schedule, opts Options) (*RunResult, error) {
 	return res, nil
 }
 
-func (h *harness) newServer(name string) appServer {
-	if h.sc.Workload == "echo" {
-		return app.NewEchoServer(name, h.tb.Tracer)
+// fire dispatches one scheduled event to its registered injector, or
+// records why it was skipped. Validate guards are deterministic functions
+// of the harness's own bookkeeping, so a replayed seed skips exactly the
+// same events (see Injector). A windowed fault's Revert runs ev.Dur later
+// on the same Env, carrying the applied target through the stash.
+func (h *harness) fire(ev Event) {
+	inj, ok := injectorFor(ev.Kind)
+	if !ok {
+		h.skip(ev, "no injector registered for this kind")
+		return
 	}
-	return app.NewDataServer(name, h.tb.Tracer)
+	env := &Env{h: h}
+	if reason := inj.Validate(env, ev); reason != "" {
+		h.skip(ev, reason)
+		return
+	}
+	if err := inj.Apply(env, ev); err != nil {
+		h.skip(ev, err.Error())
+		return
+	}
+	h.injected[ev.Kind]++
+	if ev.Kind >= EvCrashServing && ev.Kind <= EvSerialCut {
+		// A crisp fatal fault ran; the gray-quiescence invariant (which
+		// demands zero verdicts) no longer applies to this run.
+		h.fatalInjected = true
+	}
+	if ev.Dur > 0 {
+		h.tb.Sim.Schedule(ev.Dur, func() { inj.Revert(env, ev) })
+	}
+}
+
+func (h *harness) newServer(host *cluster.Host, name string) appServer {
+	var srv appServer
+	if h.sc.Workload == "echo" {
+		srv = app.NewEchoServer(name, h.tb.Tracer)
+	} else {
+		srv = app.NewDataServer(name, h.tb.Tracer)
+	}
+	// Bind request processing to the host's CPU clock so a starve
+	// injection slows the application without touching protocol timers.
+	srv.SetCPU(h.tb.Sim, host.CPU())
+	return srv
 }
 
 // mkApp is the Lifecycle.Reintegrate callback: it builds the application
@@ -248,7 +325,7 @@ func (h *harness) mkApp(name string) func(*tcp.Conn) {
 	if hostName == h.tb.Primary.Name() {
 		host = h.tb.Primary
 	}
-	srv := h.newServer(name)
+	srv := h.newServer(host, name)
 	h.servers[host] = srv
 	return srv.Accept
 }
@@ -418,264 +495,9 @@ func (h *harness) clientsSurviveServingLoss() bool {
 	return true
 }
 
-// fire injects one scheduled event, or records why it was skipped. Guards
-// are deterministic functions of the harness's own bookkeeping, so a
-// replayed seed skips exactly the same events. They exist to keep every
-// generated schedule *survivable*: the invariants demand that all clients
-// finish, so the harness never stacks a second fatal fault onto a cluster
-// that has not regained redundancy.
-func (h *harness) fire(ev Event) {
-	switch ev.Kind {
-	case EvClientStart, EvSecondClient:
-		h.startClient(ev)
-
-	case EvCrashServing:
-		n := h.servingNode()
-		if n.Host().Crashed() {
-			h.skip(ev, "serving host already down")
-			return
-		}
-		sb := h.standbyNode()
-		if sb == nil || !h.healthy(sb.Host()) {
-			h.skip(ev, "no healthy standby to take over")
-			return
-		}
-		if !h.clientsSurviveServingLoss() {
-			h.skip(ev, "unfinished pre-rejoin connection is local-only on the serving host")
-			return
-		}
-		if h.standbyAtRisk() {
-			h.skip(ev, "standby link was recently lossy; ACKed-byte recovery may be in flight (§4.3 output-commit window)")
-			return
-		}
-		h.note(ev, n.Host().Name())
-		n.Host().CrashHW()
-
-	case EvCrashStandby:
-		sb := h.standbyNode()
-		if sb == nil {
-			h.skip(ev, "no active standby")
-			return
-		}
-		if serving := h.servingNode(); !h.healthy(serving.Host()) {
-			h.skip(ev, "serving side unhealthy; killing the standby would lose service")
-			return
-		}
-		h.note(ev, sb.Host().Name())
-		sb.Host().CrashHW()
-
-	case EvAppCrashServing:
-		n := h.servingNode()
-		host := n.Host()
-		if host.Crashed() || h.appCrashed[host] {
-			h.skip(ev, "serving application already gone")
-			return
-		}
-		sb := h.standbyNode()
-		if sb == nil || !h.healthy(sb.Host()) {
-			h.skip(ev, "no healthy standby to take over")
-			return
-		}
-		if !h.clientsSurviveServingLoss() {
-			h.skip(ev, "unfinished pre-rejoin connection is local-only on the serving host")
-			return
-		}
-		h.note(ev, host.Name())
-		h.appCrashed[host] = true
-		if ev.Cleanup {
-			h.servers[host].CrashCleanup(false)
-		} else {
-			h.servers[host].CrashSilent()
-		}
-
-	case EvAppCrashStandby:
-		sb := h.standbyNode()
-		if sb == nil {
-			h.skip(ev, "no active standby")
-			return
-		}
-		host := sb.Host()
-		if h.appCrashed[host] {
-			h.skip(ev, "standby application already crashed")
-			return
-		}
-		if serving := h.servingNode(); !h.healthy(serving.Host()) {
-			h.skip(ev, "serving side unhealthy")
-			return
-		}
-		h.note(ev, host.Name())
-		h.appCrashed[host] = true
-		if ev.Cleanup {
-			h.servers[host].CrashCleanup(false)
-		} else {
-			h.servers[host].CrashSilent()
-		}
-
-	case EvNICFailServing, EvNICFailStandby:
-		if h.serialCut {
-			// With the serial line gone a NIC failure is
-			// indistinguishable from a full crash from BOTH sides:
-			// whichever server detects total silence first STONITHs
-			// the other, and if the healthy one loses that race the
-			// service dies. The real testbed has the same exposure;
-			// the harness only injects survivable combinations.
-			h.skip(ev, "serial already cut; NIC failure would be an unsurvivable double fault")
-			return
-		}
-		var n *sttcp.Node
-		if ev.Kind == EvNICFailServing {
-			n = h.servingNode()
-			sb := h.standbyNode()
-			if sb == nil || !h.healthy(sb.Host()) {
-				h.skip(ev, "no healthy standby to take over")
-				return
-			}
-			if !h.clientsSurviveServingLoss() {
-				h.skip(ev, "unfinished pre-rejoin connection is local-only on the serving host")
-				return
-			}
-			if h.standbyAtRisk() {
-				h.skip(ev, "standby link was recently lossy; ACKed-byte recovery may be in flight (§4.3 output-commit window)")
-				return
-			}
-		} else {
-			n = h.standbyNode()
-			if n == nil {
-				h.skip(ev, "no active standby")
-				return
-			}
-			if serving := h.servingNode(); !h.healthy(serving.Host()) {
-				h.skip(ev, "serving side unhealthy")
-				return
-			}
-		}
-		host := n.Host()
-		if host.Crashed() || h.nicFailed[host] {
-			h.skip(ev, "target NIC already dead")
-			return
-		}
-		h.note(ev, host.Name())
-		h.nicFailed[host] = true
-		host.FailNIC()
-
-	case EvSerialCut:
-		if h.serialCut {
-			h.skip(ev, "serial already cut")
-			return
-		}
-		if h.nicFailed[h.tb.Primary] || h.nicFailed[h.tb.Backup] {
-			h.skip(ev, "a server NIC is down; cutting serial too would be an unsurvivable double fault")
-			return
-		}
-		if h.tb.Sim.Elapsed() < h.lossUntil {
-			// A loss burst can silence enough IP heartbeats that,
-			// with serial also gone, a healthy peer gets STONITHed.
-			h.skip(ev, "loss window active on a server link")
-			return
-		}
-		h.note(ev, "serial cable")
-		h.serialCut = true
-		h.tb.SerialPrimary.SetDown(true)
-		h.tb.SerialBackup.SetDown(true)
-
-	case EvDropServing, EvDropStandby, EvDropClient:
-		link, name, ok := h.linkTarget(ev)
-		if !ok {
-			h.skip(ev, "no live target link")
-			return
-		}
-		h.note(ev, name)
-		if ev.Kind == EvDropStandby {
-			h.noteStandbyRisk(ev.Dur)
-		}
-		link.DropFromBFor(ev.Dur) // B side = switch port: drop inbound
-
-	case EvLossServing, EvLossStandby, EvLossClient:
-		link, name, ok := h.linkTarget(ev)
-		if !ok {
-			h.skip(ev, "no live target link")
-			return
-		}
-		if ev.Kind != EvLossClient && h.serialCut {
-			h.skip(ev, "serial is cut; heartbeat loss could STONITH a healthy peer")
-			return
-		}
-		h.note(ev, name)
-		link.SetLossRate(ev.Rate)
-		if ev.Kind != EvLossClient {
-			if until := h.tb.Sim.Elapsed() + ev.Dur; until > h.lossUntil {
-				h.lossUntil = until
-			}
-		}
-		if ev.Kind == EvLossStandby {
-			h.noteStandbyRisk(ev.Dur)
-		}
-		h.tb.Sim.Schedule(ev.Dur, func() { link.SetLossRate(0) })
-
-	case EvDelayServing, EvDelayStandby, EvDelayClient:
-		link, name, ok := h.linkTarget(ev)
-		if !ok {
-			h.skip(ev, "no live target link")
-			return
-		}
-		h.note(ev, name)
-		link.SetExtraDelay(ev.Delay)
-		h.tb.Sim.Schedule(ev.Dur, func() { link.SetExtraDelay(0) })
-
-	case EvRejoin:
-		survivor := h.lc.BackupNode()
-		if survivor.State() != sttcp.StateTakenOver {
-			h.skip(ev, fmt.Sprintf("survivor is %v, not taken-over", survivor.State()))
-			return
-		}
-		dead := h.lc.PrimaryHost()
-		if err := h.lc.Reintegrate(h.mkApp); err != nil {
-			h.skip(ev, fmt.Sprintf("reintegrate: %v", err))
-			return
-		}
-		h.note(ev, dead.Name())
-		// The repair also replaces any cut serial cable (Reboot resets
-		// only the dead side's port).
-		if h.serialCut {
-			h.tb.SerialPrimary.SetDown(false)
-			h.tb.SerialBackup.SetDown(false)
-			h.serialCut = false
-		}
-		h.nicFailed[dead] = false
-		h.appCrashed[dead] = false
-		h.haveRejoined = true
-		h.lastRejoin = h.tb.Sim.Now()
-		h.hookNode(h.lc.BackupNode())
-	}
-}
-
-// linkTarget resolves a drop/loss/delay event to its ethernet link.
-func (h *harness) linkTarget(ev Event) (*netem.Link, string, bool) {
-	switch ev.Kind {
-	case EvDropClient, EvLossClient, EvDelayClient:
-		return h.tb.ClientLink, "client link", true
-	case EvDropServing, EvLossServing, EvDelayServing:
-		n := h.servingNode()
-		if n.Host().Crashed() {
-			return nil, "", false
-		}
-		return h.linkFor(n.Host()), n.Host().Name() + " link", true
-	default:
-		n := h.standbyNode()
-		if n == nil {
-			return nil, "", false
-		}
-		return h.linkFor(n.Host()), n.Host().Name() + " link", true
-	}
-}
-
-func (h *harness) startClient(ev Event) {
-	serving := h.servingNode()
-	host := serving.Host()
-	if host.Crashed() || h.appCrashed[host] || h.nicFailed[host] {
-		h.skip(ev, "service is not reachable right now")
-		return
-	}
+// startClient opens one workload connection; a non-nil error skips the
+// event (reachability is vetted by clientInjector.Validate).
+func (h *harness) startClient(ev Event) error {
 	name := "client/app"
 	if len(h.clients) > 0 {
 		name = fmt.Sprintf("client%d/app", len(h.clients)+1)
@@ -687,8 +509,7 @@ func (h *harness) startClient(ev Event) {
 		ec.Gap = 3 * time.Millisecond
 		ec.Telemetry = h.tb.Telemetry.NewClientTrack()
 		if err := ec.Start(); err != nil {
-			h.skip(ev, err.Error())
-			return
+			return err
 		}
 		rec.ec = ec
 	} else {
@@ -699,13 +520,13 @@ func (h *harness) startClient(ev Event) {
 			Telemetry: h.tb.Telemetry.NewClientTrack(),
 		})
 		if err := dl.Start(); err != nil {
-			h.skip(ev, err.Error())
-			return
+			return err
 		}
 		rec.dl = dl
 	}
 	h.clients = append(h.clients, rec)
 	h.note(ev, name)
+	return nil
 }
 
 // blindDetectors is the SabotageBlindDetectors mutation: every failure
@@ -720,4 +541,8 @@ func blindDetectors(c *sttcp.Config) {
 	c.NICLagTime = never
 	c.NICLagGrace = never
 	c.PingFailsForVerdict = 1 << 30
+	// The gray-failure suite sleeps too.
+	c.Suspicion.RespSLO = never
+	c.Suspicion.RespHold = never
+	c.AsymHold = never
 }

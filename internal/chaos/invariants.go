@@ -48,6 +48,21 @@ func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 //     every takeover span has a suspect event on itself or an ancestor
 //     (a takeover must be caused by a declared suspicion), no non-auto
 //     span is left open, and the recorder saw no open/close errors.
+//   - gray-quiescence: a run whose gray faults were all noise-class
+//     (corruption, mild skew — no detection expectation recorded), with no
+//     crisp fatal fault and no flap, must end with zero takeovers, zero
+//     non-FT transitions, and zero suspects: checksum noise alone is never
+//     grounds for a verdict.
+//   - gray-detection-bound: every verdict-class gray fault (slow-not-dead
+//     starve past the response SLO, asymmetric partition) must be answered
+//     by a takeover starting no later than the injector's recorded
+//     deadline.
+//   - gray-evidence: every injected gray fault left its fingerprint —
+//     corruption windows advanced a checksum/CRC reject counter, large
+//     clock skew tripped the peer's cadence-drift note.
+//   - flap-containment: interface flapping faster than the detection
+//     period may legitimately trip a crisp detector once, but STONITH must
+//     prevent dual-transmitter oscillation: at most one takeover.
 func InvariantNames() []string {
 	return []string{
 		"single-transmitter",
@@ -57,6 +72,10 @@ func InvariantNames() []string {
 		"hold-buffer-bound",
 		"counter-trace",
 		"span-integrity",
+		"gray-quiescence",
+		"gray-detection-bound",
+		"gray-evidence",
+		"flap-containment",
 	}
 }
 
@@ -138,6 +157,8 @@ type RunResult struct {
 	// reasons): unsurvivable combinations or faults whose target was
 	// already gone.
 	Skipped []string
+	// Injected counts successfully applied events per injector name.
+	Injected map[string]int
 }
 
 // Failed reports whether any invariant was violated.
@@ -169,7 +190,11 @@ func (r *RunResult) Report() string {
 		b.WriteString("timeline:\n")
 		b.WriteString(r.Trace.RenderSpanTimeline(trace.TimelineOptions{Width: 100, Epoch: sim.Epoch}))
 	}
-	fmt.Fprintf(&b, "replay: go test ./internal/chaos -run TestChaos -chaos.seed=%d\n", r.Schedule.Seed)
+	grayFlag := ""
+	if r.Schedule.HasGray() {
+		grayFlag = " -chaos.gray"
+	}
+	fmt.Fprintf(&b, "replay: go test ./internal/chaos -run TestChaos -chaos.seed=%d%s\n", r.Schedule.Seed, grayFlag)
 	return b.String()
 }
 
@@ -264,6 +289,55 @@ func (h *harness) endInvariants(snap *metrics.Snapshot) []Violation {
 	}
 	for _, e := range h.tb.Tracer.SpanErrors() {
 		bad("span-integrity", "recorder error: %s", e)
+	}
+
+	// gray-quiescence: noise-class degradation (corruption, mild skew)
+	// must never escalate to a verdict. Only judged when the run injected
+	// gray noise and nothing that legitimately warrants one: no verdict
+	// expectation, no crisp fatal fault, no flap.
+	if h.grayNoise > 0 && len(h.grayExpects) == 0 && !h.fatalInjected && !h.flapApplied {
+		for _, ctr := range []string{"sttcp.takeovers", "sttcp.nonft_transitions", "sttcp.suspects"} {
+			if n := snap.CounterTotal(ctr); n > 0 {
+				bad("gray-quiescence", "noise-only gray run still recorded %d %s", n, ctr)
+			}
+		}
+	}
+
+	// gray-detection-bound: a verdict-class gray fault must be answered
+	// by a takeover starting at or before its recorded deadline.
+	if len(h.grayExpects) > 0 {
+		var earliest time.Time
+		for _, sp := range h.tb.Tracer.FilterSpans(trace.KindTakeover) {
+			if earliest.IsZero() || sp.Start.Before(earliest) {
+				earliest = sp.Start
+			}
+		}
+		for _, ex := range h.grayExpects {
+			switch {
+			case earliest.IsZero():
+				bad("gray-detection-bound", "no takeover answered %s (deadline %v)",
+					ex.what, ex.deadline)
+			case earliest.Sub(sim.Epoch) > ex.deadline:
+				bad("gray-detection-bound", "takeover answering %s started at %v, past deadline %v",
+					ex.what, earliest.Sub(sim.Epoch), ex.deadline)
+			}
+		}
+	}
+
+	// gray-evidence: each injected gray fault must have left its
+	// fingerprint by end of run.
+	for _, e := range h.grayEvidence {
+		if !e.ok() {
+			bad("gray-evidence", "expected evidence never materialised: %s", e.desc)
+		}
+	}
+
+	// flap-containment: a flap may trip a crisp detector once; STONITH
+	// must prevent the second takeover (oscillation).
+	if h.flapApplied {
+		if n := snap.CounterTotal("sttcp.takeovers"); n > 1 {
+			bad("flap-containment", "flapping caused %d takeovers; STONITH must prevent oscillation", n)
+		}
 	}
 	return out
 }

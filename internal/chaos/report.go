@@ -39,6 +39,7 @@ func (r *RunResult) chaosSection() *telemetry.ChaosReport {
 	cr := &telemetry.ChaosReport{
 		Schedule: r.Schedule.String(),
 		Events:   len(r.Schedule.Events),
+		Injected: r.Injected,
 		Skipped:  r.Skipped,
 	}
 	byName := make(map[string][]string)

@@ -34,6 +34,16 @@ type Host struct {
 	tcp    *tcp.Stack
 	serial *serial.Port
 
+	// timerClock models the machine's oscillator: protocol tickers
+	// (heartbeats, detectors) arm through it, so skewing its rate skews
+	// every periodic timer on the host. cpuClock models scheduler
+	// pressure: application servers stretch their processing quanta by
+	// it, so a starved host answers slowly while its kernel-level timers
+	// (and thus heartbeats) still fire on time — the paper-adjacent
+	// "slow-not-dead" gray failure.
+	timerClock *sim.Clock
+	cpuClock   *sim.Clock
+
 	crashed   bool
 	onCrash   []func()
 	crashTime time.Time
@@ -79,15 +89,17 @@ func New(s *sim.Simulator, cfg HostConfig) *Host {
 	ns := netstack.New(s, cfg.Name, nic, cfg.Addr)
 	st := tcp.NewStack(s, ns, cfg.Name, cfg.TCP, cfg.Tracer, cfg.Metrics)
 	return &Host{
-		sim:     s,
-		name:    cfg.Name,
-		tracer:  cfg.Tracer,
-		metrics: cfg.Metrics,
-		addr:    cfg.Addr,
-		tcpOpts: cfg.TCP,
-		nic:     nic,
-		ns:      ns,
-		tcp:     st,
+		sim:        s,
+		name:       cfg.Name,
+		tracer:     cfg.Tracer,
+		metrics:    cfg.Metrics,
+		addr:       cfg.Addr,
+		tcpOpts:    cfg.TCP,
+		nic:        nic,
+		ns:         ns,
+		tcp:        st,
+		timerClock: sim.NewClock(s),
+		cpuClock:   sim.NewClock(s),
 	}
 }
 
@@ -111,6 +123,26 @@ func (h *Host) Tracer() *trace.Recorder { return h.tracer }
 
 // Metrics returns the host's metrics registry (possibly nil).
 func (h *Host) Metrics() *metrics.Registry { return h.metrics }
+
+// Clock returns the host's timer clock. Protocol layers that arm periodic
+// timers (heartbeat exchangers, detectors) should tick through it so an
+// injected clock-rate skew reaches them.
+func (h *Host) Clock() *sim.Clock { return h.timerClock }
+
+// CPU returns the host's CPU clock. Application servers stretch their
+// processing time by it, so CPU starvation slows responses without
+// touching kernel timers.
+func (h *Host) CPU() *sim.Clock { return h.cpuClock }
+
+// SetTimerScale skews the host's timer rate: 1 is nominal, 1.05 makes
+// every periodic timer fire 5% late. This is the clock-rate-skew gray
+// fault — heartbeats stay alive but drift against the peer's timeline.
+func (h *Host) SetTimerScale(r float64) { h.timerClock.SetRate(r) }
+
+// SetCPUScale starves (or restores) the host's CPU: a rate of 20 makes
+// application processing take 20x longer while timers — and thus
+// heartbeats — run on schedule. This is the slow-not-dead gray fault.
+func (h *Host) SetCPUScale(r float64) { h.cpuClock.SetRate(r) }
 
 // AttachSerial associates one end of a null-modem pair with the host.
 func (h *Host) AttachSerial(p *serial.Port) { h.serial = p }

@@ -356,6 +356,27 @@ func builtinDemos() []Demo {
 			},
 		},
 		{
+			Name:     "gray",
+			Title:    "gray failure: slow-not-dead primary, starvation the scorer rides out vs convicts",
+			Extended: true,
+			Run: func(p Params) (Result, error) {
+				out := Result{Demo: "gray"}
+				// Mild starvation keeps echo responses inside the SLO — the
+				// scorer must stay quiet. Heavy starvation pushes every
+				// response far past it — the scorer must convict.
+				for _, scale := range []float64{25, 500} {
+					r, err := runGrayStarve(p.Seed, scale, p.TraceDetail, p.Scheduler, p.TelemetryWindow)
+					if err != nil {
+						return out, fmt.Errorf("starve x%g: %w", scale, err)
+					}
+					out.Failovers = append(out.Failovers, r)
+				}
+				out.Metrics = lastMetrics(out.Failovers)
+				out.Telemetry = lastTimeline(out.Failovers)
+				return out, nil
+			},
+		},
+		{
 			Name:     "scale",
 			Title:    "thousand-connection capacity: concurrent transfers across a primary crash",
 			Extended: true,

@@ -68,7 +68,7 @@ func TestRegistryExtendedDemos(t *testing.T) {
 	if core == 0 || extended == 0 {
 		t.Fatalf("registry should carry both core and extended demos (core=%d extended=%d)", core, extended)
 	}
-	for _, name := range []string{"capacity", "demo2-dist", "output-commit", "witness", "nicload", "scale"} {
+	for _, name := range []string{"capacity", "demo2-dist", "output-commit", "witness", "nicload", "gray", "scale"} {
 		if !mustDemo(t, name).Extended {
 			t.Errorf("demo %q should be marked Extended", name)
 		}

@@ -145,6 +145,11 @@ type Exchanger struct {
 	// OnLinkUp fires once when a link transitions back up.
 	OnLinkUp func(link LinkID)
 
+	// Clock, when set before Start, paces the send and liveness tickers
+	// on the host's (possibly skewed) timer clock instead of the nominal
+	// simulator timeline. Nil keeps nominal timing.
+	Clock *sim.Clock
+
 	lastRx  map[LinkID]time.Time
 	down    map[LinkID]bool
 	ticker  *sim.Ticker
@@ -213,14 +218,19 @@ func (e *Exchanger) Start() {
 	for _, c := range e.channels {
 		e.lastRx[c.ID()] = now
 	}
-	e.ticker = sim.NewTicker(e.sim, e.cfg.Period, e.tick)
 	// Check liveness at a finer grain than the period so detection
 	// latency is dominated by Timeout, not by check quantisation.
 	check := e.cfg.Period / 4
 	if check <= 0 {
 		check = time.Millisecond
 	}
-	e.checker = sim.NewTicker(e.sim, check, e.checkLiveness)
+	if e.Clock != nil {
+		e.ticker = e.Clock.NewTicker(e.cfg.Period, e.tick)
+		e.checker = e.Clock.NewTicker(check, e.checkLiveness)
+	} else {
+		e.ticker = sim.NewTicker(e.sim, e.cfg.Period, e.tick)
+		e.checker = sim.NewTicker(e.sim, check, e.checkLiveness)
+	}
 	e.tick() // send the first heartbeat immediately
 }
 

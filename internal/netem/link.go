@@ -63,6 +63,13 @@ type Link struct {
 	Drops int64
 	// Delivered counts frames handed to endpoints.
 	Delivered int64
+	// Corrupted counts frames that had a bit flipped in flight. These are
+	// delivered, not dropped: the corruption must survive to the receiver
+	// so checksum reject paths actually run.
+	Corrupted int64
+
+	// corruptRate flips one random bit per frame with this probability.
+	corruptRate float64
 
 	// Metric instruments, wired by SetMetrics; nil no-ops otherwise.
 	mFrames *metrics.Counter
@@ -112,6 +119,7 @@ type linkSide struct {
 	peer     Endpoint // delivery target (the *other* end)
 	nextFree time.Time
 	dropTill time.Time
+	cut      bool // indefinite one-direction cut (asymmetric partition)
 
 	pending []*delivery // in flight, pending[head:] sorted by arrival
 	head    int
@@ -180,6 +188,31 @@ func (l *Link) DropFromAFor(d time.Duration) { l.a.dropTill = l.sim.Now().Add(d)
 // DropFromBFor drops all frames transmitted by endpoint B for d.
 func (l *Link) DropFromBFor(d time.Duration) { l.b.dropTill = l.sim.Now().Add(d) }
 
+// SetCutFromA cuts (or restores) only the A→B direction, indefinitely.
+// The reverse direction keeps working: this is the asymmetric partition
+// of the gray fault model, where one side hears the other but not vice
+// versa. Distinct from the timed DropFrom*For windows, a cut holds until
+// explicitly restored.
+func (l *Link) SetCutFromA(cut bool) { l.a.cut = cut }
+
+// SetCutFromB cuts (or restores) only the B→A direction, indefinitely.
+func (l *Link) SetCutFromB(cut bool) { l.b.cut = cut }
+
+// CutFromA reports whether the A→B direction is cut.
+func (l *Link) CutFromA() bool { return l.a.cut }
+
+// CutFromB reports whether the B→A direction is cut.
+func (l *Link) CutFromB() bool { return l.b.cut }
+
+// SetCorruptRate makes the link flip one random bit in each frame with
+// probability p (both directions). Corrupted frames are still delivered;
+// the receiver's integrity checks (Ethernet/TCP checksums) must catch
+// them. Zero disables corruption.
+func (l *Link) SetCorruptRate(p float64) { l.corruptRate = p }
+
+// CorruptRate returns the current bit-flip probability.
+func (l *Link) CorruptRate() float64 { return l.corruptRate }
+
 // TransmitFromA sends buf from endpoint A toward endpoint B.
 func (l *Link) TransmitFromA(buf []byte) { l.transmit(l.a, buf) }
 
@@ -190,7 +223,7 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 	if side.peer == nil {
 		return
 	}
-	if l.down || l.sim.Now().Before(side.dropTill) {
+	if l.down || side.cut || l.sim.Now().Before(side.dropTill) {
 		l.Drops++
 		l.mDrops.Inc()
 		l.traceDrop(len(buf), "down/drop-window")
@@ -223,6 +256,18 @@ func (l *Link) transmit(side *linkSide, buf []byte) {
 	}
 	frame := l.pool.get(len(buf))
 	copy(frame, buf)
+	if l.corruptRate > 0 && l.sim.Rand().Float64() < l.corruptRate {
+		// Flip one bit of the pooled copy; the sender's buffer is
+		// untouched and the damaged frame rides to the receiver, where
+		// a checksum must reject it.
+		bit := l.sim.Rand().Int63n(int64(len(frame)) * 8)
+		frame[bit/8] ^= 1 << (bit % 8)
+		l.Corrupted++
+		if l.tracer.Detail() {
+			l.tracer.EmitValue(trace.KindNetDrop, l.name, int64(len(frame)),
+				"corrupt %dB: bit %d flipped", len(frame), bit)
+		}
+	}
 	d := l.takeDelivery()
 	d.peer = side.peer
 	d.frame = frame

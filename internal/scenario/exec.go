@@ -3,9 +3,11 @@ package scenario
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/app"
+	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -87,6 +89,7 @@ func RunWith(sc *Script, ro RunOptions) (*Result, error) {
 		TelemetryWindow: ro.TelemetryWindow}
 	hb := time.Duration(0)
 	maxDelayFIN := time.Duration(0)
+	suspicion := false
 	kind := ""
 	for _, st := range sc.Statements {
 		switch st.Verb {
@@ -102,6 +105,8 @@ func RunWith(sc *Script, ro RunOptions) (*Result, error) {
 				opts.WithLogger = true
 			case "witness":
 				opts.WithWitness = true
+			case "suspicion":
+				suspicion = true
 			}
 		case VerbClient:
 			if kind != "" && kind != st.ClientKind {
@@ -119,6 +124,9 @@ func RunWith(sc *Script, ro RunOptions) (*Result, error) {
 		if maxDelayFIN > 0 {
 			c.MaxDelayFIN = maxDelayFIN
 		}
+		if suspicion {
+			c.Suspicion.Enabled = true
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -131,10 +139,14 @@ func RunWith(sc *Script, ro RunOptions) (*Result, error) {
 		res:   &Result{Tracer: tb.Tracer},
 	}
 	ex.mkApp = func(name string) func(*tcp.Conn) {
-		if kind == "echo" {
-			return app.NewEchoServer(name, tb.Tracer).Accept
+		hostName := strings.TrimSuffix(name, "/app")
+		host := tb.Backup
+		if hostName == tb.Primary.Name() {
+			host = tb.Primary
 		}
-		return app.NewDataServer(name, tb.Tracer).Accept
+		srv := ex.newServer(name, host)
+		ex.apps[hostName] = srv
+		return srv.Accept
 	}
 	ex.apps = map[string]crashable{}
 	ex.installApp(tb.PrimaryNode, "primary")
@@ -184,17 +196,30 @@ type crashable interface {
 	CrashCleanup(abort bool)
 }
 
-func (ex *executor) installApp(node *sttcp.Node, host string) {
-	name := host + "/app"
+// appServer is the full server surface the executor drives: crashes, the
+// accept hook, and the host CPU clock (so `starve` actually slows the
+// application, not just a number on the host).
+type appServer interface {
+	crashable
+	Accept(c *tcp.Conn)
+	SetCPU(sm *sim.Simulator, cpu *sim.Clock)
+}
+
+func (ex *executor) newServer(name string, host *cluster.Host) appServer {
+	var srv appServer
 	if ex.kind == "echo" {
-		srv := app.NewEchoServer(name, ex.tb.Tracer)
-		ex.apps[host] = srv
-		node.OnAccept = srv.Accept
+		srv = app.NewEchoServer(name, ex.tb.Tracer)
 	} else {
-		srv := app.NewDataServer(name, ex.tb.Tracer)
-		ex.apps[host] = srv
-		node.OnAccept = srv.Accept
+		srv = app.NewDataServer(name, ex.tb.Tracer)
 	}
+	srv.SetCPU(ex.tb.Sim, host.CPU())
+	return srv
+}
+
+func (ex *executor) installApp(node *sttcp.Node, host string) {
+	srv := ex.newServer(host+"/app", node.Host())
+	ex.apps[host] = srv
+	node.OnAccept = srv.Accept
 }
 
 func (ex *executor) startClient(st Statement) error {
@@ -247,6 +272,7 @@ type hostLike interface {
 	CrashHW()
 	FailNIC()
 	Reboot()
+	SetCPUScale(r float64)
 }
 
 func (ex *executor) schedule(st Statement) error {
@@ -263,12 +289,21 @@ func (ex *executor) schedule(st Statement) error {
 
 	// Validate the injection up front: a fault that silently does nothing
 	// makes every later expectation meaningless, so refuse to schedule it.
-	var dropFor time.Duration
+	var dropFor, starveFor time.Duration
 	switch action {
 	case "appcrash":
 		if _, ok := ex.apps[st.Target]; !ok {
 			return fmt.Errorf("appcrash: host %q runs no server application", st.Target)
 		}
+	case "starve":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return fmt.Errorf("starve: bad duration %q: %w", arg, err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("starve: duration must be positive, got %v", d)
+		}
+		starveFor = d
 	case "drop":
 		if link == nil {
 			return fmt.Errorf("drop: host %q has no ethernet link in this topology", st.Target)
@@ -298,6 +333,10 @@ func (ex *executor) schedule(st Statement) error {
 			} else {
 				srv.CrashCleanup(false)
 			}
+		case "starve":
+			ex.tb.Tracer.Emit(trace.KindGeneric, st.Target, "CPU starved x%g for %v (slow-not-dead)", st.Scale, starveFor)
+			host.SetCPUScale(st.Scale)
+			ex.tb.Sim.At(when.Add(starveFor), func() { host.SetCPUScale(1) })
 		case "drop":
 			ex.tb.Tracer.Emit(trace.KindLinkDrop, st.Target+"/eth0", "dropping inbound frames for %v", dropFor)
 			link.DropFromBFor(dropFor)

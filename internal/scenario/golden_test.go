@@ -91,7 +91,7 @@ func TestGoldenTraces(t *testing.T) {
 			}
 		})
 	}
-	if ran < 7 {
-		t.Fatalf("only %d scenarios covered by golden traces, want all 7", ran)
+	if ran < 8 {
+		t.Fatalf("only %d scenarios covered by golden traces, want all 8", ran)
 	}
 }

@@ -13,6 +13,7 @@
 //	option logger                 deploy the §4.3 logger machine
 //	option witness                deploy the §4.2.2 witness replica
 //	option maxdelayfin <duration> shrink the FIN gate for short runs
+//	option suspicion              enable the gray-failure suspicion scorer
 //
 //	client download <size>        start a verified download (e.g. 16MiB)
 //	client echo <rounds> <size>   start an echo session (e.g. 500 1KiB)
@@ -22,6 +23,7 @@
 //	at <time> nicfail <host>
 //	at <time> drop <host> <dur>   drop all frames toward host for dur
 //	at <time> serialcut           cut the null-modem cable (both ends)
+//	at <time> starve <host> <factor> <dur>  CPU-starve host by factor for dur
 //	at <time> reboot <host>
 //	at <time> rejoin              reintegrate the rebooted machine as backup
 //
@@ -68,9 +70,10 @@ type Statement struct {
 
 	// At fields.
 	When   time.Duration
-	Action string // crash|appcrash|nicfail|drop|serialcut|reboot|rejoin
-	Target string // host name
-	Arg    string // appcrash mode, drop duration
+	Action string  // crash|appcrash|nicfail|drop|serialcut|starve|reboot|rejoin
+	Target string  // host name
+	Arg    string  // appcrash mode, drop/starve duration
+	Scale  float64 // starve factor
 
 	// Run fields.
 	RunFor time.Duration
@@ -167,7 +170,7 @@ func Parse(text string) (*Script, error) {
 func parseOption(st *Statement, fields []string) error {
 	st.Verb = VerbOption
 	switch {
-	case len(fields) == 2 && (fields[1] == "logger" || fields[1] == "witness"):
+	case len(fields) == 2 && (fields[1] == "logger" || fields[1] == "witness" || fields[1] == "suspicion"):
 		st.OptionName = fields[1]
 	case len(fields) == 3 && (fields[1] == "hb" || fields[1] == "seed" || fields[1] == "maxdelayfin"):
 		st.OptionName = fields[1]
@@ -183,7 +186,7 @@ func parseOption(st *Statement, fields []string) error {
 			}
 		}
 	default:
-		return errf(st.Line, "usage: option hb <dur> | option seed <n> | option logger | option witness | option maxdelayfin <dur>")
+		return errf(st.Line, "usage: option hb <dur> | option seed <n> | option logger | option witness | option suspicion | option maxdelayfin <dur>")
 	}
 	return nil
 }
@@ -273,6 +276,22 @@ func parseAt(st *Statement, fields []string) error {
 			return errf(st.Line, "bad duration %q", rest[1])
 		}
 		st.Arg = rest[1]
+	case "starve":
+		if err := needsHost(); err != nil {
+			return err
+		}
+		if len(rest) != 3 {
+			return errf(st.Line, "usage: starve <host> <factor> <duration>")
+		}
+		scale, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil || scale < 1 {
+			return errf(st.Line, "bad starve factor %q (want >= 1)", rest[1])
+		}
+		if _, err := time.ParseDuration(rest[2]); err != nil {
+			return errf(st.Line, "bad duration %q", rest[2])
+		}
+		st.Scale = scale
+		st.Arg = rest[2]
 	case "serialcut", "rejoin":
 		if len(rest) != 0 {
 			return errf(st.Line, "%s takes no arguments", st.Action)

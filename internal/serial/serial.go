@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"time"
 
 	"repro/internal/sim"
@@ -44,12 +45,20 @@ type Port struct {
 	busyTil time.Time
 	down    bool
 
+	// corruptRate flips one random bit per in-flight message with this
+	// probability, modelling a noisy line.
+	corruptRate float64
+
 	// TxMessages, TxBytes, RxMessages count traffic for the capacity
 	// experiment.
 	TxMessages int64
 	TxBytes    int64
 	RxMessages int64
 	Drops      int64
+	// CRCErrors counts messages the receiver rejected because the frame
+	// check sequence did not match — the serial CRC reject path of the
+	// gray fault model. Rejected messages also count as Drops.
+	CRCErrors int64
 }
 
 // NewPair creates two ports wired to each other at the given line rate
@@ -76,6 +85,15 @@ func (p *Port) SetDown(down bool) { p.down = down }
 
 // Down reports whether this end is down.
 func (p *Port) Down() bool { return p.down }
+
+// SetCorruptRate makes this transmitter flip one random bit in each
+// outgoing message with probability prob. The damaged message still
+// rides the wire; the receiving port's CRC check rejects it and counts a
+// CRCError. Zero disables corruption.
+func (p *Port) SetCorruptRate(prob float64) { p.corruptRate = prob }
+
+// CorruptRate returns the transmitter's current bit-flip probability.
+func (p *Port) CorruptRate() float64 { return p.corruptRate }
 
 // Busy reports whether the transmitter is mid-message.
 func (p *Port) Busy() bool { return p.sim.Now().Before(p.busyTil) }
@@ -106,6 +124,16 @@ func (p *Port) Send(msg []byte) error {
 	binary.BigEndian.PutUint16(framed, uint16(len(msg)))
 	copy(framed[2:], msg)
 
+	// Frame check sequence, computed before any line noise touches the
+	// copy. The CRC travels out of band of the byte budget: the 2-byte
+	// length prefix already stands in for the real line discipline's
+	// framing+FCS overhead, so the serialization accounting is unchanged.
+	fcs := crc32.ChecksumIEEE(framed[2:])
+	if p.corruptRate > 0 && len(msg) > 0 && p.sim.Rand().Float64() < p.corruptRate {
+		bit := p.sim.Rand().Int63n(int64(len(msg)) * 8)
+		framed[2+bit/8] ^= 1 << (bit % 8)
+	}
+
 	start := p.sim.Now()
 	if start.Before(p.busyTil) {
 		start = p.busyTil
@@ -123,6 +151,11 @@ func (p *Port) Send(msg []byte) error {
 			return
 		}
 		body := framed[2:]
+		if crc32.ChecksumIEEE(body) != fcs {
+			peer.CRCErrors++
+			peer.Drops++
+			return
+		}
 		peer.RxMessages++
 		if peer.handler != nil {
 			peer.handler(body)

@@ -12,6 +12,11 @@ type Ticker struct {
 	period  time.Duration
 	fn      func()
 	stopped bool
+
+	// clock, when set (Clock.NewTicker), stretches the period at each
+	// re-arm so the ticker follows its host's skewed timer rate. Nil means
+	// the nominal simulator timeline.
+	clock *Clock
 }
 
 // NewTicker schedules fn to run every period, starting one period from now.
@@ -49,7 +54,7 @@ func (t *Ticker) tick() {
 		return
 	}
 	// Re-arm before the callback so the callback may Stop the ticker.
-	t.timer.Arm(t.period)
+	t.timer.Arm(t.clock.Stretch(t.period))
 	t.fn()
 }
 
@@ -75,5 +80,5 @@ func (t *Ticker) Reset(period time.Duration) {
 		return
 	}
 	t.period = period
-	t.timer.Arm(period)
+	t.timer.Arm(t.clock.Stretch(period))
 }

@@ -71,6 +71,23 @@ type repConn struct {
 	finDisagreeTimer *sim.Event // primary: backup FIN'd, we did not
 	majorityTimer    *sim.Event // primary: pending witness majority vote
 
+	// resp is the local write-progress history feeding the suspicion
+	// scorer's response-latency staleness (suspicion.go). scoredAppW
+	// tracks the last peer position the scorer measured a per-advance
+	// lag for; respLag holds that lag (sticky until the next advance,
+	// stamped respLagAt).
+	resp       respRing
+	scoredAppW int64
+	respLag    time.Duration
+	respLagAt  time.Time
+	// Input gating (suspicion.go): lateness only counts while the peer
+	// actually holds the input it is late answering. inputStarvedSince
+	// tracks how long the peer's receive offset has trailed ours;
+	// inputOKSince stamps the recovery from the last confirmed gap.
+	inputStarvedSince time.Time
+	inputStarved      bool
+	inputOKSince      time.Time
+
 	lastRecoveryReq time.Time
 }
 
@@ -134,9 +151,27 @@ type Node struct {
 	ipDownSince   time.Time
 	ipDown        bool
 
+	// Asymmetric-partition criterion (gray-failure suite): the peer's
+	// latest PingValid as carried by any heartbeat, and when the
+	// asymmetry pattern was first observed (zero while not matching).
+	peerPingValid bool
+	asymSince     time.Time
+
 	detector       *sim.Ticker
 	started        bool
 	localAppFailed bool
+
+	// Gray-failure machinery (suspicion.go): the leaky-bucket scorer and
+	// the peer heartbeat-cadence drift estimator. lastSerialCRC tracks
+	// the local serial port's CRC-reject counter so the scorer can tell
+	// a noisy cable from a dead one.
+	susp            suspicionState
+	hbLastIP        time.Time
+	hbEWMA          float64
+	hbSamples       int
+	hbDriftNoted    bool
+	lastSerialCRC   int64
+	lastSerialCRCAt time.Time
 
 	// Primary-only, when a witness is configured: the witness's latest
 	// per-connection verdicts, fed by a second heartbeat exchanger.
@@ -164,6 +199,8 @@ type Node struct {
 	mHoldBytes   *metrics.Gauge
 	mHeldSegs    *metrics.Gauge
 	mRecovered   *metrics.Counter
+	mSuspicion   *metrics.Gauge
+	mHBDrift     *metrics.Gauge
 }
 
 // NewNode builds an ST-TCP node on host. peerPower is the out-of-band
@@ -195,6 +232,8 @@ func NewNode(host *cluster.Host, role Role, cfg Config, peerPower *cluster.Power
 	n.mHoldBytes = reg.Gauge(n.comp, "sttcp.holdbuf_bytes")
 	n.mHeldSegs = reg.Gauge(n.comp, "sttcp.held_segments")
 	n.mRecovered = reg.Counter(n.comp, "sttcp.recovered_bytes")
+	n.mSuspicion = reg.Gauge(n.comp, "sttcp.suspicion_permille")
+	n.mHBDrift = reg.Gauge(n.comp, "sttcp.hb_drift_permille")
 	return n, nil
 }
 
@@ -269,6 +308,9 @@ func (n *Node) Start() error {
 	n.ex.OnMessage = n.handleHB
 	n.ex.OnLinkDown = n.onLinkDown
 	n.ex.OnLinkUp = n.onLinkUp
+	// Heartbeats tick on the host's timer clock, so an injected
+	// clock-rate skew skews the cadence the peer observes.
+	n.ex.Clock = n.host.Clock()
 	n.ex.Start()
 
 	// A primary with a witness runs a second exchanger toward it; only
@@ -283,6 +325,7 @@ func (n *Node) Start() error {
 		n.witnessEx.Attach(wCh)
 		n.witnessEx.Compose = n.composeHB
 		n.witnessEx.OnMessage = n.handleWitnessHB
+		n.witnessEx.Clock = n.host.Clock()
 		n.witnessEx.Start()
 	}
 
@@ -291,7 +334,7 @@ func (n *Node) Start() error {
 		if check < 50*time.Millisecond {
 			check = 50 * time.Millisecond
 		}
-		n.detector = sim.NewTicker(n.sim, check, n.runDetectors)
+		n.detector = n.host.Clock().NewTicker(check, n.runDetectors)
 	}
 
 	n.host.OnCrash(n.Stop)
@@ -555,6 +598,7 @@ func (n *Node) handleHB(m hb.Message, link hb.LinkID) {
 	if n.state != StateActive && n.state != StateNonFT {
 		return
 	}
+	n.noteHBArrival(link)
 	// Watchdog extension: the peer's own watchdog says its application
 	// is dead — no further evidence needed.
 	if m.AppFailed && n.state == StateActive {
@@ -562,7 +606,11 @@ func (n *Node) handleHB(m hb.Message, link hb.LinkID) {
 		return
 	}
 	// Peer ping arbitration inputs (only meaningful while the IP link is
-	// down and the serial link carries the results, §4.3).
+	// down and the serial link carries the results, §4.3). PingValid is
+	// also remembered raw: a peer that is NOT pinging while our IP link
+	// is down is oblivious to the outage — the asymmetric-partition
+	// criterion's key observation.
+	n.peerPingValid = m.PingValid
 	if n.ipDown && m.PingValid {
 		if n.myPingValid && n.myPingOK && !m.PingOK {
 			n.peerPingFails++
@@ -1002,6 +1050,7 @@ func (n *Node) onLinkUp(link hb.LinkID) {
 		n.stopPinging()
 		n.myPingValid = false
 		n.peerPingFails = 0
+		n.asymSince = time.Time{}
 		for _, rc := range n.conns {
 			rc.nicLagWatermark = -1
 			rc.nicBaselineSet = false
@@ -1013,7 +1062,7 @@ func (n *Node) startPinging() {
 	if n.pingTicker != nil || n.cfg.GatewayAddr.IsZero() {
 		return
 	}
-	n.pingTicker = sim.NewTicker(n.sim, n.cfg.PingInterval, func() {
+	n.pingTicker = n.host.Clock().NewTicker(n.cfg.PingInterval, func() {
 		err := n.host.Netstack().Ping(n.cfg.GatewayAddr, n.cfg.PingTimeout, func(ok bool, _ time.Duration) {
 			n.myPingValid = true
 			n.myPingOK = ok
@@ -1039,6 +1088,7 @@ func (n *Node) runDetectors() {
 		return
 	}
 	now := n.sim.Now()
+	var worstStaleness time.Duration
 	for _, k := range n.sortedKeys() {
 		rc := n.conns[k]
 		if rc.conn.State() == tcp.StateClosed {
@@ -1054,7 +1104,55 @@ func (n *Node) runDetectors() {
 		if n.ipDown && n.detectNICLag(rc, now) {
 			return
 		}
+		if n.cfg.Suspicion.Enabled {
+			if st := n.respStaleness(rc, now); st > worstStaleness {
+				worstStaleness = st
+			}
+		}
 	}
+	if n.cfg.Suspicion.Enabled {
+		if n.detectAsymLink(now) {
+			return
+		}
+		n.scoreSuspicion(now, worstStaleness)
+	}
+}
+
+// detectAsymLink closes the asymmetric-partition gray gap: when the
+// peer's transmit path on the LAN dies while its receive path survives,
+// we see the IP heartbeat go silent, but the peer — still receiving our
+// heartbeats — considers its IP link healthy and never starts pinging.
+// Ping arbitration therefore never engages (PingValid stays false at the
+// peer), and the client-data criteria stay quiet too because the whole
+// workload stalls symmetrically. The tell is the combination: IP silence
+// past NICLagGrace, the gateway answering our own pings, and a peer
+// fresh on serial that is not arbitrating. Held for AsymHold so momentary
+// coincidences (the peer's first ping result is still in flight after a
+// full NIC death, say) cannot kill a healthy server.
+func (n *Node) detectAsymLink(now time.Time) bool {
+	lastSerial := n.ex.LastReceived(hb.LinkSerial)
+	matching := n.ipDown &&
+		now.Sub(n.ipDownSince) >= n.cfg.NICLagGrace &&
+		n.myPingValid && n.myPingOK &&
+		!n.peerPingValid &&
+		!lastSerial.IsZero() && now.Sub(lastSerial) <= n.cfg.HB.Timeout
+	if !matching {
+		n.asymSince = time.Time{}
+		return false
+	}
+	if n.asymSince.IsZero() {
+		n.asymSince = now
+		n.noteEvidence("IP heartbeat silent %v, gateway answers local pings, peer fresh on serial but not arbitrating: suspecting asymmetric partition",
+			now.Sub(n.ipDownSince).Round(time.Millisecond))
+		return false
+	}
+	if now.Sub(n.asymSince) < n.cfg.AsymHold {
+		return false
+	}
+	n.declarePeerFailed(fmt.Sprintf(
+		"asymmetric partition: peer-to-us LAN path dead %v while local gateway pings succeed and the peer (fresh on serial) sees no outage",
+		now.Sub(n.ipDownSince).Round(time.Millisecond)))
+	return true
 }
 
 // detectAppLag implements §4.2.1: the peer's application has stopped
@@ -1384,6 +1482,7 @@ func (n *Node) EnableReplication(peerAddr ip.Addr, peerPower *cluster.PowerContr
 	n.ex.OnMessage = n.handleHB
 	n.ex.OnLinkDown = n.onLinkDown
 	n.ex.OnLinkUp = n.onLinkUp
+	n.ex.Clock = n.host.Clock()
 
 	n.ipDown = false
 	n.myPingValid = false
@@ -1398,7 +1497,11 @@ func (n *Node) EnableReplication(peerAddr ip.Addr, peerPower *cluster.PowerContr
 	if n.detector != nil {
 		n.detector.Stop()
 	}
-	n.detector = sim.NewTicker(n.sim, check, n.runDetectors)
+	n.detector = n.host.Clock().NewTicker(check, n.runDetectors)
+	n.susp = suspicionState{}
+	n.hbLastIP = time.Time{}
+	n.hbEWMA = 0
+	n.hbSamples = 0
 
 	if n.tracer != nil {
 		n.tracer.Emit(trace.KindGeneric, n.comp,

@@ -131,6 +131,18 @@ func RenderDashboard(w io.Writer, r *Report, opts RenderOptions) error {
 
 	if c := r.Chaos; c != nil {
 		fmt.Fprintf(&b, "\nchaos: %d events\n", c.Events)
+		if len(c.Injected) > 0 {
+			names := make([]string, 0, len(c.Injected))
+			for name := range c.Injected {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			b.WriteString("  injected:")
+			for _, name := range names {
+				fmt.Fprintf(&b, " %s×%d", name, c.Injected[name])
+			}
+			b.WriteString("\n")
+		}
 		for _, iv := range c.Invariants {
 			verdict := "held"
 			if len(iv.Violations) > 0 {

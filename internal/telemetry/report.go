@@ -84,6 +84,10 @@ type ChaosReport struct {
 	// Invariants holds one verdict per system-wide invariant, in
 	// chaos.InvariantNames order.
 	Invariants []InvariantVerdict `json:"invariants"`
+	// Injected counts successfully applied fault events per injector
+	// name — the ground truth for what the run actually exercised (a
+	// skipped event leaves no count here).
+	Injected map[string]int `json:"injected,omitempty"`
 	// Skipped lists events the harness could not apply (if any).
 	Skipped []string `json:"skipped,omitempty"`
 }
